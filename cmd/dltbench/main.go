@@ -1,0 +1,75 @@
+// Command dltbench regenerates every table of the paper reproduction:
+// one experiment per figure or quantitative claim of "Distributed Ledger
+// Technology: Blockchain Compared to Directed Acyclic Graph" (ICDCS
+// 2018).
+//
+// Usage:
+//
+//	dltbench                     # run all experiments at full scale
+//	dltbench -experiment E9      # one experiment
+//	dltbench -scale 0.25 -seed 7 # smaller/faster, different randomness
+//	dltbench -list               # show the registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (E1…E13) or 'all'")
+		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
+		scale      = flag.Float64("scale", 1.0, "duration/workload scale factor")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		summary    = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-4s §%-7s %s\n", e.ID, e.Section, e.Title)
+		}
+		return 0
+	}
+	if *summary {
+		if err := core.Summary().Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	cfg := core.Config{Seed: *seed, Scale: *scale}
+	selected := core.Experiments()
+	if *experiment != "all" {
+		e, err := core.ByID(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		selected = []core.Experiment{e}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("=== %s [§%s] %s\n", e.ID, e.Section, e.Title)
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			return 1
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println()
+	}
+	return 0
+}

@@ -1,0 +1,157 @@
+// Command dltviz renders the paper's four figures as ASCII diagrams from
+// live data structures built by this repository's ledgers: the blockchain
+// (Fig. 1), the block-lattice (Fig. 2), send/receive settlement (Fig. 3)
+// and a temporary fork with its resolution (Fig. 4).
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/hashx"
+	"repro/internal/keys"
+	"repro/internal/lattice"
+	"repro/internal/utxo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if err := fig1(); err != nil {
+		return err
+	}
+	if err := fig2and3(); err != nil {
+		return err
+	}
+	return fig4()
+}
+
+// fig1 draws the hash-linked chain of §II-A.
+func fig1() error {
+	fmt.Println("Fig. 1 — Blockchain as a data structure")
+	fmt.Println()
+	ring := keys.NewRing("viz", 4)
+	alloc := map[keys.Address]uint64{ring.Addr(0): 10_000}
+	ledger, err := utxo.NewLedger(alloc, utxo.DefaultParams())
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		tx, err := utxo.NewPayment(ledger.UTXOSet(), ring.Pair(0), ring.Addr(1), 100, 1)
+		if err != nil {
+			return err
+		}
+		if err := ledger.SubmitTx(tx); err != nil {
+			return err
+		}
+		b := ledger.BuildBlock(ring.Addr(3), time.Duration(i+1)*10*time.Minute)
+		if _, err := ledger.ProcessBlock(b); err != nil {
+			return err
+		}
+	}
+	cells := []string{}
+	for _, h := range ledger.Store().MainChain() {
+		b, _ := ledger.Store().Get(h)
+		label := "genesis"
+		if b.Header.Height > 0 {
+			label = fmt.Sprintf("block %d", b.Header.Height)
+		}
+		cells = append(cells, fmt.Sprintf("[%s %s | prev:%s | merkle:%s | %d txs]",
+			label, h, b.Header.Parent, b.Header.TxRoot, b.TxCount()))
+	}
+	fmt.Println("  " + strings.Join(cells, " <- "))
+	fmt.Println()
+	return nil
+}
+
+// fig2and3 draws the block-lattice of §II-B with settled and pending
+// transfers.
+func fig2and3() error {
+	fmt.Println("Fig. 2/3 — Nano's block-lattice with send/receive settlement")
+	fmt.Println()
+	ring := keys.NewRing("viz-lattice", 4)
+	lat, _, err := lattice.New(ring.Pair(0), 1000, 0)
+	if err != nil {
+		return err
+	}
+	// A settled transfer 0 -> 1 and an unsettled one 0 -> 2.
+	send1, err := lat.NewSend(ring.Pair(0), ring.Addr(1), 300)
+	if err != nil {
+		return err
+	}
+	lat.Process(send1)
+	open1, err := lat.NewOpen(ring.Pair(1), send1.Hash(), ring.Addr(1))
+	if err != nil {
+		return err
+	}
+	lat.Process(open1)
+	send2, err := lat.NewSend(ring.Pair(0), ring.Addr(2), 100)
+	if err != nil {
+		return err
+	}
+	lat.Process(send2)
+
+	for i := 0; i < 3; i++ {
+		addr := ring.Addr(i)
+		var cells []string
+		for _, b := range lat.Chain(addr) {
+			tag := strings.ToUpper(b.Type.String()[:1])
+			cells = append(cells, fmt.Sprintf("[%s %s bal=%d]", tag, b.Hash(), b.Balance))
+		}
+		if len(cells) == 0 {
+			cells = append(cells, "(account not yet opened)")
+		}
+		fmt.Printf("  account %d: %s\n", i, strings.Join(cells, " <- "))
+	}
+	fmt.Println()
+	for _, h := range lat.PendingFor(ring.Addr(2)) {
+		p, _ := lat.PendingInfo(h)
+		fmt.Printf("  pending (unsettled): send %s of %d awaiting account 2's receive — 'a node has to be online to receive'\n",
+			h, p.Amount)
+	}
+	fmt.Println()
+	return nil
+}
+
+// fig4 builds a real fork on the generic chain store and shows its
+// resolution by the longest-chain rule.
+func fig4() error {
+	fmt.Println("Fig. 4 — Temporary blockchain fork and resolution")
+	fmt.Println()
+	genesis := chain.NewGenesis(hashx.Zero)
+	store, err := chain.NewStore(genesis, chain.LongestChain)
+	if err != nil {
+		return err
+	}
+	mk := func(parent *chain.Block, id byte) *chain.Block {
+		payload := chain.OpaquePayload{ID: hashx.Sum([]byte{id}), Bytes: 100, Txs: 5}
+		return &chain.Block{Header: chain.Header{
+			Parent: parent.Hash(), Height: parent.Header.Height + 1,
+			TxRoot: payload.Root(), Difficulty: 1,
+		}, Payload: payload}
+	}
+	a1 := mk(genesis, 1)
+	b1 := mk(genesis, 2)
+	b2 := mk(b1, 3)
+	store.Add(a1)
+	resSide := store.Add(b1)
+	resReorg := store.Add(b2)
+
+	fmt.Printf("                 ┌─ [A1 %s]            (first seen: tip)\n", a1.Hash())
+	fmt.Printf("  [genesis %s] ──┤\n", genesis.Hash())
+	fmt.Printf("                 └─ [B1 %s] ── [B2 %s]  (longer: adopted)\n", b1.Hash(), b2.Hash())
+	fmt.Println()
+	fmt.Printf("  B1 arrives: %s (two blocks claim the same predecessor)\n", resSide.Status)
+	fmt.Printf("  B2 arrives: %s — depth-%d reorg abandons A1 and its %d transactions\n",
+		resReorg.Status, resReorg.Reorg.Depth(), resReorg.Reorg.AbandonedTxs)
+	fmt.Printf("  tip is now B2; A1 confirmations: %d (orphaned)\n", store.Confirmations(a1.Hash()))
+	return nil
+}

@@ -1,0 +1,109 @@
+// Package dlt is the public facade of the DLT comparison library — a
+// from-scratch Go reproduction of "Distributed Ledger Technology:
+// Blockchain Compared to Directed Acyclic Graph" (Benčić & Podnar Žarko,
+// ICDCS 2018). It re-exports the stable API: the three reference systems
+// (a Bitcoin-like UTXO chain, an Ethereum-like account/gas chain with PoW
+// or PoS+FFG, and a Nano-like block-lattice with Open Representative
+// Voting), the discrete-event network simulations that run them, and the
+// experiment registry that regenerates every figure and quantitative
+// claim in the paper.
+//
+// Quick start:
+//
+//	cfg := dlt.Config{Seed: 42, Scale: 1}
+//	for _, e := range dlt.Experiments() {
+//	    table, err := e.Run(cfg)
+//	    ...
+//	    table.Render(os.Stdout)
+//	}
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package dlt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// Config tunes experiment runs (seed and scale).
+type Config = core.Config
+
+// Experiment reproduces one figure or claim of the paper.
+type Experiment = core.Experiment
+
+// Table is the rendered result of an experiment.
+type Table = metrics.Table
+
+// Paradigm tags blockchain vs DAG.
+type Paradigm = core.Paradigm
+
+// Paradigm values.
+const (
+	Blockchain = core.Blockchain
+	DAG        = core.DAG
+)
+
+// Network simulation configurations and constructors.
+type (
+	// NetParams bundles node count, gossip topology and link model.
+	NetParams = netsim.NetParams
+	// BitcoinConfig parameterizes a Bitcoin-like PoW network.
+	BitcoinConfig = netsim.BitcoinConfig
+	// EthereumConfig parameterizes an Ethereum-like network (PoW/PoS).
+	EthereumConfig = netsim.EthereumConfig
+	// NanoConfig parameterizes a Nano-like block-lattice network.
+	NanoConfig = netsim.NanoConfig
+	// BitcoinNet, EthereumNet and NanoNet are running simulations.
+	BitcoinNet  = netsim.BitcoinNet
+	EthereumNet = netsim.EthereumNet
+	NanoNet     = netsim.NanoNet
+	// ChainMetrics and NanoMetrics are run results.
+	ChainMetrics = netsim.ChainMetrics
+	NanoMetrics  = netsim.NanoMetrics
+)
+
+// Consensus selects PoW or PoS for Ethereum-like networks.
+const (
+	PoW = netsim.PoW
+	PoS = netsim.PoS
+)
+
+// NewBitcoinNetwork builds a Bitcoin-like network simulation.
+func NewBitcoinNetwork(cfg BitcoinConfig) (*BitcoinNet, error) { return netsim.NewBitcoin(cfg) }
+
+// NewEthereumNetwork builds an Ethereum-like network simulation.
+func NewEthereumNetwork(cfg EthereumConfig) (*EthereumNet, error) { return netsim.NewEthereum(cfg) }
+
+// NewNanoNetwork builds a Nano-like block-lattice network simulation.
+func NewNanoNetwork(cfg NanoConfig) (*NanoNet, error) { return netsim.NewNano(cfg) }
+
+// Experiments returns the full registry (E1…E13) in paper order.
+func Experiments() []Experiment { return core.Experiments() }
+
+// ExperimentByID looks up one experiment.
+func ExperimentByID(id string) (Experiment, error) { return core.ByID(id) }
+
+// RunExperiment executes an experiment and renders its table to w.
+func RunExperiment(id string, cfg Config, w io.Writer) error {
+	e, err := core.ByID(id)
+	if err != nil {
+		return err
+	}
+	table, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("dlt: %s: %w", id, err)
+	}
+	if _, err := fmt.Fprintf(w, "%s [§%s]\n", e.Title, e.Section); err != nil {
+		return err
+	}
+	if err := table.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}

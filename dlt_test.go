@@ -1,0 +1,87 @@
+package dlt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestFacadeRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 13 {
+		t.Fatalf("registry = %d experiments, want 13", len(exps))
+	}
+	e, err := ExperimentByID("E1")
+	if err != nil || e.ID != "E1" {
+		t.Fatalf("ExperimentByID: %+v %v", e, err)
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunExperimentRenders(t *testing.T) {
+	var sb strings.Builder
+	if err := RunExperiment("E1", Config{Seed: 3, Scale: 0.2}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 1") || !strings.Contains(out, "genesis") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if err := RunExperiment("E99", Config{}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFacadeParadigms(t *testing.T) {
+	if Blockchain.String() != "blockchain" || DAG.String() != "dag" {
+		t.Fatal("paradigm re-export broken")
+	}
+}
+
+// The facade constructors must build runnable networks end to end.
+func TestFacadeNetworks(t *testing.T) {
+	btc, err := NewBitcoinNetwork(BitcoinConfig{
+		Net:           NetParams{Nodes: 6, PeerDegree: 2, Seed: 1, MinLatency: 10 * time.Millisecond, MaxLatency: 40 * time.Millisecond},
+		BlockInterval: 20 * time.Second,
+		Accounts:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := btc.Run(3 * time.Minute); m.BlocksOnMain == 0 {
+		t.Fatal("bitcoin facade produced no blocks")
+	}
+
+	eth, err := NewEthereumNetwork(EthereumConfig{
+		Net:       NetParams{Nodes: 6, PeerDegree: 2, Seed: 2, MinLatency: 10 * time.Millisecond, MaxLatency: 40 * time.Millisecond},
+		Consensus: PoS,
+		Accounts:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := eth.Run(2 * time.Minute); m.BlocksOnMain == 0 {
+		t.Fatal("ethereum facade produced no blocks")
+	}
+
+	nano, err := NewNanoNetwork(NanoConfig{
+		Net:      NetParams{Nodes: 6, PeerDegree: 2, Seed: 3, MinLatency: 10 * time.Millisecond, MaxLatency: 40 * time.Millisecond},
+		Accounts: 12,
+		Reps:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfers := []workload.TimedPayment{
+		{At: time.Second, Payment: workload.Payment{From: 1, To: 2, Amount: 5}},
+		{At: 2 * time.Second, Payment: workload.Payment{From: 3, To: 4, Amount: 5}},
+	}
+	m := nano.RunWithTransfers(20*time.Second, transfers)
+	if m.SettledAtObserver != 2 {
+		t.Fatalf("nano facade settled %d/2 transfers", m.SettledAtObserver)
+	}
+}

@@ -1,0 +1,68 @@
+package account
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// Two contracts at different addresses must have fully isolated storage,
+// even for equal slot numbers — the prefix scheme in the shared state
+// trie cannot collide.
+func TestContractStorageIsolation(t *testing.T) {
+	s := NewState()
+	a := keys.Deterministic("contract-a").Address()
+	b := keys.Deterministic("contract-b").Address()
+	s.SetStorage(a, 0, 111)
+	s.SetStorage(b, 0, 222)
+	if s.GetStorage(a, 0) != 111 || s.GetStorage(b, 0) != 222 {
+		t.Fatal("storage collided across contracts")
+	}
+	s.SetStorage(a, 0, 0) // delete a's slot
+	if s.GetStorage(b, 0) != 222 {
+		t.Fatal("deleting a's slot destroyed b's")
+	}
+}
+
+// Account records and storage slots share the trie; an account whose
+// address bytes coincide with a storage key prefix must not alias.
+func TestAccountVsStorageKeyspace(t *testing.T) {
+	s := NewState()
+	addr := keys.Deterministic("keyspace").Address()
+	s.SetAccount(addr, Account{Balance: 500})
+	s.SetStorage(addr, 0, 999)
+	got := s.GetAccount(addr)
+	if got.Balance != 500 {
+		t.Fatalf("storage write corrupted the account: %+v", got)
+	}
+	if s.GetStorage(addr, 0) != 999 {
+		t.Fatal("account write corrupted storage")
+	}
+	// Deleting the account leaves its storage (self-destruct semantics
+	// are out of scope; the keyspaces just must not alias).
+	s.SetAccount(addr, Account{})
+	if s.GetStorage(addr, 0) != 999 {
+		t.Fatal("account delete destroyed storage")
+	}
+}
+
+// Executing one contract can never write another contract's storage: the
+// VM only exposes the executing contract's slots.
+func TestVMCannotTouchForeignStorage(t *testing.T) {
+	s := NewState()
+	victim := keys.Deterministic("victim").Address()
+	attacker := keys.Deterministic("attacker-contract").Address()
+	s.SetStorage(victim, 7, 1_000_000)
+
+	code := Asm(OpPush, 7, OpPush, 0, OpSStore, OpStop) // storage[7] = 0
+	_, err := Execute(s, code, CallContext{Contract: attacker, GasLimit: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GetStorage(victim, 7) != 1_000_000 {
+		t.Fatal("attacker contract overwrote victim storage")
+	}
+	if s.GetStorage(attacker, 7) != 0 {
+		t.Fatal("attacker's own write went missing")
+	}
+}

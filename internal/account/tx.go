@@ -1,0 +1,234 @@
+package account
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/hashx"
+	"repro/internal/keys"
+	"repro/internal/merkle"
+)
+
+// Intrinsic gas costs, shaped after Ethereum's.
+const (
+	GasTxBase     = 21_000 // every transaction
+	GasTxDataByte = 16     // per byte of call/creation data
+	GasCreateByte = 200    // per byte of deployed code
+)
+
+// Tx is an account-model transaction: a nonce-ordered transfer with an
+// optional contract call or creation. Gas is "the unit used to measure
+// the fees required for a particular computation" (§VI-A).
+type Tx struct {
+	From     keys.Address
+	Nonce    uint64
+	To       *keys.Address // nil creates a contract from Data
+	Value    uint64
+	GasLimit uint64
+	GasPrice uint64
+	Data     []byte
+	PubKey   ed25519.PublicKey
+	Sig      []byte
+}
+
+// txWireOverhead is the modeled fixed encoding cost of a transaction.
+const txWireOverhead = keys.AddressSize + 8 + keys.AddressSize + 8 + 8 + 8 +
+	ed25519.PublicKeySize + ed25519.SignatureSize + 4
+
+// EncodedSize returns the modeled wire size.
+func (tx *Tx) EncodedSize() int { return txWireOverhead + len(tx.Data) }
+
+// sigBytes serializes the signed portion.
+func (tx *Tx) sigBytes() []byte {
+	buf := make([]byte, 0, txWireOverhead+len(tx.Data))
+	buf = append(buf, tx.From[:]...)
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], tx.Nonce)
+	buf = append(buf, scratch[:]...)
+	if tx.To != nil {
+		buf = append(buf, 0x01)
+		buf = append(buf, tx.To[:]...)
+	} else {
+		buf = append(buf, 0x00)
+	}
+	for _, v := range []uint64{tx.Value, tx.GasLimit, tx.GasPrice} {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		buf = append(buf, scratch[:]...)
+	}
+	return append(buf, tx.Data...)
+}
+
+// SigHash is the digest the sender signs.
+func (tx *Tx) SigHash() hashx.Hash { return hashx.Sum(tx.sigBytes()) }
+
+// ID is the transaction identifier (covers the signature).
+func (tx *Tx) ID() hashx.Hash {
+	buf := tx.sigBytes()
+	buf = append(buf, tx.PubKey...)
+	buf = append(buf, tx.Sig...)
+	return hashx.Sum(buf)
+}
+
+// Sign fills From, PubKey and Sig from the key pair.
+func (tx *Tx) Sign(kp *keys.KeyPair) {
+	tx.From = kp.Address()
+	digest := tx.SigHash()
+	tx.PubKey = kp.Pub
+	tx.Sig = kp.Sign(digest[:])
+}
+
+// VerifySig checks the signature and that PubKey matches From.
+func (tx *Tx) VerifySig() bool {
+	if keys.AddressOf(tx.PubKey) != tx.From {
+		return false
+	}
+	digest := tx.SigHash()
+	return keys.Verify(tx.PubKey, digest[:], tx.Sig)
+}
+
+// IntrinsicGas is the gas charged before any execution.
+func (tx *Tx) IntrinsicGas() uint64 {
+	return GasTxBase + uint64(len(tx.Data))*GasTxDataByte
+}
+
+// Receipt records a transaction's execution outcome, the per-transaction
+// artifact Ethereum stores in its receipts trie (§II-A, §V-A).
+type Receipt struct {
+	TxID    hashx.Hash
+	Status  uint8 // 1 success, 0 reverted/failed
+	GasUsed uint64
+	Return  uint64
+	Logs    []uint64
+	// Contract is the created contract's address when the tx deployed one.
+	Contract keys.Address
+}
+
+// receiptWireSize is the modeled encoding cost of one receipt.
+func (r *Receipt) receiptWireSize() int {
+	return hashx.Size + 1 + 8 + 8 + 8*len(r.Logs) + keys.AddressSize
+}
+
+// encode serializes the receipt for Merkle commitment.
+func (r *Receipt) encode() []byte {
+	buf := make([]byte, 0, r.receiptWireSize())
+	buf = append(buf, r.TxID[:]...)
+	buf = append(buf, r.Status)
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], r.GasUsed)
+	buf = append(buf, scratch[:]...)
+	binary.BigEndian.PutUint64(scratch[:], r.Return)
+	buf = append(buf, scratch[:]...)
+	for _, l := range r.Logs {
+		binary.BigEndian.PutUint64(scratch[:], l)
+		buf = append(buf, scratch[:]...)
+	}
+	return append(buf, r.Contract[:]...)
+}
+
+// ReceiptsRoot is the Merkle root over encoded receipts.
+func ReceiptsRoot(receipts []*Receipt) hashx.Hash {
+	leaves := make([]hashx.Hash, len(receipts))
+	for i, r := range receipts {
+		leaves[i] = merkle.HashLeaf(r.encode())
+	}
+	return merkle.RootOfHashes(leaves)
+}
+
+// Execution errors surfaced by ApplyTx.
+var (
+	ErrBadNonce     = errors.New("account: wrong nonce")
+	ErrBadSig       = errors.New("account: bad signature")
+	ErrInsufficient = errors.New("account: insufficient balance")
+	ErrGasTooLow    = errors.New("account: gas limit below intrinsic gas")
+	ErrNotContract  = errors.New("account: call target has no code")
+)
+
+// ApplyTx executes one transaction against state, crediting gas fees to
+// coinbase. It returns the receipt; the state is modified in place. On
+// a validation error (bad nonce/signature/funds) the state is untouched
+// and no receipt is produced. On an execution failure (revert, out of
+// gas) the value transfer and execution effects are rolled back but gas
+// is still consumed and the nonce still advances — Ethereum's rules.
+func ApplyTx(state *State, tx *Tx, coinbase keys.Address) (*Receipt, error) {
+	if !tx.VerifySig() {
+		return nil, ErrBadSig
+	}
+	sender := state.GetAccount(tx.From)
+	if tx.Nonce != sender.Nonce {
+		return nil, fmt.Errorf("%w: tx %d, account %d", ErrBadNonce, tx.Nonce, sender.Nonce)
+	}
+	intrinsic := tx.IntrinsicGas()
+	if tx.GasLimit < intrinsic {
+		return nil, fmt.Errorf("%w: limit %d < intrinsic %d", ErrGasTooLow, tx.GasLimit, intrinsic)
+	}
+	upfront := tx.GasLimit * tx.GasPrice
+	if sender.Balance < upfront || sender.Balance-upfront < tx.Value {
+		return nil, fmt.Errorf("%w: balance %d, need value %d + gas %d",
+			ErrInsufficient, sender.Balance, tx.Value, upfront)
+	}
+
+	// Charge the full gas limit up front and advance the nonce; the
+	// unused remainder is refunded below.
+	state.SubBalance(tx.From, upfront)
+	state.BumpNonce(tx.From)
+
+	receipt := &Receipt{TxID: tx.ID(), Status: 1, GasUsed: intrinsic}
+	// Snapshot after nonce/gas so failures keep those effects.
+	checkpoint := state.Copy()
+
+	execGas := tx.GasLimit - intrinsic
+	switch {
+	case tx.To == nil:
+		// Contract creation: Data is the code; charge per byte.
+		createGas := uint64(len(tx.Data)) * GasCreateByte
+		if createGas > execGas {
+			receipt.Status = 0
+			receipt.GasUsed = tx.GasLimit
+			state.restore(checkpoint)
+		} else {
+			receipt.GasUsed += createGas
+			addr := ContractAddress(tx.From, tx.Nonce)
+			state.SetAccount(addr, Account{Balance: tx.Value, Code: append([]byte{}, tx.Data...)})
+			state.SubBalance(tx.From, tx.Value)
+			receipt.Contract = addr
+		}
+	default:
+		target := state.GetAccount(*tx.To)
+		// Plain value transfer.
+		state.SubBalance(tx.From, tx.Value)
+		state.AddBalance(*tx.To, tx.Value)
+		if target.IsContract() {
+			res, err := Execute(state, target.Code, CallContext{
+				Contract: *tx.To,
+				Caller:   tx.From,
+				Value:    tx.Value,
+				Data:     tx.Data,
+				GasLimit: execGas,
+			})
+			receipt.GasUsed += res.GasUsed
+			receipt.Return = res.Return
+			receipt.Logs = res.Logs
+			if err != nil {
+				// Revert all effects of the call including the value
+				// transfer; gas is still consumed.
+				receipt.Status = 0
+				receipt.Logs = nil
+				receipt.Return = 0
+				if errors.Is(err, ErrOutOfGas) {
+					receipt.GasUsed = tx.GasLimit
+				}
+				state.restore(checkpoint)
+			}
+		}
+	}
+
+	// Refund unused gas; pay the miner/validator for gas consumed.
+	state.AddBalance(tx.From, (tx.GasLimit-receipt.GasUsed)*tx.GasPrice)
+	state.AddBalance(coinbase, receipt.GasUsed*tx.GasPrice)
+	return receipt, nil
+}
+
+// restore resets the state view to a checkpoint taken with Copy.
+func (s *State) restore(checkpoint *State) { s.t = checkpoint.t }

@@ -1,0 +1,353 @@
+package account
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/keys"
+)
+
+// Opcodes of the gas-metered stack VM. Word size is uint64; contract
+// storage maps uint64 slots to uint64 values. The instruction set is a
+// deliberately small subset of the EVM's: enough to express the smart
+// contracts the paper's scalability section builds on (payment channels,
+// Plasma commitments, Casper deposits) without byte-level EVM fidelity.
+const (
+	OpStop byte = iota
+	OpPush      // 8-byte big-endian immediate
+	OpPop
+	OpDup
+	OpSwap
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpLt
+	OpGt
+	OpEq
+	OpIsZero
+	OpAnd
+	OpOr
+	OpNot
+	OpJump
+	OpJumpI
+	OpCaller
+	OpCallValue
+	OpBalance
+	OpSelfBalance
+	OpSLoad
+	OpSStore
+	OpCallDataSize
+	OpCallData
+	OpLog
+	OpReturn
+	OpRevert
+	opMax // sentinel
+)
+
+// Gas costs per operation, shaped after the EVM's relative pricing: state
+// writes dominate, reads are mid-priced, arithmetic is cheap.
+var gasCost = [opMax]uint64{
+	OpStop: 0, OpPush: 3, OpPop: 2, OpDup: 3, OpSwap: 3,
+	OpAdd: 3, OpSub: 3, OpMul: 5, OpDiv: 5, OpMod: 5,
+	OpLt: 3, OpGt: 3, OpEq: 3, OpIsZero: 3, OpAnd: 3, OpOr: 3, OpNot: 3,
+	OpJump: 8, OpJumpI: 10,
+	OpCaller: 2, OpCallValue: 2, OpBalance: 100, OpSelfBalance: 5,
+	OpSLoad: 200, OpSStore: 5000,
+	OpCallDataSize: 2, OpCallData: 3,
+	OpLog: 375, OpReturn: 0, OpRevert: 0,
+}
+
+// VM execution errors. ErrRevert and ErrOutOfGas mark failed-but-charged
+// executions; the others indicate malformed code.
+var (
+	ErrOutOfGas      = errors.New("vm: out of gas")
+	ErrRevert        = errors.New("vm: execution reverted")
+	ErrStack         = errors.New("vm: stack underflow")
+	ErrStackOverflow = errors.New("vm: stack overflow")
+	ErrBadJump       = errors.New("vm: jump out of bounds")
+	ErrBadOpcode     = errors.New("vm: unknown opcode")
+	ErrTruncated     = errors.New("vm: truncated immediate")
+)
+
+const maxStack = 1024
+
+// CallContext carries the environment of one contract execution.
+type CallContext struct {
+	// Contract is the executing contract's address (storage owner).
+	Contract keys.Address
+	// Caller is the transaction sender.
+	Caller keys.Address
+	// Value is the amount transferred with the call.
+	Value uint64
+	// Data is the call data, read as 8-byte words by OpCallData.
+	Data []byte
+	// GasLimit bounds execution.
+	GasLimit uint64
+}
+
+// ExecResult reports a completed execution.
+type ExecResult struct {
+	// GasUsed is the gas consumed (== GasLimit on ErrOutOfGas).
+	GasUsed uint64
+	// Return is the value left by OpReturn (0 otherwise).
+	Return uint64
+	// Logs collects OpLog emissions in order.
+	Logs []uint64
+}
+
+// Execute runs code against state under ctx. State mutations are applied
+// directly; callers snapshot beforehand (State.Copy is O(1)) and discard
+// on error — exactly what applyTx does.
+func Execute(state *State, code []byte, ctx CallContext) (ExecResult, error) {
+	var (
+		res   ExecResult
+		stack = make([]uint64, 0, 32)
+		pc    int
+	)
+	useGas := func(g uint64) bool {
+		if res.GasUsed+g > ctx.GasLimit {
+			res.GasUsed = ctx.GasLimit
+			return false
+		}
+		res.GasUsed += g
+		return true
+	}
+	pop := func() (uint64, bool) {
+		if len(stack) == 0 {
+			return 0, false
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v, true
+	}
+	push := func(v uint64) bool {
+		if len(stack) >= maxStack {
+			return false
+		}
+		stack = append(stack, v)
+		return true
+	}
+
+	for pc < len(code) {
+		op := code[pc]
+		if op >= byte(opMax) {
+			return res, fmt.Errorf("%w: 0x%02x at %d", ErrBadOpcode, op, pc)
+		}
+		if !useGas(gasCost[op]) {
+			return res, ErrOutOfGas
+		}
+		pc++
+		switch op {
+		case OpStop:
+			return res, nil
+		case OpPush:
+			if pc+8 > len(code) {
+				return res, ErrTruncated
+			}
+			if !push(binary.BigEndian.Uint64(code[pc:])) {
+				return res, ErrStackOverflow
+			}
+			pc += 8
+		case OpPop:
+			if _, ok := pop(); !ok {
+				return res, ErrStack
+			}
+		case OpDup:
+			if len(stack) == 0 {
+				return res, ErrStack
+			}
+			if !push(stack[len(stack)-1]) {
+				return res, ErrStackOverflow
+			}
+		case OpSwap:
+			if len(stack) < 2 {
+				return res, ErrStack
+			}
+			stack[len(stack)-1], stack[len(stack)-2] = stack[len(stack)-2], stack[len(stack)-1]
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpLt, OpGt, OpEq, OpAnd, OpOr:
+			b, ok1 := pop()
+			a, ok2 := pop()
+			if !ok1 || !ok2 {
+				return res, ErrStack
+			}
+			var v uint64
+			switch op {
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpMul:
+				v = a * b
+			case OpDiv:
+				if b != 0 {
+					v = a / b
+				}
+			case OpMod:
+				if b != 0 {
+					v = a % b
+				}
+			case OpLt:
+				if a < b {
+					v = 1
+				}
+			case OpGt:
+				if a > b {
+					v = 1
+				}
+			case OpEq:
+				if a == b {
+					v = 1
+				}
+			case OpAnd:
+				v = a & b
+			case OpOr:
+				v = a | b
+			}
+			push(v)
+		case OpIsZero, OpNot:
+			a, ok := pop()
+			if !ok {
+				return res, ErrStack
+			}
+			if op == OpIsZero {
+				var v uint64
+				if a == 0 {
+					v = 1
+				}
+				push(v)
+			} else {
+				push(^a)
+			}
+		case OpJump:
+			dst, ok := pop()
+			if !ok {
+				return res, ErrStack
+			}
+			if dst > uint64(len(code)) {
+				return res, ErrBadJump
+			}
+			pc = int(dst)
+		case OpJumpI:
+			cond, ok1 := pop()
+			dst, ok2 := pop()
+			if !ok1 || !ok2 {
+				return res, ErrStack
+			}
+			if cond != 0 {
+				if dst > uint64(len(code)) {
+					return res, ErrBadJump
+				}
+				pc = int(dst)
+			}
+		case OpCaller:
+			if !push(addrWord(ctx.Caller)) {
+				return res, ErrStackOverflow
+			}
+		case OpCallValue:
+			if !push(ctx.Value) {
+				return res, ErrStackOverflow
+			}
+		case OpBalance:
+			// Pops an address word; address words are only observable
+			// inside a run via OpCaller, so the lookup resolves the
+			// caller's or the contract's balance and 0 for anything else.
+			w, ok := pop()
+			if !ok {
+				return res, ErrStack
+			}
+			var v uint64
+			switch w {
+			case addrWord(ctx.Caller):
+				v = state.Balance(ctx.Caller)
+			case addrWord(ctx.Contract):
+				v = state.Balance(ctx.Contract)
+			}
+			push(v)
+		case OpSelfBalance:
+			if !push(state.Balance(ctx.Contract)) {
+				return res, ErrStackOverflow
+			}
+		case OpSLoad:
+			slot, ok := pop()
+			if !ok {
+				return res, ErrStack
+			}
+			push(state.GetStorage(ctx.Contract, slot))
+		case OpSStore:
+			val, ok1 := pop()
+			slot, ok2 := pop()
+			if !ok1 || !ok2 {
+				return res, ErrStack
+			}
+			state.SetStorage(ctx.Contract, slot, val)
+		case OpCallDataSize:
+			if !push(uint64(len(ctx.Data))) {
+				return res, ErrStackOverflow
+			}
+		case OpCallData:
+			idx, ok := pop()
+			if !ok {
+				return res, ErrStack
+			}
+			off := idx * 8
+			var v uint64
+			if off+8 <= uint64(len(ctx.Data)) {
+				v = binary.BigEndian.Uint64(ctx.Data[off:])
+			}
+			push(v)
+		case OpLog:
+			v, ok := pop()
+			if !ok {
+				return res, ErrStack
+			}
+			res.Logs = append(res.Logs, v)
+		case OpReturn:
+			v, ok := pop()
+			if !ok {
+				return res, ErrStack
+			}
+			res.Return = v
+			return res, nil
+		case OpRevert:
+			return res, ErrRevert
+		}
+	}
+	return res, nil
+}
+
+// addrWord folds an address into a stack word, the VM's address
+// representation for OpCaller comparisons.
+func addrWord(a keys.Address) uint64 {
+	return binary.BigEndian.Uint64(a[:8])
+}
+
+// AddrWord exposes the address-to-word folding for tests and contract
+// authors (e.g. storing an owner address with OpCaller/OpSStore).
+func AddrWord(a keys.Address) uint64 { return addrWord(a) }
+
+// Asm is a tiny helper for building bytecode in tests and examples:
+// Asm(OpPush, 7, OpPush, 3, OpAdd) — integers after OpPush become 8-byte
+// immediates.
+func Asm(parts ...any) []byte {
+	var out []byte
+	for _, p := range parts {
+		switch v := p.(type) {
+		case byte:
+			out = append(out, v)
+		case int:
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(v))
+			out = append(out, buf[:]...)
+		case uint64:
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], v)
+			out = append(out, buf[:]...)
+		default:
+			panic(fmt.Sprintf("account: Asm: unsupported operand %T", p))
+		}
+	}
+	return out
+}

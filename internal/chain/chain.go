@@ -1,0 +1,526 @@
+// Package chain implements the generic blockchain data structure of paper
+// §II-A — ordered blocks whose headers reference their predecessor's hash —
+// together with the machinery §IV-A describes: competing tips ("soft
+// forks"), longest/heaviest-chain fork choice, reorganizations that orphan
+// blocks, and confirmation-depth queries ("number of blocks appended above
+// the referent one").
+//
+// The package is payload-agnostic: Bitcoin-style UTXO bodies
+// (internal/utxo) and Ethereum-style state bodies (internal/account) both
+// plug in through the Payload interface.
+package chain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/hashx"
+	"repro/internal/keys"
+)
+
+// Header is a block header: the metadata every node validates and relays.
+type Header struct {
+	// Parent is the predecessor's hash; hashx.Zero only for genesis.
+	Parent hashx.Hash
+	// Height is the distance from genesis (genesis = 0).
+	Height uint64
+	// Time is the virtual timestamp the block was created at.
+	Time time.Duration
+	// TxRoot commits to the block's payload (e.g. a Merkle root).
+	TxRoot hashx.Hash
+	// StateRoot commits to the post-state (account-model chains).
+	StateRoot hashx.Hash
+	// Difficulty is the expected number of hash attempts this block's
+	// proof of work required; it is also the block's fork-choice weight.
+	Difficulty float64
+	// Nonce is the proof-of-work free variable (§III-A1).
+	Nonce uint64
+	// Proposer identifies the miner or validator that created the block.
+	Proposer keys.Address
+}
+
+// headerWireSize is the modeled serialized size of a header in bytes
+// (Bitcoin's is 80; ours carries an extra state root and proposer).
+const headerWireSize = 32 + 8 + 8 + 32 + 32 + 8 + 8 + keys.AddressSize
+
+// EncodedSize returns the modeled wire size of the header.
+func (h *Header) EncodedSize() int { return headerWireSize }
+
+// Hash returns the header's double-SHA-256 digest, the block identifier.
+func (h *Header) Hash() hashx.Hash {
+	var buf [headerWireSize]byte
+	off := 0
+	copy(buf[off:], h.Parent[:])
+	off += 32
+	binary.BigEndian.PutUint64(buf[off:], h.Height)
+	off += 8
+	binary.BigEndian.PutUint64(buf[off:], uint64(h.Time))
+	off += 8
+	copy(buf[off:], h.TxRoot[:])
+	off += 32
+	copy(buf[off:], h.StateRoot[:])
+	off += 32
+	binary.BigEndian.PutUint64(buf[off:], uint64(h.Difficulty))
+	off += 8
+	binary.BigEndian.PutUint64(buf[off:], h.Nonce)
+	off += 8
+	copy(buf[off:], h.Proposer[:])
+	return hashx.SumDouble(buf[:])
+}
+
+// Payload is the block body. Implementations commit to their content via
+// Root, which validation checks against the header's TxRoot.
+type Payload interface {
+	// Root is the commitment the header's TxRoot must equal.
+	Root() hashx.Hash
+	// Size is the serialized body size in bytes.
+	Size() int
+	// TxCount is the number of transactions carried.
+	TxCount() int
+}
+
+// Block is a header plus its payload.
+type Block struct {
+	Header  Header
+	Payload Payload
+}
+
+// Hash returns the block identifier (the header hash).
+func (b *Block) Hash() hashx.Hash { return b.Header.Hash() }
+
+// Size returns the total modeled wire size.
+func (b *Block) Size() int {
+	sz := b.Header.EncodedSize()
+	if b.Payload != nil {
+		sz += b.Payload.Size()
+	}
+	return sz
+}
+
+// TxCount returns the number of transactions in the block body.
+func (b *Block) TxCount() int {
+	if b.Payload == nil {
+		return 0
+	}
+	return b.Payload.TxCount()
+}
+
+// OpaquePayload is a payload with a synthetic content commitment, used by
+// fork/propagation experiments that do not execute transactions.
+type OpaquePayload struct {
+	ID    hashx.Hash
+	Bytes int
+	Txs   int
+}
+
+var _ Payload = OpaquePayload{}
+
+// Root implements Payload.
+func (p OpaquePayload) Root() hashx.Hash { return p.ID }
+
+// Size implements Payload.
+func (p OpaquePayload) Size() int { return p.Bytes }
+
+// TxCount implements Payload.
+func (p OpaquePayload) TxCount() int { return p.Txs }
+
+// ForkChoice selects which of two competing tips a node adopts.
+type ForkChoice int
+
+const (
+	// LongestChain adopts the tip with the greatest height (paper §IV-A:
+	// "The longer chain is adopted"). First-seen wins ties.
+	LongestChain ForkChoice = iota + 1
+	// HeaviestChain adopts the tip with the greatest cumulative
+	// difficulty, Bitcoin's actual rule and the natural one once
+	// difficulty varies. First-seen wins ties.
+	HeaviestChain
+)
+
+// String returns the fork-choice rule's name.
+func (f ForkChoice) String() string {
+	switch f {
+	case LongestChain:
+		return "longest-chain"
+	case HeaviestChain:
+		return "heaviest-chain"
+	default:
+		return fmt.Sprintf("ForkChoice(%d)", int(f))
+	}
+}
+
+// AddStatus classifies the result of Store.Add.
+type AddStatus int
+
+const (
+	// Accepted means the block extended the main chain tip.
+	Accepted AddStatus = iota + 1
+	// AcceptedSide means the block was stored on a side chain (a soft
+	// fork now exists, Fig. 4).
+	AcceptedSide
+	// AcceptedReorg means the block made a side chain win: the store
+	// reorganized and previous main-chain blocks were orphaned.
+	AcceptedReorg
+	// Orphaned means the parent is unknown; the block waits in the
+	// orphan pool until its parent arrives.
+	Orphaned
+	// Duplicate means the block was already known.
+	Duplicate
+	// Rejected means validation failed.
+	Rejected
+)
+
+// String returns the status name.
+func (s AddStatus) String() string {
+	switch s {
+	case Accepted:
+		return "accepted"
+	case AcceptedSide:
+		return "accepted-side"
+	case AcceptedReorg:
+		return "accepted-reorg"
+	case Orphaned:
+		return "orphaned"
+	case Duplicate:
+		return "duplicate"
+	case Rejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("AddStatus(%d)", int(s))
+	}
+}
+
+// Reorg describes a main-chain switch: the blocks that left the main chain
+// (now orphaned, their transactions needing re-inclusion, §IV-A) and the
+// blocks that replaced them.
+type Reorg struct {
+	// Abandoned lists the hashes that left the main chain, old tip first.
+	Abandoned []hashx.Hash
+	// Adopted lists the hashes that joined, ancestor-to-tip order.
+	Adopted []hashx.Hash
+	// AbandonedTxs is the number of transactions orphaned by the switch.
+	AbandonedTxs int
+}
+
+// Depth returns the number of abandoned blocks.
+func (r *Reorg) Depth() int { return len(r.Abandoned) }
+
+// AddResult reports what Store.Add did.
+type AddResult struct {
+	Status AddStatus
+	// Err carries the validation failure when Status == Rejected.
+	Err error
+	// Reorg is non-nil when Status == AcceptedReorg.
+	Reorg *Reorg
+}
+
+// Validator vets a block against its (known) parent before acceptance.
+type Validator func(b, parent *Block) error
+
+// Stats aggregates what happened to a store over its lifetime.
+type Stats struct {
+	BlocksAdded   int
+	SideBlocks    int
+	Reorgs        int
+	MaxReorgDepth int
+	OrphanedTotal int // blocks currently off the main chain
+	TxsOnMain     int
+	BytesOnMain   int
+}
+
+// Store holds every block a node has seen and maintains the main chain
+// under a fork-choice rule. It is not safe for concurrent use; in the
+// discrete-event simulation each node owns one store.
+type Store struct {
+	choice   ForkChoice
+	validate Validator
+	blocks   map[hashx.Hash]*Block
+	children map[hashx.Hash][]hashx.Hash
+	cumWork  map[hashx.Hash]float64
+	orphans  map[hashx.Hash][]*Block // parent hash -> waiting blocks
+	genesis  hashx.Hash
+	tip      hashx.Hash
+	mainAt   map[uint64]hashx.Hash // height -> main chain hash
+	onMain   map[hashx.Hash]bool
+	reorgs   int
+	maxReorg int
+	sideSeen int
+	added    int
+}
+
+// ErrUnknownBlock is returned by queries for hashes the store never saw.
+var ErrUnknownBlock = errors.New("chain: unknown block")
+
+// NewStore creates a store rooted at the genesis block (paper §II-A: "The
+// initial state is hard-coded in the first block called the genesis
+// block").
+func NewStore(genesis *Block, choice ForkChoice) (*Store, error) {
+	if genesis == nil {
+		return nil, errors.New("chain: nil genesis")
+	}
+	if !genesis.Header.Parent.IsZero() {
+		return nil, errors.New("chain: genesis must have zero parent")
+	}
+	if genesis.Header.Height != 0 {
+		return nil, errors.New("chain: genesis height must be 0")
+	}
+	g := genesis.Hash()
+	s := &Store{
+		choice:   choice,
+		blocks:   map[hashx.Hash]*Block{g: genesis},
+		children: make(map[hashx.Hash][]hashx.Hash),
+		cumWork:  map[hashx.Hash]float64{g: genesis.Header.Difficulty},
+		orphans:  make(map[hashx.Hash][]*Block),
+		genesis:  g,
+		tip:      g,
+		mainAt:   map[uint64]hashx.Hash{0: g},
+		onMain:   map[hashx.Hash]bool{g: true},
+	}
+	return s, nil
+}
+
+// SetValidator installs the payload/consensus validation hook.
+func (s *Store) SetValidator(v Validator) { s.validate = v }
+
+// Genesis returns the genesis hash.
+func (s *Store) Genesis() hashx.Hash { return s.genesis }
+
+// Tip returns the current main-chain tip hash.
+func (s *Store) Tip() hashx.Hash { return s.tip }
+
+// TipBlock returns the current main-chain tip block.
+func (s *Store) TipBlock() *Block { return s.blocks[s.tip] }
+
+// Height returns the main-chain height (genesis = 0).
+func (s *Store) Height() uint64 { return s.blocks[s.tip].Header.Height }
+
+// Len returns the number of stored blocks, side chains included.
+func (s *Store) Len() int { return len(s.blocks) }
+
+// Get returns a block by hash.
+func (s *Store) Get(h hashx.Hash) (*Block, bool) {
+	b, ok := s.blocks[h]
+	return b, ok
+}
+
+// HasBlock reports whether the hash is known (orphan pool excluded).
+func (s *Store) HasBlock(h hashx.Hash) bool {
+	_, ok := s.blocks[h]
+	return ok
+}
+
+// CumulativeWork returns the total difficulty from genesis through h.
+func (s *Store) CumulativeWork(h hashx.Hash) (float64, error) {
+	w, ok := s.cumWork[h]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBlock, h)
+	}
+	return w, nil
+}
+
+// Add inserts a block, updating the main chain per the fork-choice rule.
+// Blocks whose parent is unknown wait in the orphan pool and are retried
+// automatically when the parent arrives; the returned result describes the
+// first block only.
+func (s *Store) Add(b *Block) AddResult {
+	res := s.addOne(b)
+	if res.Status == Accepted || res.Status == AcceptedSide || res.Status == AcceptedReorg {
+		s.adoptOrphansOf(b.Hash())
+	}
+	return res
+}
+
+func (s *Store) addOne(b *Block) AddResult {
+	h := b.Hash()
+	if _, dup := s.blocks[h]; dup {
+		return AddResult{Status: Duplicate}
+	}
+	parent, haveParent := s.blocks[b.Header.Parent]
+	if !haveParent {
+		s.orphans[b.Header.Parent] = append(s.orphans[b.Header.Parent], b)
+		return AddResult{Status: Orphaned}
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return AddResult{Status: Rejected, Err: fmt.Errorf(
+			"chain: height %d does not follow parent height %d",
+			b.Header.Height, parent.Header.Height)}
+	}
+	if b.Payload != nil && b.Payload.Root() != b.Header.TxRoot {
+		return AddResult{Status: Rejected, Err: errors.New("chain: payload root does not match header TxRoot")}
+	}
+	if s.validate != nil {
+		if err := s.validate(b, parent); err != nil {
+			return AddResult{Status: Rejected, Err: fmt.Errorf("chain: validation: %w", err)}
+		}
+	}
+
+	s.blocks[h] = b
+	s.children[b.Header.Parent] = append(s.children[b.Header.Parent], h)
+	s.cumWork[h] = s.cumWork[b.Header.Parent] + b.Header.Difficulty
+	s.added++
+
+	if b.Header.Parent == s.tip {
+		// Plain extension of the main chain.
+		s.tip = h
+		s.mainAt[b.Header.Height] = h
+		s.onMain[h] = true
+		return AddResult{Status: Accepted}
+	}
+	if !s.better(h) {
+		s.sideSeen++
+		return AddResult{Status: AcceptedSide}
+	}
+	reorg := s.switchTip(h)
+	s.reorgs++
+	if d := reorg.Depth(); d > s.maxReorg {
+		s.maxReorg = d
+	}
+	return AddResult{Status: AcceptedReorg, Reorg: reorg}
+}
+
+// better reports whether candidate beats the current tip under the
+// fork-choice rule. Ties keep the incumbent (first-seen rule).
+func (s *Store) better(candidate hashx.Hash) bool {
+	switch s.choice {
+	case HeaviestChain:
+		return s.cumWork[candidate] > s.cumWork[s.tip]
+	default: // LongestChain
+		return s.blocks[candidate].Header.Height > s.blocks[s.tip].Header.Height
+	}
+}
+
+// switchTip reorganizes the main chain onto newTip and reports the switch.
+func (s *Store) switchTip(newTip hashx.Hash) *Reorg {
+	oldTip := s.tip
+	anc := s.commonAncestor(oldTip, newTip)
+
+	reorg := &Reorg{}
+	for h := oldTip; h != anc; h = s.blocks[h].Header.Parent {
+		reorg.Abandoned = append(reorg.Abandoned, h)
+		reorg.AbandonedTxs += s.blocks[h].TxCount()
+		delete(s.onMain, h)
+		delete(s.mainAt, s.blocks[h].Header.Height)
+	}
+	for h := newTip; h != anc; h = s.blocks[h].Header.Parent {
+		reorg.Adopted = append(reorg.Adopted, h)
+		s.onMain[h] = true
+		s.mainAt[s.blocks[h].Header.Height] = h
+	}
+	// Adopted was collected tip-first; present it ancestor-first.
+	for i, j := 0, len(reorg.Adopted)-1; i < j; i, j = i+1, j-1 {
+		reorg.Adopted[i], reorg.Adopted[j] = reorg.Adopted[j], reorg.Adopted[i]
+	}
+	s.tip = newTip
+	return reorg
+}
+
+// commonAncestor finds the deepest block on both branches.
+func (s *Store) commonAncestor(a, b hashx.Hash) hashx.Hash {
+	for s.blocks[a].Header.Height > s.blocks[b].Header.Height {
+		a = s.blocks[a].Header.Parent
+	}
+	for s.blocks[b].Header.Height > s.blocks[a].Header.Height {
+		b = s.blocks[b].Header.Parent
+	}
+	for a != b {
+		a = s.blocks[a].Header.Parent
+		b = s.blocks[b].Header.Parent
+	}
+	return a
+}
+
+// adoptOrphansOf re-submits any blocks that were waiting for h, cascading
+// through descendants.
+func (s *Store) adoptOrphansOf(h hashx.Hash) {
+	queue := []hashx.Hash{h}
+	for len(queue) > 0 {
+		parent := queue[0]
+		queue = queue[1:]
+		waiting := s.orphans[parent]
+		if len(waiting) == 0 {
+			continue
+		}
+		delete(s.orphans, parent)
+		for _, b := range waiting {
+			res := s.addOne(b)
+			if res.Status == Accepted || res.Status == AcceptedSide || res.Status == AcceptedReorg {
+				queue = append(queue, b.Hash())
+			}
+		}
+	}
+}
+
+// OrphanPoolSize returns how many blocks are waiting for missing parents.
+func (s *Store) OrphanPoolSize() int {
+	n := 0
+	for _, w := range s.orphans {
+		n += len(w)
+	}
+	return n
+}
+
+// IsOnMainChain reports whether h is part of the current main chain.
+func (s *Store) IsOnMainChain(h hashx.Hash) bool { return s.onMain[h] }
+
+// HashAtHeight returns the main-chain hash at a height.
+func (s *Store) HashAtHeight(height uint64) (hashx.Hash, bool) {
+	h, ok := s.mainAt[height]
+	return h, ok
+}
+
+// Confirmations returns how many main-chain blocks sit at or above h
+// (1 = h is the tip). It returns 0 when h is not on the main chain — the
+// block is currently orphaned and unconfirmed (§IV-A).
+func (s *Store) Confirmations(h hashx.Hash) int {
+	if !s.onMain[h] {
+		return 0
+	}
+	return int(s.Height()-s.blocks[h].Header.Height) + 1
+}
+
+// MainChain returns the main-chain hashes from genesis to tip.
+func (s *Store) MainChain() []hashx.Hash {
+	out := make([]hashx.Hash, 0, s.Height()+1)
+	for height := uint64(0); ; height++ {
+		h, ok := s.mainAt[height]
+		if !ok {
+			break
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// Stats summarizes the store's history and current main chain.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		BlocksAdded:   s.added,
+		SideBlocks:    s.sideSeen,
+		Reorgs:        s.reorgs,
+		MaxReorgDepth: s.maxReorg,
+	}
+	for h, b := range s.blocks {
+		if h == s.genesis {
+			continue
+		}
+		if s.onMain[h] {
+			st.TxsOnMain += b.TxCount()
+			st.BytesOnMain += b.Size()
+		} else {
+			st.OrphanedTotal++
+		}
+	}
+	return st
+}
+
+// NewGenesis builds a conventional genesis block.
+func NewGenesis(stateRoot hashx.Hash) *Block {
+	return &Block{Header: Header{
+		Parent:    hashx.Zero,
+		Height:    0,
+		StateRoot: stateRoot,
+		TxRoot:    hashx.Zero,
+	}}
+}

@@ -1,0 +1,83 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashx"
+)
+
+// Property: whatever the block arrival order, the store's final tip has
+// the same maximal cumulative work. (Tip *identity* can differ on exact
+// work ties — the first-seen rule is order dependent by design, just as
+// in Bitcoin — but no ordering may land on a lighter chain.)
+func TestQuickArrivalOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		genesis := NewGenesis(hashx.Zero)
+
+		// Build a random tree of blocks over the genesis.
+		blocks := []*Block{genesis}
+		all := []*Block{}
+		for i := 0; i < 25; i++ {
+			parent := blocks[rng.Intn(len(blocks))]
+			b := mkBlock(parent, byte(i), 1+float64(rng.Intn(3)))
+			blocks = append(blocks, b)
+			all = append(all, b)
+		}
+
+		// Deliver in two different random orders.
+		tipWork := func(order []int) float64 {
+			s, err := NewStore(genesis, HeaviestChain)
+			if err != nil {
+				return -1
+			}
+			for _, idx := range order {
+				s.Add(all[idx])
+			}
+			w, err := s.CumulativeWork(s.Tip())
+			if err != nil {
+				return -1
+			}
+			return w
+		}
+		a := tipWork(rng.Perm(len(all)))
+		b := tipWork(rng.Perm(len(all)))
+		return a == b && a > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any delivery order, every block of the tree is either
+// on the main chain or properly tracked as a side block; none are lost.
+func TestQuickNoBlockLoss(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		genesis := NewGenesis(hashx.Zero)
+		blocks := []*Block{genesis}
+		all := []*Block{}
+		for i := 0; i < 20; i++ {
+			parent := blocks[rng.Intn(len(blocks))]
+			b := mkBlock(parent, byte(i+100), 1)
+			blocks = append(blocks, b)
+			all = append(all, b)
+		}
+		s, err := NewStore(genesis, LongestChain)
+		if err != nil {
+			return false
+		}
+		for _, idx := range rng.Perm(len(all)) {
+			s.Add(all[idx])
+		}
+		if s.Len() != len(all)+1 { // every block accepted somewhere
+			return false
+		}
+		return s.OrphanPoolSize() == 0 // nothing stuck waiting
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,456 @@
+// Package channels implements off-chain payment channels in the style of
+// the Lightning Network and Raiden (paper §VI-A): "creating an off chain
+// channel to which a prepaid amount is locked in for the lifetime of the
+// channel. The involved parties are able to run micro transactions at
+// high volume and speed, avoiding the transaction cap of the network."
+// Channels are funded on chain, updated by mutually signed balance
+// states, and closed either cooperatively or through a dispute window
+// that punishes stale-state cheating. Hash-time-locked payments route
+// value across multi-hop channel paths.
+package channels
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/hashx"
+	"repro/internal/keys"
+)
+
+// Channel errors.
+var (
+	ErrNotOpen        = errors.New("channels: channel is not open")
+	ErrWrongParty     = errors.New("channels: not a channel party")
+	ErrInsufficient   = errors.New("channels: insufficient channel balance")
+	ErrBadState       = errors.New("channels: invalid balance state")
+	ErrBadSig         = errors.New("channels: bad state signature")
+	ErrStaleState     = errors.New("channels: state is not newer")
+	ErrDisputeOver    = errors.New("channels: dispute window elapsed")
+	ErrDisputeRunning = errors.New("channels: dispute window still open")
+	ErrNoDispute      = errors.New("channels: no unilateral close in progress")
+	ErrHTLCUnknown    = errors.New("channels: unknown HTLC")
+	ErrHTLCExpired    = errors.New("channels: HTLC expired")
+	ErrBadPreimage    = errors.New("channels: preimage does not match hash lock")
+)
+
+// Status is a channel's lifecycle stage.
+type Status int
+
+const (
+	// Open channels accept off-chain updates.
+	Open Status = iota + 1
+	// Disputed channels have a unilateral close pending.
+	Disputed
+	// Closed channels have settled on chain.
+	Closed
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case Disputed:
+		return "disputed"
+	case Closed:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
+// State is one signed balance snapshot. Higher Seq supersedes lower.
+type State struct {
+	Seq  uint64
+	BalA uint64
+	BalB uint64
+	SigA []byte
+	SigB []byte
+}
+
+// HTLC is a hash-time-locked conditional payment pending inside a channel.
+type HTLC struct {
+	ID       uint64
+	HashLock hashx.Hash
+	Amount   uint64
+	// FromA is true when party A's balance funds the lock.
+	FromA  bool
+	Expiry time.Duration
+}
+
+// Channel is a two-party payment channel. All methods take the acting
+// party's key pair; both parties' signatures are maintained on the latest
+// state, so either can close unilaterally at any time.
+type Channel struct {
+	id       hashx.Hash
+	a, b     *keys.KeyPair
+	capacity uint64
+	status   Status
+	state    State
+	htlcs    map[uint64]*HTLC
+	nextHTLC uint64
+	// dispute bookkeeping
+	disputeState  State
+	disputeBy     keys.Address
+	disputeEnds   time.Duration
+	disputeWindow time.Duration
+	// stats
+	updates int
+	onChain int
+	finalA  uint64
+	finalB  uint64
+}
+
+// stateDigest is the content both parties sign.
+func stateDigest(id hashx.Hash, s State) hashx.Hash {
+	var buf [hashx.Size + 24]byte
+	copy(buf[:], id[:])
+	binary.BigEndian.PutUint64(buf[hashx.Size:], s.Seq)
+	binary.BigEndian.PutUint64(buf[hashx.Size+8:], s.BalA)
+	binary.BigEndian.PutUint64(buf[hashx.Size+16:], s.BalB)
+	return hashx.Sum(buf[:])
+}
+
+// OpenChannel funds a channel with fundA+fundB locked capacity. The
+// funding is one on-chain operation ("a prepaid amount is locked in for
+// the lifetime of the channel").
+func OpenChannel(a, b *keys.KeyPair, fundA, fundB uint64, disputeWindow time.Duration) (*Channel, error) {
+	if fundA+fundB == 0 {
+		return nil, errors.New("channels: zero capacity")
+	}
+	if disputeWindow <= 0 {
+		return nil, errors.New("channels: dispute window must be positive")
+	}
+	idBytes := append(append([]byte("chan/"), a.Address().Bytes()...), b.Address().Bytes()...)
+	ch := &Channel{
+		id:            hashx.Sum(idBytes),
+		a:             a,
+		b:             b,
+		capacity:      fundA + fundB,
+		status:        Open,
+		htlcs:         make(map[uint64]*HTLC),
+		disputeWindow: disputeWindow,
+		onChain:       1, // the funding transaction
+	}
+	ch.state = State{Seq: 0, BalA: fundA, BalB: fundB}
+	ch.signBoth(&ch.state)
+	return ch, nil
+}
+
+func (c *Channel) signBoth(s *State) {
+	digest := stateDigest(c.id, *s)
+	s.SigA = c.a.Sign(digest[:])
+	s.SigB = c.b.Sign(digest[:])
+}
+
+// verifyState checks both signatures on a state.
+func (c *Channel) verifyState(s State) bool {
+	digest := stateDigest(c.id, s)
+	return keys.Verify(c.a.Pub, digest[:], s.SigA) && keys.Verify(c.b.Pub, digest[:], s.SigB)
+}
+
+// ID returns the channel identifier.
+func (c *Channel) ID() hashx.Hash { return c.id }
+
+// Status returns the lifecycle stage.
+func (c *Channel) Status() Status { return c.status }
+
+// Capacity returns the locked capacity.
+func (c *Channel) Capacity() uint64 { return c.capacity }
+
+// Balances returns the latest signed balances.
+func (c *Channel) Balances() (balA, balB uint64) { return c.state.BalA, c.state.BalB }
+
+// LatestState returns a copy of the latest mutually signed state.
+func (c *Channel) LatestState() State { return c.state }
+
+// Updates returns the number of off-chain updates performed.
+func (c *Channel) Updates() int { return c.updates }
+
+// OnChainOps returns the number of on-chain operations consumed (funding,
+// closes, disputes) — the denominator of the §VI-A scaling argument.
+func (c *Channel) OnChainOps() int { return c.onChain }
+
+// Pay moves amount from the payer's side to the other side, producing a
+// new mutually signed state. This is the "micro transactions at high
+// volume and speed" path: no chain interaction at all.
+func (c *Channel) Pay(payer keys.Address, amount uint64) error {
+	if c.status != Open {
+		return ErrNotOpen
+	}
+	next := c.state
+	next.Seq++
+	switch payer {
+	case c.a.Address():
+		if c.state.BalA < amount {
+			return fmt.Errorf("%w: have %d, pay %d", ErrInsufficient, c.state.BalA, amount)
+		}
+		next.BalA -= amount
+		next.BalB += amount
+	case c.b.Address():
+		if c.state.BalB < amount {
+			return fmt.Errorf("%w: have %d, pay %d", ErrInsufficient, c.state.BalB, amount)
+		}
+		next.BalB -= amount
+		next.BalA += amount
+	default:
+		return ErrWrongParty
+	}
+	c.signBoth(&next)
+	c.state = next
+	c.updates++
+	return nil
+}
+
+// CooperativeClose settles the final balances with a single on-chain
+// operation ("the final account balances are recorded on chain and the
+// channel is closed").
+func (c *Channel) CooperativeClose() (balA, balB uint64, err error) {
+	if c.status != Open {
+		return 0, 0, ErrNotOpen
+	}
+	c.status = Closed
+	c.finalA, c.finalB = c.state.BalA, c.state.BalB
+	c.onChain++
+	return c.finalA, c.finalB, nil
+}
+
+// UnilateralClose starts a dispute: by publishes a signed state on chain
+// and the counterparty has disputeWindow to challenge with a newer one.
+// Publishing a stale state is how a cheater tries to steal.
+func (c *Channel) UnilateralClose(by keys.Address, published State, now time.Duration) error {
+	if c.status != Open {
+		return ErrNotOpen
+	}
+	if by != c.a.Address() && by != c.b.Address() {
+		return ErrWrongParty
+	}
+	if !c.verifyState(published) {
+		return ErrBadSig
+	}
+	if published.BalA+published.BalB != c.capacity {
+		return ErrBadState
+	}
+	c.status = Disputed
+	c.disputeState = published
+	c.disputeBy = by
+	c.disputeEnds = now + c.disputeWindow
+	c.onChain++
+	return nil
+}
+
+// Challenge lets the counterparty present a strictly newer signed state
+// during the dispute window. A successful challenge proves the closer
+// cheated: the entire capacity is awarded to the challenger, the
+// penalty that makes publishing old states irrational.
+func (c *Channel) Challenge(by keys.Address, newer State, now time.Duration) error {
+	if c.status != Disputed {
+		return ErrNoDispute
+	}
+	if by != c.a.Address() && by != c.b.Address() || by == c.disputeBy {
+		return ErrWrongParty
+	}
+	if now > c.disputeEnds {
+		return ErrDisputeOver
+	}
+	if !c.verifyState(newer) {
+		return ErrBadSig
+	}
+	if newer.Seq <= c.disputeState.Seq {
+		return ErrStaleState
+	}
+	// Cheater forfeits everything.
+	c.status = Closed
+	if by == c.a.Address() {
+		c.finalA, c.finalB = c.capacity, 0
+	} else {
+		c.finalA, c.finalB = 0, c.capacity
+	}
+	c.onChain++
+	return nil
+}
+
+// Settle finalizes an undisputed unilateral close after the window.
+func (c *Channel) Settle(now time.Duration) (balA, balB uint64, err error) {
+	if c.status != Disputed {
+		return 0, 0, ErrNoDispute
+	}
+	if now <= c.disputeEnds {
+		return 0, 0, ErrDisputeRunning
+	}
+	c.status = Closed
+	c.finalA, c.finalB = c.disputeState.BalA, c.disputeState.BalB
+	c.onChain++
+	return c.finalA, c.finalB, nil
+}
+
+// FinalBalances returns the settled balances of a closed channel.
+func (c *Channel) FinalBalances() (balA, balB uint64, err error) {
+	if c.status != Closed {
+		return 0, 0, ErrNotOpen
+	}
+	return c.finalA, c.finalB, nil
+}
+
+// AddHTLC locks amount from the sender's balance behind a hash lock,
+// the building block of multi-hop routing.
+func (c *Channel) AddHTLC(sender keys.Address, hashLock hashx.Hash, amount uint64, expiry time.Duration) (uint64, error) {
+	if c.status != Open {
+		return 0, ErrNotOpen
+	}
+	fromA := sender == c.a.Address()
+	if !fromA && sender != c.b.Address() {
+		return 0, ErrWrongParty
+	}
+	next := c.state
+	next.Seq++
+	if fromA {
+		if next.BalA < amount {
+			return 0, ErrInsufficient
+		}
+		next.BalA -= amount
+	} else {
+		if next.BalB < amount {
+			return 0, ErrInsufficient
+		}
+		next.BalB -= amount
+	}
+	c.signBoth(&next)
+	c.state = next
+	c.updates++
+	id := c.nextHTLC
+	c.nextHTLC++
+	c.htlcs[id] = &HTLC{ID: id, HashLock: hashLock, Amount: amount, FromA: fromA, Expiry: expiry}
+	return id, nil
+}
+
+// FulfillHTLC releases a locked payment to the recipient by revealing the
+// preimage before expiry.
+func (c *Channel) FulfillHTLC(id uint64, preimage []byte, now time.Duration) error {
+	h, ok := c.htlcs[id]
+	if !ok {
+		return ErrHTLCUnknown
+	}
+	if now > h.Expiry {
+		return ErrHTLCExpired
+	}
+	if hashx.Sum(preimage) != h.HashLock {
+		return ErrBadPreimage
+	}
+	next := c.state
+	next.Seq++
+	if h.FromA {
+		next.BalB += h.Amount
+	} else {
+		next.BalA += h.Amount
+	}
+	c.signBoth(&next)
+	c.state = next
+	c.updates++
+	delete(c.htlcs, id)
+	return nil
+}
+
+// CancelHTLC refunds an expired lock to its sender.
+func (c *Channel) CancelHTLC(id uint64, now time.Duration) error {
+	h, ok := c.htlcs[id]
+	if !ok {
+		return ErrHTLCUnknown
+	}
+	if now <= h.Expiry {
+		return errors.New("channels: HTLC not yet expired")
+	}
+	next := c.state
+	next.Seq++
+	if h.FromA {
+		next.BalA += h.Amount
+	} else {
+		next.BalB += h.Amount
+	}
+	c.signBoth(&next)
+	c.state = next
+	c.updates++
+	delete(c.htlcs, id)
+	return nil
+}
+
+// PendingHTLCs returns the number of unresolved locks.
+func (c *Channel) PendingHTLCs() int { return len(c.htlcs) }
+
+// Network is a set of channels indexed by party pair, supporting
+// multi-hop HTLC routing (the topology of the Lightning Network).
+type Network struct {
+	channels map[[2]keys.Address]*Channel
+}
+
+// NewNetwork creates an empty channel network.
+func NewNetwork() *Network {
+	return &Network{channels: make(map[[2]keys.Address]*Channel)}
+}
+
+func pairKey(x, y keys.Address) [2]keys.Address {
+	if x.Hex() > y.Hex() {
+		x, y = y, x
+	}
+	return [2]keys.Address{x, y}
+}
+
+// AddChannel registers a channel on the network.
+func (n *Network) AddChannel(c *Channel) {
+	n.channels[pairKey(c.a.Address(), c.b.Address())] = c
+}
+
+// ChannelBetween finds the channel connecting two parties.
+func (n *Network) ChannelBetween(x, y keys.Address) (*Channel, bool) {
+	c, ok := n.channels[pairKey(x, y)]
+	return c, ok
+}
+
+// Route pays amount along a path of adjacent channel parties using HTLCs
+// locked hop by hop and fulfilled in reverse once the recipient reveals
+// the preimage — the atomicity trick that makes multi-hop channels safe.
+func (n *Network) Route(path []keys.Address, amount uint64, preimage []byte, now, expiry time.Duration) error {
+	if len(path) < 2 {
+		return errors.New("channels: path needs at least two parties")
+	}
+	hashLock := hashx.Sum(preimage)
+	// Lock forward.
+	ids := make([]uint64, 0, len(path)-1)
+	hops := make([]*Channel, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		ch, ok := n.ChannelBetween(path[i], path[i+1])
+		if !ok {
+			n.unwind(hops, ids, now)
+			return fmt.Errorf("channels: no channel %s-%s", path[i], path[i+1])
+		}
+		id, err := ch.AddHTLC(path[i], hashLock, amount, expiry)
+		if err != nil {
+			n.unwind(hops, ids, now)
+			return fmt.Errorf("channels: hop %d: %w", i, err)
+		}
+		ids = append(ids, id)
+		hops = append(hops, ch)
+	}
+	// Fulfill backward.
+	for i := len(hops) - 1; i >= 0; i-- {
+		if err := hops[i].FulfillHTLC(ids[i], preimage, now); err != nil {
+			return fmt.Errorf("channels: fulfill hop %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// unwind cancels partially locked HTLCs after a routing failure.
+func (n *Network) unwind(hops []*Channel, ids []uint64, now time.Duration) {
+	for i := range hops {
+		// Force-expire: locks created at `now` are canceled with a time
+		// after their expiry.
+		h, ok := hops[i].htlcs[ids[i]]
+		if !ok {
+			continue
+		}
+		hops[i].CancelHTLC(ids[i], h.Expiry+1)
+	}
+}

@@ -1,0 +1,319 @@
+package channels
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/hashx"
+	"repro/internal/keys"
+)
+
+const window = 100 * time.Second
+
+func openTestChannel(t *testing.T, fundA, fundB uint64) (*Channel, *keys.KeyPair, *keys.KeyPair) {
+	t.Helper()
+	a, b := keys.Deterministic("chan-a"), keys.Deterministic("chan-b")
+	ch, err := OpenChannel(a, b, fundA, fundB, window)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	return ch, a, b
+}
+
+func TestOpenValidation(t *testing.T) {
+	a, b := keys.Deterministic("a"), keys.Deterministic("b")
+	if _, err := OpenChannel(a, b, 0, 0, window); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := OpenChannel(a, b, 10, 0, 0); err == nil {
+		t.Fatal("zero dispute window accepted")
+	}
+}
+
+func TestPayBothDirections(t *testing.T) {
+	ch, a, b := openTestChannel(t, 100, 50)
+	if err := ch.Pay(a.Address(), 30); err != nil {
+		t.Fatal(err)
+	}
+	balA, balB := ch.Balances()
+	if balA != 70 || balB != 80 {
+		t.Fatalf("balances = %d/%d", balA, balB)
+	}
+	if err := ch.Pay(b.Address(), 80); err != nil {
+		t.Fatal(err)
+	}
+	balA, balB = ch.Balances()
+	if balA != 150 || balB != 0 {
+		t.Fatalf("balances = %d/%d", balA, balB)
+	}
+	if ch.Updates() != 2 {
+		t.Fatalf("updates = %d", ch.Updates())
+	}
+	// Capacity is conserved through every update.
+	if balA+balB != ch.Capacity() {
+		t.Fatal("capacity leaked")
+	}
+}
+
+func TestPayRejections(t *testing.T) {
+	ch, a, _ := openTestChannel(t, 10, 10)
+	if err := ch.Pay(a.Address(), 11); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	stranger := keys.Deterministic("stranger")
+	if err := ch.Pay(stranger.Address(), 1); !errors.Is(err, ErrWrongParty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// §VI-A's throughput claim: thousands of payments, exactly two on-chain
+// operations (funding + close).
+func TestMicropaymentsUseTwoOnChainOps(t *testing.T) {
+	ch, a, b := openTestChannel(t, 10_000, 0)
+	for i := 0; i < 5_000; i++ {
+		if err := ch.Pay(a.Address(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	balA, balB, err := ch.CooperativeClose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balA != 5_000 || balB != 5_000 {
+		t.Fatalf("final = %d/%d", balA, balB)
+	}
+	if ch.OnChainOps() != 2 {
+		t.Fatalf("on-chain ops = %d, want 2", ch.OnChainOps())
+	}
+	if ch.Updates() != 5_000 {
+		t.Fatalf("updates = %d", ch.Updates())
+	}
+	// Closed channel refuses more traffic.
+	if err := ch.Pay(a.Address(), 1); !errors.Is(err, ErrNotOpen) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := ch.CooperativeClose(); !errors.Is(err, ErrNotOpen) {
+		t.Fatalf("err = %v", err)
+	}
+	fa, fb, err := ch.FinalBalances()
+	if err != nil || fa != 5000 || fb != 5000 {
+		t.Fatalf("FinalBalances = %d/%d (%v)", fa, fb, err)
+	}
+	_ = b
+}
+
+func TestUnilateralCloseHonest(t *testing.T) {
+	ch, a, b := openTestChannel(t, 100, 0)
+	ch.Pay(a.Address(), 40)
+	latest := ch.LatestState()
+	if err := ch.UnilateralClose(b.Address(), latest, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Status() != Disputed {
+		t.Fatal("status should be disputed")
+	}
+	// Settling before the window ends is premature.
+	if _, _, err := ch.Settle(window / 2); !errors.Is(err, ErrDisputeRunning) {
+		t.Fatalf("err = %v", err)
+	}
+	balA, balB, err := ch.Settle(window + time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balA != 60 || balB != 40 {
+		t.Fatalf("settled = %d/%d", balA, balB)
+	}
+}
+
+// The §VI-A cheating scenario: party A publishes an old state where it
+// had more money; B challenges with the newer state and takes everything.
+func TestCheatingChallengePenalty(t *testing.T) {
+	ch, a, b := openTestChannel(t, 100, 0)
+	old := ch.LatestState() // A still owns 100 here
+	ch.Pay(a.Address(), 90) // now A owns 10
+	if err := ch.UnilateralClose(a.Address(), old, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Challenge with the newer state within the window.
+	if err := ch.Challenge(b.Address(), ch.LatestState(), window/2); err != nil {
+		t.Fatal(err)
+	}
+	balA, balB, err := ch.FinalBalances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balA != 0 || balB != ch.Capacity() {
+		t.Fatalf("cheater kept funds: %d/%d", balA, balB)
+	}
+}
+
+func TestChallengeValidation(t *testing.T) {
+	ch, a, b := openTestChannel(t, 100, 0)
+	old := ch.LatestState()
+	ch.Pay(a.Address(), 50)
+	newer := ch.LatestState()
+
+	// No dispute yet.
+	if err := ch.Challenge(b.Address(), newer, 0); !errors.Is(err, ErrNoDispute) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ch.UnilateralClose(a.Address(), old, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The closer cannot challenge itself.
+	if err := ch.Challenge(a.Address(), newer, 1); !errors.Is(err, ErrWrongParty) {
+		t.Fatalf("err = %v", err)
+	}
+	// A state older than the published one does not win.
+	if err := ch.Challenge(b.Address(), old, 1); !errors.Is(err, ErrStaleState) {
+		t.Fatalf("err = %v", err)
+	}
+	// Tampered state fails signature verification.
+	forged := newer
+	forged.BalB += 10
+	if err := ch.Challenge(b.Address(), forged, 1); !errors.Is(err, ErrBadSig) {
+		t.Fatalf("err = %v", err)
+	}
+	// After the window the challenge is too late.
+	if err := ch.Challenge(b.Address(), newer, window*2); !errors.Is(err, ErrDisputeOver) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnilateralCloseValidation(t *testing.T) {
+	ch, a, _ := openTestChannel(t, 100, 0)
+	forged := ch.LatestState()
+	forged.BalA = 1_000_000
+	if err := ch.UnilateralClose(a.Address(), forged, 0); !errors.Is(err, ErrBadSig) {
+		t.Fatalf("err = %v", err)
+	}
+	stranger := keys.Deterministic("x")
+	if err := ch.UnilateralClose(stranger.Address(), ch.LatestState(), 0); !errors.Is(err, ErrWrongParty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHTLCFulfillAndCancel(t *testing.T) {
+	ch, a, _ := openTestChannel(t, 100, 0)
+	preimage := []byte("the secret")
+	lock := hashx.Sum(preimage)
+	id, err := ch.AddHTLC(a.Address(), lock, 30, 50*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balA, balB := ch.Balances()
+	if balA != 70 || balB != 0 {
+		t.Fatalf("locked balances = %d/%d", balA, balB)
+	}
+	if ch.PendingHTLCs() != 1 {
+		t.Fatal("HTLC not pending")
+	}
+	// Wrong preimage rejected.
+	if err := ch.FulfillHTLC(id, []byte("wrong"), 0); !errors.Is(err, ErrBadPreimage) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ch.FulfillHTLC(id, preimage, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	balA, balB = ch.Balances()
+	if balA != 70 || balB != 30 {
+		t.Fatalf("fulfilled balances = %d/%d", balA, balB)
+	}
+	// Expired lock refunds the sender instead.
+	id2, _ := ch.AddHTLC(a.Address(), lock, 10, 20*time.Second)
+	if err := ch.FulfillHTLC(id2, preimage, 30*time.Second); !errors.Is(err, ErrHTLCExpired) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ch.CancelHTLC(id2, 10*time.Second); err == nil {
+		t.Fatal("cancel before expiry accepted")
+	}
+	if err := ch.CancelHTLC(id2, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	balA, _ = ch.Balances()
+	if balA != 70 {
+		t.Fatalf("refund failed: %d", balA)
+	}
+	if err := ch.CancelHTLC(99, 0); !errors.Is(err, ErrHTLCUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Multi-hop routing: A pays C through B without a direct channel —
+// the Lightning topology of §VI-A.
+func TestMultiHopRoute(t *testing.T) {
+	a, b, c := keys.Deterministic("hop-a"), keys.Deterministic("hop-b"), keys.Deterministic("hop-c")
+	ab, err := OpenChannel(a, b, 100, 100, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := OpenChannel(b, c, 100, 100, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNetwork()
+	n.AddChannel(ab)
+	n.AddChannel(bc)
+	if _, ok := n.ChannelBetween(c.Address(), b.Address()); !ok {
+		t.Fatal("pair lookup must be order independent")
+	}
+	preimage := []byte("routing secret")
+	if err := n.Route([]keys.Address{a.Address(), b.Address(), c.Address()}, 25, preimage, 0, 50*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A->B leg: A down 25, B up 25. B->C leg: B down 25, C up 25.
+	balA, balB1 := ab.Balances()
+	if balA != 75 || balB1 != 125 {
+		t.Fatalf("ab balances = %d/%d", balA, balB1)
+	}
+	balB2, balC := bc.Balances()
+	if balB2 != 75 || balC != 125 {
+		t.Fatalf("bc balances = %d/%d", balB2, balC)
+	}
+}
+
+func TestRouteFailureUnwinds(t *testing.T) {
+	a, b, c := keys.Deterministic("u-a"), keys.Deterministic("u-b"), keys.Deterministic("u-c")
+	ab, _ := OpenChannel(a, b, 100, 0, window)
+	// B has no outbound capacity to C.
+	bc, _ := OpenChannel(b, c, 0, 100, window)
+	n := NewNetwork()
+	n.AddChannel(ab)
+	n.AddChannel(bc)
+	err := n.Route([]keys.Address{a.Address(), b.Address(), c.Address()}, 25, []byte("s"), 0, 50*time.Second)
+	if err == nil {
+		t.Fatal("route should fail on empty hop capacity")
+	}
+	// The first hop's lock must have been unwound.
+	balA, _ := ab.Balances()
+	if balA != 100 {
+		t.Fatalf("unwind failed: A has %d", balA)
+	}
+	if ab.PendingHTLCs() != 0 {
+		t.Fatal("dangling HTLC after unwind")
+	}
+	// Missing channel entirely.
+	d := keys.Deterministic("u-d")
+	if err := n.Route([]keys.Address{a.Address(), d.Address()}, 1, []byte("s"), 0, time.Second); err == nil {
+		t.Fatal("route across missing channel accepted")
+	}
+	if err := n.Route([]keys.Address{a.Address()}, 1, []byte("s"), 0, time.Second); err == nil {
+		t.Fatal("single-party path accepted")
+	}
+}
+
+func BenchmarkChannelPay(b *testing.B) {
+	a, bb := keys.Deterministic("bench-a"), keys.Deterministic("bench-b")
+	ch, err := OpenChannel(a, bb, 1<<40, 1<<40, window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payer := a.Address()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ch.Pay(payer, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package core is the reproduction of the paper's contribution: the
+// five-dimension comparison of blockchain and DAG distributed ledgers
+// (data structures §II, consensus §III, confirmation confidence §IV,
+// ledger size §V, scalability §VI). Every figure and quantitative claim
+// in the paper maps to one Experiment here; running an experiment
+// regenerates the corresponding table with the same shape — who wins, by
+// what factor, where the crossovers fall.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Paradigm tags which side of the comparison a system belongs to.
+type Paradigm int
+
+const (
+	// Blockchain bundles transactions into hash-linked blocks (§II-A).
+	Blockchain Paradigm = iota + 1
+	// DAG stores one transaction per node of a directed acyclic graph
+	// (§II-B).
+	DAG
+)
+
+// String returns the paradigm name.
+func (p Paradigm) String() string {
+	switch p {
+	case Blockchain:
+		return "blockchain"
+	case DAG:
+		return "dag"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes experiment runs.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce results exactly.
+	Seed int64
+	// Scale stretches or shrinks simulated durations and workload sizes
+	// (1.0 = the defaults used in EXPERIMENTS.md; tests use less).
+	Scale float64
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// dur scales a baseline duration.
+func (c Config) dur(base time.Duration) time.Duration {
+	return time.Duration(float64(base) * c.Scale)
+}
+
+// count scales a baseline count (minimum 1).
+func (c Config) count(base int) int {
+	n := int(float64(base) * c.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Experiment reproduces one figure or quantitative claim of the paper.
+type Experiment struct {
+	// ID is the experiment key (E1…E13).
+	ID string
+	// Title names the reproduced artifact.
+	Title string
+	// Section is the paper section the artifact appears in.
+	Section string
+	// Run executes the experiment and renders its table.
+	Run func(cfg Config) (*metrics.Table, error)
+}
+
+// Experiments returns the full registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Fig. 1 — blockchain as a data structure", Section: "II-A", Run: RunE1BlockchainStructure},
+		{ID: "E2", Title: "Fig. 2 — Nano's DAG, the block-lattice", Section: "II-B", Run: RunE2BlockLattice},
+		{ID: "E3", Title: "Fig. 3 — send/receive settlement in the block lattice", Section: "II-B", Run: RunE3Settlement},
+		{ID: "E4", Title: "Fig. 4 — temporary blockchain forks", Section: "IV-A", Run: RunE4Forks},
+		{ID: "E5", Title: "confirmation confidence vs depth (6 conf BTC, 5–11 ETH)", Section: "IV-A", Run: RunE5Confirmation},
+		{ID: "E6", Title: "Nano vote-based confirmation", Section: "IV-B", Run: RunE6VoteConfirmation},
+		{ID: "E7", Title: "ledger size (145.95 / 39.62 / 3.42 GB)", Section: "V", Run: RunE7LedgerSize},
+		{ID: "E8", Title: "pruning: block files, fast sync, head-only", Section: "V", Run: RunE8Pruning},
+		{ID: "E9", Title: "throughput: 3–7 / 7–15 / uncapped TPS", Section: "VI", Run: RunE9Throughput},
+		{ID: "E10", Title: "block-size increase vs centralization", Section: "VI-A", Run: RunE10BlockSize},
+		{ID: "E11", Title: "off-chain scaling: channels and Plasma", Section: "VI-A", Run: RunE11OffChain},
+		{ID: "E12", Title: "sharding and DAG hardware limits", Section: "VI-A/B", Run: RunE12Sharding},
+		{ID: "E13", Title: "consensus properties: PoW, PoS, ORV", Section: "III", Run: RunE13Consensus},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hashx"
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/orv"
+	"repro/internal/pos"
+	"repro/internal/pow"
+)
+
+// RunE13Consensus reproduces §III's consensus comparison on one table:
+// the PoW lottery elects leaders proportionally to hash power, the PoS
+// lottery proportionally to stake (with slashing burning a cheater's
+// deposit), and Nano's ORV resolves conflicts by balance-weighted
+// representative votes with no leader election at all.
+func RunE13Consensus(cfg Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	t := metrics.NewTable("E13 (§III): leader election and conflict resolution",
+		"mechanism", "participant", "resource-share", "observed-share/outcome")
+
+	// PoW: win frequency tracks hash rate (§III-A1).
+	lottery, err := pow.NewLottery([]pow.Miner{
+		{ID: 0, HashRate: 10}, {ID: 1, HashRate: 30}, {ID: 2, HashRate: 60},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	draws := cfg.count(50_000)
+	powWins := map[int]int{}
+	for i := 0; i < draws; i++ {
+		powWins[lottery.SampleWinner(rng)]++
+	}
+	for id, share := range map[int]float64{0: 0.10, 1: 0.30, 2: 0.60} {
+		got := float64(powWins[id]) / float64(draws)
+		t.AddRow("PoW lottery", fmt.Sprintf("miner %d", id), metrics.Pct(share), metrics.Pct(got))
+		if got < share*0.8 || got > share*1.2 {
+			return nil, fmt.Errorf("core: e13 PoW share off: %.3f vs %.3f", got, share)
+		}
+	}
+
+	// PoS: proposer frequency tracks stake; slashing burns the deposit
+	// (§III-A2).
+	ring := keys.NewRing("e13-validators", 4)
+	reg := pos.NewRegistry()
+	stakes := []uint64{100, 300, 600}
+	for i, s := range stakes {
+		if err := reg.Deposit(ring.Pair(i).Pub, s); err != nil {
+			return nil, err
+		}
+	}
+	seed := hashx.Sum([]byte("e13-epoch"))
+	posWins := map[keys.Address]int{}
+	for slot := 0; slot < draws; slot++ {
+		p, err := reg.Proposer(uint64(slot), seed)
+		if err != nil {
+			return nil, err
+		}
+		posWins[p]++
+	}
+	for i, s := range stakes {
+		share := float64(s) / 1000
+		got := float64(posWins[ring.Addr(i)]) / float64(draws)
+		t.AddRow("PoS lottery", fmt.Sprintf("validator %d", i), metrics.Pct(share), metrics.Pct(got))
+	}
+	burned, err := reg.Slash(ring.Addr(2))
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("PoS slashing", "validator 2 (cheater)", metrics.U64(burned)+" staked",
+		fmt.Sprintf("stake burned; %d left in pool", reg.TotalStake()))
+
+	// ORV: the §III-B conflict — "the winning transaction is the one
+	// that gained the most votes with regards to the voters weight".
+	reps := keys.NewRing("e13-reps", 3)
+	weights := orv.NewWeights(map[keys.Address]uint64{
+		reps.Addr(0): 40, reps.Addr(1): 35, reps.Addr(2): 25,
+	})
+	tracker := orv.NewTracker(weights, orv.Config{QuorumFraction: 0.5})
+	root := hashx.Sum([]byte("contested-prev"))
+	honest := hashx.Sum([]byte("honest-send"))
+	rival := hashx.Sum([]byte("double-spend"))
+	if err := tracker.StartElection(root, honest, rival); err != nil {
+		return nil, err
+	}
+	if _, err := tracker.ProcessVote(root, orv.NewVote(reps.Pair(0), honest, 1)); err != nil {
+		return nil, err
+	}
+	if _, err := tracker.ProcessVote(root, orv.NewVote(reps.Pair(1), rival, 1)); err != nil {
+		return nil, err
+	}
+	// Rep 1 switches to the heavier side — vote switching converges.
+	out, err := tracker.ProcessVote(root, orv.NewVote(reps.Pair(1), honest, 2))
+	if err != nil {
+		return nil, err
+	}
+	if !out.Confirmed || out.Winner != honest {
+		return nil, fmt.Errorf("core: e13 ORV did not confirm the weighted winner")
+	}
+	t.AddRow("ORV conflict", "honest send vs double spend", "75 vs 25 weight",
+		fmt.Sprintf("honest wins with %d of %d quorum", out.Tally, out.Quorum))
+	t.AddRow("ORV normal case", "conflict-free block", "—",
+		"no voting overhead required (§III-B)")
+
+	t.AddNote("PoW and PoS elect leaders stochastically ∝ resources; Nano has no leader — users order their own transactions (§III-B)")
+	t.AddNote("slashing: 'burning stake has the same economic effect as dismantling an attacker's mining equipment' (§III-A2)")
+	return t, nil
+}

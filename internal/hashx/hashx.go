@@ -1,0 +1,200 @@
+// Package hashx provides the hashing primitives shared by every ledger in
+// this repository: the 32-byte SHA-256 Hash type, proof-of-work targets
+// expressed either as leading-zero-bit counts (the paper's "pattern starts
+// with at least a predefined number of 0 bits", §III-A1) or as full 256-bit
+// thresholds for fractional difficulty, and a Hashcash-style stamp used by
+// the Nano-like lattice as an anti-spam measure (§III-B).
+package hashx
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// Size is the byte length of a Hash.
+const Size = 32
+
+// Hash is a 32-byte SHA-256 digest. The zero value is the all-zero hash,
+// used as the "no parent" marker for genesis blocks.
+type Hash [Size]byte
+
+// Zero is the all-zero hash. Genesis blocks reference it as their parent.
+var Zero Hash
+
+// Sum returns the SHA-256 digest of data.
+func Sum(data []byte) Hash { return sha256.Sum256(data) }
+
+// SumDouble returns SHA-256(SHA-256(data)), the digest Bitcoin applies to
+// block headers and transactions.
+func SumDouble(data []byte) Hash {
+	first := sha256.Sum256(data)
+	return sha256.Sum256(first[:])
+}
+
+// Concat hashes the concatenation of all parts in order.
+func Concat(parts ...[]byte) Hash {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Join hashes the concatenation of two hashes, the interior-node operation
+// of Merkle trees.
+func Join(a, b Hash) Hash {
+	var buf [2 * Size]byte
+	copy(buf[:Size], a[:])
+	copy(buf[Size:], b[:])
+	return Sum(buf[:])
+}
+
+// FromHex parses a 64-character hex string into a Hash.
+func FromHex(s string) (Hash, error) {
+	var h Hash
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Zero, fmt.Errorf("hashx: parse hex: %w", err)
+	}
+	if len(raw) != Size {
+		return Zero, fmt.Errorf("hashx: hex hash must be %d bytes, got %d", Size, len(raw))
+	}
+	copy(h[:], raw)
+	return h, nil
+}
+
+// Hex returns the full lowercase hex encoding of h.
+func (h Hash) Hex() string { return hex.EncodeToString(h[:]) }
+
+// String returns a short 8-hex-digit prefix, convenient for logs and
+// rendered figures.
+func (h Hash) String() string { return hex.EncodeToString(h[:4]) }
+
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool { return h == Zero }
+
+// Cmp compares two hashes as big-endian integers, returning -1, 0 or +1.
+func (h Hash) Cmp(other Hash) int {
+	for i := 0; i < Size; i++ {
+		switch {
+		case h[i] < other[i]:
+			return -1
+		case h[i] > other[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// LeadingZeroBits returns the number of leading zero bits of h interpreted
+// as a big-endian integer.
+func (h Hash) LeadingZeroBits() int {
+	n := 0
+	for _, b := range h {
+		if b == 0 {
+			n += 8
+			continue
+		}
+		n += bits.LeadingZeros8(b)
+		break
+	}
+	return n
+}
+
+// Big returns h as a big-endian big.Int. The result is freshly allocated.
+func (h Hash) Big() *big.Int { return new(big.Int).SetBytes(h[:]) }
+
+// Uint64 folds the first 8 bytes of h into a uint64. It is used to derive
+// deterministic pseudo-random values (e.g. proposer lotteries) from hashes.
+func (h Hash) Uint64() uint64 { return binary.BigEndian.Uint64(h[:8]) }
+
+// maxTarget is 2^256 - 1, the easiest possible target.
+var maxTarget = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+
+// MaxTarget returns a copy of the easiest possible target (2^256 - 1).
+func MaxTarget() *big.Int { return new(big.Int).Set(maxTarget) }
+
+// TargetForDifficulty returns the 256-bit threshold a hash must be strictly
+// below so that finding it takes an expected `difficulty` attempts.
+// Difficulty values below 1 are clamped to 1.
+func TargetForDifficulty(difficulty float64) *big.Int {
+	if difficulty < 1 || math.IsNaN(difficulty) {
+		difficulty = 1
+	}
+	d, _ := new(big.Float).SetFloat64(difficulty).Int(nil)
+	if d.Sign() <= 0 {
+		d = big.NewInt(1)
+	}
+	return new(big.Int).Div(maxTarget, d)
+}
+
+// DifficultyForTarget is the inverse of TargetForDifficulty: the expected
+// number of attempts to find a hash below target.
+func DifficultyForTarget(target *big.Int) float64 {
+	if target == nil || target.Sign() <= 0 {
+		return math.Inf(1)
+	}
+	q := new(big.Float).Quo(new(big.Float).SetInt(maxTarget), new(big.Float).SetInt(target))
+	f, _ := q.Float64()
+	return f
+}
+
+// MeetsTarget reports whether h, as a big-endian integer, is strictly below
+// target. This is the "partial hash inversion" acceptance test (§III-A1).
+func MeetsTarget(h Hash, target *big.Int) bool {
+	return h.Big().Cmp(target) < 0
+}
+
+// MeetsBits reports whether h starts with at least `zeroBits` zero bits,
+// the coarse formulation used by Hashcash and by the paper's description of
+// Bitcoin's puzzle.
+func MeetsBits(h Hash, zeroBits int) bool {
+	return h.LeadingZeroBits() >= zeroBits
+}
+
+// Stamp is a solved Hashcash puzzle over an arbitrary payload.
+type Stamp struct {
+	// Nonce is the free variable that makes the digest meet the
+	// difficulty bits.
+	Nonce uint64
+	// Bits is the number of leading zero bits the stamp guarantees.
+	Bits int
+}
+
+// stampDigest computes the digest checked by Hashcash stamps.
+func stampDigest(payload []byte, nonce uint64) Hash {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], nonce)
+	return Concat(payload, buf[:])
+}
+
+// FindStamp searches nonces starting at start for one whose digest over
+// payload has at least bits leading zero bits. It gives up after maxIter
+// attempts and reports ok=false. It is the anti-spam proof of work a Nano
+// account performs before publishing a lattice block.
+func FindStamp(payload []byte, bits int, start, maxIter uint64) (Stamp, bool) {
+	for i := uint64(0); i < maxIter; i++ {
+		nonce := start + i
+		if MeetsBits(stampDigest(payload, nonce), bits) {
+			return Stamp{Nonce: nonce, Bits: bits}, true
+		}
+	}
+	return Stamp{}, false
+}
+
+// VerifyStamp reports whether the stamp's nonce makes the payload digest
+// meet the stamp's difficulty bits.
+func VerifyStamp(payload []byte, s Stamp) bool {
+	return MeetsBits(stampDigest(payload, s.Nonce), s.Bits)
+}
+
+// ExpectedAttempts returns the expected number of hash evaluations needed
+// to find a stamp with the given number of leading zero bits (2^bits).
+func ExpectedAttempts(bits int) float64 { return math.Exp2(float64(bits)) }

@@ -1,0 +1,228 @@
+package hashx
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	a := Sum([]byte("hello"))
+	b := Sum([]byte("hello"))
+	if a != b {
+		t.Fatalf("Sum not deterministic: %s vs %s", a.Hex(), b.Hex())
+	}
+	if a == Sum([]byte("world")) {
+		t.Fatalf("distinct inputs hashed equal")
+	}
+}
+
+func TestSumDoubleDiffersFromSum(t *testing.T) {
+	data := []byte("block header")
+	if Sum(data) == SumDouble(data) {
+		t.Fatal("SumDouble should differ from Sum")
+	}
+	inner := Sum(data)
+	if SumDouble(data) != Sum(inner[:]) {
+		t.Fatal("SumDouble is not SHA256(SHA256(x))")
+	}
+}
+
+func TestConcatMatchesManualConcat(t *testing.T) {
+	got := Concat([]byte("ab"), []byte("cd"))
+	want := Sum([]byte("abcd"))
+	if got != want {
+		t.Fatalf("Concat mismatch: %s vs %s", got.Hex(), want.Hex())
+	}
+}
+
+func TestJoinOrderMatters(t *testing.T) {
+	a, b := Sum([]byte("a")), Sum([]byte("b"))
+	if Join(a, b) == Join(b, a) {
+		t.Fatal("Join must not be commutative")
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	h := Sum([]byte("round trip"))
+	parsed, err := FromHex(h.Hex())
+	if err != nil {
+		t.Fatalf("FromHex: %v", err)
+	}
+	if parsed != h {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestFromHexErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"too short", "abcd"},
+		{"not hex", strings.Repeat("zz", 32)},
+		{"too long", strings.Repeat("ab", 40)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromHex(tc.in); err == nil {
+				t.Fatalf("FromHex(%q) should fail", tc.in)
+			}
+		})
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if Sum(nil).IsZero() {
+		t.Fatal("hash of empty input should not be zero")
+	}
+}
+
+func TestCmpMatchesBigIntOrder(t *testing.T) {
+	f := func(a, b [Size]byte) bool {
+		ha, hb := Hash(a), Hash(b)
+		want := ha.Big().Cmp(hb.Big())
+		return ha.Cmp(hb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeadingZeroBits(t *testing.T) {
+	cases := []struct {
+		name string
+		h    Hash
+		want int
+	}{
+		{"all zero", Zero, 256},
+		{"first bit set", Hash{0x80}, 0},
+		{"one leading zero", Hash{0x40}, 1},
+		{"full zero byte", Hash{0x00, 0xFF}, 8},
+		{"byte and a half", Hash{0x00, 0x08}, 12},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.h.LeadingZeroBits(); got != tc.want {
+				t.Fatalf("LeadingZeroBits() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTargetDifficultyRoundTrip(t *testing.T) {
+	for _, d := range []float64{1, 2, 16, 1024, 1e6, 1e12} {
+		target := TargetForDifficulty(d)
+		got := DifficultyForTarget(target)
+		if math.Abs(got-d)/d > 0.01 {
+			t.Fatalf("difficulty %g round-tripped to %g", d, got)
+		}
+	}
+}
+
+func TestTargetForDifficultyClamps(t *testing.T) {
+	if TargetForDifficulty(0).Cmp(MaxTarget()) != 0 {
+		t.Fatal("difficulty 0 should clamp to easiest target")
+	}
+	if TargetForDifficulty(math.NaN()).Cmp(MaxTarget()) != 0 {
+		t.Fatal("NaN difficulty should clamp to easiest target")
+	}
+}
+
+func TestDifficultyForTargetDegenerate(t *testing.T) {
+	if !math.IsInf(DifficultyForTarget(nil), 1) {
+		t.Fatal("nil target should be infinitely hard")
+	}
+	if !math.IsInf(DifficultyForTarget(big.NewInt(0)), 1) {
+		t.Fatal("zero target should be infinitely hard")
+	}
+}
+
+func TestMeetsTargetBoundary(t *testing.T) {
+	target := big.NewInt(1000)
+	var below, equal Hash
+	below[Size-1] = 0xFF // 255 < 1000
+	equal.SetBytesFromBig(big.NewInt(1000))
+	if !MeetsTarget(below, target) {
+		t.Fatal("255 should meet target 1000")
+	}
+	if MeetsTarget(equal, target) {
+		t.Fatal("equality must not meet target (strict less-than)")
+	}
+}
+
+// SetBytesFromBig is a test helper placing a big.Int value into the
+// low-order bytes of a Hash.
+func (h *Hash) SetBytesFromBig(v *big.Int) {
+	raw := v.Bytes()
+	copy(h[Size-len(raw):], raw)
+}
+
+func TestMeetsBits(t *testing.T) {
+	h := Hash{0x00, 0x0F} // 12 leading zero bits
+	if !MeetsBits(h, 12) {
+		t.Fatal("h has exactly 12 zero bits, MeetsBits(12) should pass")
+	}
+	if MeetsBits(h, 13) {
+		t.Fatal("h has only 12 zero bits, MeetsBits(13) should fail")
+	}
+}
+
+func TestFindAndVerifyStamp(t *testing.T) {
+	payload := []byte("lattice block / account 7")
+	stamp, ok := FindStamp(payload, 10, 0, 1<<20)
+	if !ok {
+		t.Fatal("10-bit stamp should be found within 2^20 attempts")
+	}
+	if !VerifyStamp(payload, stamp) {
+		t.Fatal("found stamp failed verification")
+	}
+	if VerifyStamp([]byte("different payload"), stamp) {
+		t.Fatal("stamp must not verify for a different payload")
+	}
+}
+
+func TestFindStampGivesUp(t *testing.T) {
+	if _, ok := FindStamp([]byte("x"), 64, 0, 4); ok {
+		t.Fatal("64-bit stamp in 4 attempts is (effectively) impossible")
+	}
+}
+
+func TestExpectedAttempts(t *testing.T) {
+	if got := ExpectedAttempts(10); got != 1024 {
+		t.Fatalf("ExpectedAttempts(10) = %g, want 1024", got)
+	}
+}
+
+func TestUint64Deterministic(t *testing.T) {
+	h := Sum([]byte("seed"))
+	if h.Uint64() != h.Uint64() {
+		t.Fatal("Uint64 not deterministic")
+	}
+	// distinct hashes should (overwhelmingly) fold differently
+	if Sum([]byte("a")).Uint64() == Sum([]byte("b")).Uint64() {
+		t.Fatal("suspicious Uint64 collision on trivial inputs")
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	data := make([]byte, 512)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}
+
+func BenchmarkFindStamp12Bits(b *testing.B) {
+	payload := []byte("bench payload")
+	for i := 0; i < b.N; i++ {
+		if _, ok := FindStamp(payload, 12, uint64(i)<<32, 1<<24); !ok {
+			b.Fatal("stamp not found")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package keys
+
+import (
+	"testing"
+)
+
+func TestDeterministicStable(t *testing.T) {
+	a := Deterministic("alice")
+	b := Deterministic("alice")
+	if a.Address() != b.Address() {
+		t.Fatal("same seed should derive same address")
+	}
+	if Deterministic("bob").Address() == a.Address() {
+		t.Fatal("different seeds should derive different addresses")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	kp := Deterministic("signer")
+	msg := []byte("transfer 5 to bob")
+	sig := kp.Sign(msg)
+	if !Verify(kp.Pub, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(kp.Pub, []byte("transfer 500 to bob"), sig) {
+		t.Fatal("signature verified for altered message")
+	}
+	other := Deterministic("other")
+	if Verify(other.Pub, msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestVerifyMalformedInputs(t *testing.T) {
+	kp := Deterministic("m")
+	msg := []byte("msg")
+	sig := kp.Sign(msg)
+	if Verify(kp.Pub[:16], msg, sig) {
+		t.Fatal("short public key should not verify")
+	}
+	if Verify(kp.Pub, msg, sig[:10]) {
+		t.Fatal("short signature should not verify")
+	}
+	if Verify(nil, msg, nil) {
+		t.Fatal("nil key/sig should not verify")
+	}
+}
+
+func TestAddressOfMatchesKeyPair(t *testing.T) {
+	kp := Deterministic("addr")
+	if AddressOf(kp.Pub) != kp.Address() {
+		t.Fatal("AddressOf(pub) != kp.Address()")
+	}
+}
+
+func TestAddressBytesRoundTrip(t *testing.T) {
+	a := Deterministic("rt").Address()
+	back, err := AddressFromBytes(a.Bytes())
+	if err != nil {
+		t.Fatalf("AddressFromBytes: %v", err)
+	}
+	if back != a {
+		t.Fatal("address byte round trip mismatch")
+	}
+	if _, err := AddressFromBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short byte slice should be rejected")
+	}
+}
+
+func TestAddressBytesIsCopy(t *testing.T) {
+	a := Deterministic("copy").Address()
+	raw := a.Bytes()
+	raw[0] ^= 0xFF
+	if raw[0] == a[0] {
+		t.Fatal("mutating Bytes() result should not affect the address")
+	}
+}
+
+func TestZeroAddress(t *testing.T) {
+	if !ZeroAddress.IsZero() {
+		t.Fatal("ZeroAddress.IsZero() = false")
+	}
+	if Deterministic("nonzero").Address().IsZero() {
+		t.Fatal("derived address should not be zero")
+	}
+}
+
+func TestRing(t *testing.T) {
+	const n = 16
+	r := NewRing("net", n)
+	if r.Len() != n {
+		t.Fatalf("Len() = %d, want %d", r.Len(), n)
+	}
+	seen := make(map[Address]bool, n)
+	for i := 0; i < n; i++ {
+		addr := r.Addr(i)
+		if seen[addr] {
+			t.Fatalf("duplicate address at index %d", i)
+		}
+		seen[addr] = true
+		if r.Index(addr) != i {
+			t.Fatalf("Index(Addr(%d)) = %d", i, r.Index(addr))
+		}
+		if r.Pair(i).Address() != addr {
+			t.Fatalf("Pair(%d) address mismatch", i)
+		}
+	}
+	if r.Index(Deterministic("stranger").Address()) != -1 {
+		t.Fatal("foreign address should have index -1")
+	}
+}
+
+func TestRingReproducible(t *testing.T) {
+	a := NewRing("family", 4)
+	b := NewRing("family", 4)
+	for i := 0; i < 4; i++ {
+		if a.Addr(i) != b.Addr(i) {
+			t.Fatalf("ring not reproducible at index %d", i)
+		}
+	}
+	c := NewRing("otherfamily", 4)
+	if a.Addr(0) == c.Addr(0) {
+		t.Fatal("different families should not share identities")
+	}
+}
+
+func TestAddressesFreshSlice(t *testing.T) {
+	r := NewRing("addrs", 3)
+	addrs := r.Addresses()
+	if len(addrs) != 3 {
+		t.Fatalf("Addresses() length = %d", len(addrs))
+	}
+	addrs[0] = Address{}
+	if r.Addr(0).IsZero() {
+		t.Fatal("mutating Addresses() result must not affect the ring")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	kp := Deterministic("bench")
+	msg := []byte("a 64-byte-ish payment message for signature benchmarking....")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kp.Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	kp := Deterministic("bench")
+	msg := []byte("a 64-byte-ish payment message for signature benchmarking....")
+	sig := kp.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(kp.Pub, msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// A fork on the *receive* side: the same account publishes two receive
+// blocks claiming the same predecessor but settling different sends.
+// Resolution must roll the loser back, restoring its send to pending.
+func TestReceiveForkResolution(t *testing.T) {
+	r := keys.NewRing("recv-fork", 4)
+	l, _, err := New(r.Pair(0), 1_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open account 1 with a first transfer.
+	send0, err := l.NewSend(r.Pair(0), r.Addr(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Process(send0)
+	open, err := l.NewOpen(r.Pair(1), send0.Hash(), r.Addr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Process(open)
+
+	// Two more pending sends to account 1.
+	sendA, err := l.NewSend(r.Pair(0), r.Addr(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Process(sendA)
+	sendB, err := l.NewSend(r.Pair(0), r.Addr(1), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Process(sendB)
+	if l.PendingCount() != 2 {
+		t.Fatalf("pending = %d, want 2", l.PendingCount())
+	}
+
+	// Receive A attaches normally.
+	recvA, err := l.NewReceive(r.Pair(1), sendA.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := l.Process(recvA); res.Status != Accepted {
+		t.Fatalf("recvA: %v", res.Status)
+	}
+	// A rival receive B claims the same predecessor (open's head).
+	recvB := &Block{
+		Type:           Receive,
+		Account:        r.Addr(1),
+		Prev:           open.Hash(),
+		Representative: r.Addr(1),
+		Balance:        open.Balance + 20,
+		Source:         sendB.Hash(),
+	}
+	recvB.sign(r.Pair(1))
+	res := l.Process(recvB)
+	if res.Status != AcceptedFork {
+		t.Fatalf("recvB: %v (%v)", res.Status, res.Err)
+	}
+
+	// Representatives pick B: A's settlement must unwind — its send goes
+	// back to pending — and B's settles.
+	if err := l.ResolveFork(open.Hash(), recvB.Hash()); err != nil {
+		t.Fatalf("ResolveFork: %v", err)
+	}
+	if l.Balance(r.Addr(1)) != 120 {
+		t.Fatalf("balance = %d, want 120 (100 + sendB 20)", l.Balance(r.Addr(1)))
+	}
+	if _, pending := l.PendingInfo(sendA.Hash()); !pending {
+		t.Fatal("loser's send not restored to pending")
+	}
+	if _, pending := l.PendingInfo(sendB.Hash()); pending {
+		t.Fatal("winner's send still pending")
+	}
+	if err := l.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored send can still be received afterwards.
+	recvA2, err := l.NewReceive(r.Pair(1), sendA.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := l.Process(recvA2); res.Status != Accepted {
+		t.Fatalf("re-receive: %v (%v)", res.Status, res.Err)
+	}
+	if l.Balance(r.Addr(1)) != 130 {
+		t.Fatalf("final balance = %d, want 130", l.Balance(r.Addr(1)))
+	}
+	if err := l.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package merkle implements the Merkle trees blockchains use to commit to
+// a block's transactions (paper §II-A: "Transactions in Bitcoin and
+// Ethereum are hashed in Merkle Trees"). The same trees back Plasma's
+// periodic sidechain commitments (§VI-A), where compact inclusion proofs
+// are what make off-chain scaling work.
+//
+// Leaves and interior nodes are hashed with distinct domain-separation
+// prefixes so a proof for an interior node can never masquerade as a proof
+// for a leaf (second-preimage hardening).
+package merkle
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hashx"
+)
+
+// Domain-separation prefixes for leaf and interior hashing.
+var (
+	leafPrefix = []byte{0x00}
+	nodePrefix = []byte{0x01}
+)
+
+// ErrEmptyTree is returned when a proof is requested from a tree with no
+// leaves.
+var ErrEmptyTree = errors.New("merkle: empty tree")
+
+// HashLeaf hashes raw leaf data with the leaf domain prefix.
+func HashLeaf(data []byte) hashx.Hash {
+	return hashx.Concat(leafPrefix, data)
+}
+
+// hashNode combines two child digests with the interior-node prefix.
+func hashNode(left, right hashx.Hash) hashx.Hash {
+	return hashx.Concat(nodePrefix, left[:], right[:])
+}
+
+// Tree is a binary Merkle tree over a fixed leaf set. When a level has an
+// odd number of nodes the final node is paired with itself, the same
+// convention Bitcoin uses. The zero leaf set has root hashx.Zero.
+type Tree struct {
+	levels [][]hashx.Hash // levels[0] = leaf digests, last level = root
+}
+
+// NewFromHashes builds a tree over already-digested leaves. The input
+// slice is copied.
+func NewFromHashes(leaves []hashx.Hash) *Tree {
+	t := &Tree{}
+	if len(leaves) == 0 {
+		return t
+	}
+	level := make([]hashx.Hash, len(leaves))
+	copy(level, leaves)
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]hashx.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			right := level[i] // odd node pairs with itself
+			if i+1 < len(level) {
+				right = level[i+1]
+			}
+			next = append(next, hashNode(level[i], right))
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// New builds a tree over raw leaf payloads, hashing each with HashLeaf.
+func New(leaves [][]byte) *Tree {
+	digests := make([]hashx.Hash, len(leaves))
+	for i, l := range leaves {
+		digests[i] = HashLeaf(l)
+	}
+	return NewFromHashes(digests)
+}
+
+// Root returns the tree root, or hashx.Zero for an empty tree.
+func (t *Tree) Root() hashx.Hash {
+	if len(t.levels) == 0 {
+		return hashx.Zero
+	}
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Len returns the number of leaves.
+func (t *Tree) Len() int {
+	if len(t.levels) == 0 {
+		return 0
+	}
+	return len(t.levels[0])
+}
+
+// Leaf returns the digest of the i-th leaf.
+func (t *Tree) Leaf(i int) (hashx.Hash, error) {
+	if len(t.levels) == 0 || i < 0 || i >= len(t.levels[0]) {
+		return hashx.Zero, fmt.Errorf("merkle: leaf index %d out of range [0,%d)", i, t.Len())
+	}
+	return t.levels[0][i], nil
+}
+
+// Proof is a Merkle inclusion proof: the sibling digests along the path
+// from a leaf to the root. The leaf index determines at each level whether
+// the sibling sits to the left or the right.
+type Proof struct {
+	// Index is the leaf position the proof speaks for.
+	Index int
+	// Siblings are the sibling digests, leaf level first.
+	Siblings []hashx.Hash
+}
+
+// Size returns the serialized size of the proof in bytes, used by the
+// Plasma experiments to price commitments.
+func (p Proof) Size() int { return 8 + len(p.Siblings)*hashx.Size }
+
+// Prove produces an inclusion proof for leaf i.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if t.Len() == 0 {
+		return Proof{}, ErrEmptyTree
+	}
+	if i < 0 || i >= t.Len() {
+		return Proof{}, fmt.Errorf("merkle: leaf index %d out of range [0,%d)", i, t.Len())
+	}
+	proof := Proof{Index: i, Siblings: make([]hashx.Hash, 0, len(t.levels)-1)}
+	pos := i
+	for depth := 0; depth < len(t.levels)-1; depth++ {
+		level := t.levels[depth]
+		sib := pos ^ 1
+		if sib >= len(level) {
+			sib = pos // odd node paired with itself
+		}
+		proof.Siblings = append(proof.Siblings, level[sib])
+		pos /= 2
+	}
+	return proof, nil
+}
+
+// Verify checks an inclusion proof for an already-digested leaf against a
+// root.
+func Verify(root, leaf hashx.Hash, p Proof) bool {
+	if p.Index < 0 {
+		return false
+	}
+	acc := leaf
+	pos := p.Index
+	for _, sib := range p.Siblings {
+		if pos%2 == 0 {
+			acc = hashNode(acc, sib)
+		} else {
+			acc = hashNode(sib, acc)
+		}
+		pos /= 2
+	}
+	return pos == 0 && acc == root
+}
+
+// VerifyData checks an inclusion proof for a raw leaf payload.
+func VerifyData(root hashx.Hash, data []byte, p Proof) bool {
+	return Verify(root, HashLeaf(data), p)
+}
+
+// RootOfHashes is a convenience that computes just the root of a digest
+// slice without retaining the tree.
+func RootOfHashes(leaves []hashx.Hash) hashx.Hash {
+	return NewFromHashes(leaves).Root()
+}

@@ -1,0 +1,246 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashx"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("tx-%04d", i))
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil)
+	if tr.Root() != hashx.Zero {
+		t.Fatal("empty tree root should be zero")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("empty tree Len should be 0")
+	}
+	if _, err := tr.Prove(0); err == nil {
+		t.Fatal("Prove on empty tree should fail")
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr := New(leaves(1))
+	if tr.Root() != HashLeaf([]byte("tx-0000")) {
+		t.Fatal("single-leaf root should equal the leaf digest")
+	}
+	p, err := tr.Prove(0)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if len(p.Siblings) != 0 {
+		t.Fatalf("single-leaf proof should be empty, got %d siblings", len(p.Siblings))
+	}
+	if !VerifyData(tr.Root(), []byte("tx-0000"), p) {
+		t.Fatal("single-leaf proof failed")
+	}
+}
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	base := New(leaves(8)).Root()
+	for i := 0; i < 8; i++ {
+		ls := leaves(8)
+		ls[i] = []byte("tampered")
+		if New(ls).Root() == base {
+			t.Fatalf("changing leaf %d did not change root", i)
+		}
+	}
+}
+
+func TestProveVerifyAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			ls := leaves(n)
+			tr := New(ls)
+			for i := 0; i < n; i++ {
+				p, err := tr.Prove(i)
+				if err != nil {
+					t.Fatalf("Prove(%d): %v", i, err)
+				}
+				if !VerifyData(tr.Root(), ls[i], p) {
+					t.Fatalf("proof for leaf %d/%d rejected", i, n)
+				}
+			}
+		})
+	}
+}
+
+func TestProofRejectsWrongLeaf(t *testing.T) {
+	ls := leaves(10)
+	tr := New(ls)
+	p, err := tr.Prove(3)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if VerifyData(tr.Root(), ls[4], p) {
+		t.Fatal("proof for leaf 3 verified leaf 4")
+	}
+	if VerifyData(tr.Root(), []byte("forged"), p) {
+		t.Fatal("proof verified forged data")
+	}
+}
+
+func TestProofRejectsWrongIndex(t *testing.T) {
+	ls := leaves(8)
+	tr := New(ls)
+	p, err := tr.Prove(2)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	p.Index = 3
+	if VerifyData(tr.Root(), ls[2], p) {
+		t.Fatal("proof with wrong index verified")
+	}
+	p.Index = -1
+	if VerifyData(tr.Root(), ls[2], p) {
+		t.Fatal("negative index verified")
+	}
+}
+
+func TestProofRejectsTamperedSibling(t *testing.T) {
+	ls := leaves(16)
+	tr := New(ls)
+	p, err := tr.Prove(5)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	p.Siblings[1] = hashx.Sum([]byte("evil"))
+	if VerifyData(tr.Root(), ls[5], p) {
+		t.Fatal("tampered proof verified")
+	}
+}
+
+func TestProofRejectsTruncatedProof(t *testing.T) {
+	ls := leaves(16)
+	tr := New(ls)
+	p, err := tr.Prove(9)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	p.Siblings = p.Siblings[:len(p.Siblings)-1]
+	if VerifyData(tr.Root(), ls[9], p) {
+		t.Fatal("truncated proof verified")
+	}
+}
+
+func TestOutOfRangeProve(t *testing.T) {
+	tr := New(leaves(4))
+	for _, i := range []int{-1, 4, 100} {
+		if _, err := tr.Prove(i); err == nil {
+			t.Fatalf("Prove(%d) should fail", i)
+		}
+	}
+}
+
+func TestLeafAccessor(t *testing.T) {
+	ls := leaves(5)
+	tr := New(ls)
+	got, err := tr.Leaf(2)
+	if err != nil {
+		t.Fatalf("Leaf: %v", err)
+	}
+	if got != HashLeaf(ls[2]) {
+		t.Fatal("Leaf(2) digest mismatch")
+	}
+	if _, err := tr.Leaf(7); err == nil {
+		t.Fatal("Leaf(7) should fail on 5-leaf tree")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// The root of a 2-leaf tree must not equal the leaf-hash of the
+	// concatenated children — interior and leaf hashing are distinct.
+	a, b := HashLeaf([]byte("a")), HashLeaf([]byte("b"))
+	tr := NewFromHashes([]hashx.Hash{a, b})
+	concat := append(append([]byte{}, a[:]...), b[:]...)
+	if tr.Root() == HashLeaf(concat) {
+		t.Fatal("interior node hash collides with leaf hash")
+	}
+}
+
+func TestRootOfHashesMatchesTree(t *testing.T) {
+	hs := make([]hashx.Hash, 9)
+	for i := range hs {
+		hs[i] = hashx.Sum([]byte{byte(i)})
+	}
+	if RootOfHashes(hs) != NewFromHashes(hs).Root() {
+		t.Fatal("RootOfHashes disagrees with Tree.Root")
+	}
+}
+
+func TestProofSize(t *testing.T) {
+	tr := New(leaves(1024))
+	p, err := tr.Prove(17)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if len(p.Siblings) != 10 {
+		t.Fatalf("1024-leaf proof should have 10 siblings, got %d", len(p.Siblings))
+	}
+	if p.Size() != 8+10*hashx.Size {
+		t.Fatalf("Size() = %d", p.Size())
+	}
+}
+
+// Property: every proof of every leaf of a random tree verifies, and a
+// random perturbation of the leaf does not.
+func TestQuickProofSoundness(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%64 + 1
+		rng := rand.New(rand.NewSource(seed))
+		ls := make([][]byte, n)
+		for i := range ls {
+			buf := make([]byte, 16)
+			rng.Read(buf)
+			ls[i] = buf
+		}
+		tr := New(ls)
+		i := rng.Intn(n)
+		p, err := tr.Prove(i)
+		if err != nil {
+			return false
+		}
+		if !VerifyData(tr.Root(), ls[i], p) {
+			return false
+		}
+		forged := append([]byte{0xFF}, ls[i]...)
+		return !VerifyData(tr.Root(), forged, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild1024(b *testing.B) {
+	ls := leaves(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(ls)
+	}
+}
+
+func BenchmarkProveVerify1024(b *testing.B) {
+	ls := leaves(1024)
+	tr := New(ls)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := tr.Prove(i % 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !VerifyData(tr.Root(), ls[i%1024], p) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package metrics provides the measurement and reporting plumbing for the
+// experiments: counters, sample histograms with percentiles, time series,
+// and the aligned text tables the benchmark harness prints so that each
+// experiment's output reads like the corresponding table in the paper.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Histogram accumulates float64 samples and answers distribution queries.
+// The zero value is ready to use.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// AddDuration records a duration sample in seconds.
+func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) by nearest-rank, or 0 with
+// no samples.
+func (h *Histogram) Quantile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Stddev returns the population standard deviation.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	var acc float64
+	for _, v := range h.samples {
+		d := v - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Summary returns a one-line human-readable distribution summary.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+		h.N(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+}
+
+// Series is an append-only (x, y) series, used for sweep outputs such as
+// "orphan rate vs block interval".
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Xs) }
+
+// Table renders experiment results as an aligned text table, mirroring how
+// the paper reports comparisons.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote line rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		b.WriteString("  * ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (header row first, notes omitted).
+func (t *Table) RenderCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	var b strings.Builder
+	for i, h := range t.headers {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(h))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// F formats a float with 2 decimal places for table cells.
+func F(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// F1 formats a float with 1 decimal place.
+func F1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// F4 formats a float with 4 decimal places (probabilities).
+func F4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// I formats an integer cell.
+func I(v int) string { return strconv.Itoa(v) }
+
+// I64 formats an int64 cell.
+func I64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// U64 formats a uint64 cell.
+func U64(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// Bytes renders a byte count in human units (KB/MB/GB, powers of 1000 to
+// match how the paper quotes ledger sizes).
+func Bytes(n float64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2f GB", n/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2f MB", n/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.2f KB", n/1e3)
+	default:
+		return fmt.Sprintf("%.0f B", n)
+	}
+}
+
+// Pct renders a fraction as a percentage.
+func Pct(frac float64) string { return fmt.Sprintf("%.2f%%", 100*frac) }
+
+// Dur renders a duration with millisecond precision.
+func Dur(d time.Duration) string { return d.Round(time.Millisecond).String() }

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		h.Add(v)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %g", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %g/%g", h.Min(), h.Max())
+	}
+	if h.Quantile(0.5) != 3 {
+		t.Fatalf("median = %g", h.Quantile(0.5))
+	}
+	if h.Sum() != 15 {
+		t.Fatalf("Sum = %g", h.Sum())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Quantile(-1) != 1 || h.Quantile(0) != 1 {
+		t.Fatal("p<=0 should return min")
+	}
+	if h.Quantile(2) != 100 || h.Quantile(1) != 100 {
+		t.Fatal("p>=1 should return max")
+	}
+	if got := h.Quantile(0.95); got != 95 {
+		t.Fatalf("p95 = %g, want 95", got)
+	}
+}
+
+func TestHistogramAddAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Quantile(0.5) // forces sort
+	h.Add(1)
+	if h.Min() != 1 {
+		t.Fatal("Add after Quantile lost ordering")
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Add(v)
+	}
+	if math.Abs(h.Stddev()-2) > 1e-9 {
+		t.Fatalf("Stddev = %g, want 2", h.Stddev())
+	}
+}
+
+func TestHistogramDurations(t *testing.T) {
+	var h Histogram
+	h.AddDuration(1500 * time.Millisecond)
+	if h.Mean() != 1.5 {
+		t.Fatalf("AddDuration recorded %g, want 1.5", h.Mean())
+	}
+	if !strings.Contains(h.Summary(), "n=1") {
+		t.Fatalf("Summary missing count: %s", h.Summary())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Name: "tps"}
+	s.Append(1, 10)
+	s.Append(2, 20)
+	if s.Len() != 2 || s.Xs[1] != 2 || s.Ys[1] != 20 {
+		t.Fatal("Series append broken")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E9 throughput", "system", "tps")
+	tb.AddRow("bitcoin", "5.1")
+	tb.AddRow("nano", "105.8")
+	tb.AddNote("visa baseline: %d", 56000)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E9 throughput", "system", "bitcoin", "105.8", "visa baseline: 56000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	tb.AddRow("only-one")         // short row: pad
+	tb.AddRow("1", "2", "3", "4") // long row: truncate
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "4") {
+		t.Fatal("cell beyond header count should be dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow(`with,comma`, `with"quote`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Fatalf("CSV header malformed: %q", out)
+	}
+	if !strings.Contains(out, `"with,comma"`) || !strings.Contains(out, `"with""quote"`) {
+		t.Fatalf("CSV escaping broken: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{F(3.14159), "3.14"},
+		{F1(3.14159), "3.1"},
+		{F4(0.00012), "0.0001"},
+		{I(42), "42"},
+		{I64(-7), "-7"},
+		{U64(9), "9"},
+		{Bytes(1500), "1.50 KB"},
+		{Bytes(2.5e6), "2.50 MB"},
+		{Bytes(145.95e9), "145.95 GB"},
+		{Bytes(12), "12 B"},
+		{Pct(0.0625), "6.25%"},
+		{Dur(1500 * time.Millisecond), "1.5s"},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Fatalf("formatter got %q want %q", tc.got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/hashx"
+	"repro/internal/keys"
+	"repro/internal/pow"
+	"repro/internal/sim"
+	"repro/internal/utxo"
+	"repro/internal/workload"
+)
+
+// BitcoinConfig parameterizes a Bitcoin-like PoW network.
+type BitcoinConfig struct {
+	Net NetParams
+	// Ledger holds the chain parameters (block size, subsidy, interval).
+	Ledger utxo.Params
+	// HashRates gives each node's mining power (len ≤ Nodes; zero means
+	// the node only relays). Empty defaults to equal power everywhere.
+	HashRates []float64
+	// BlockInterval is the target mean time between blocks; the lottery
+	// difficulty is derived from it, so §VI-A's "block generation time
+	// converges to a fixed value" holds by construction.
+	BlockInterval time.Duration
+	// Accounts is the number of funded user accounts.
+	Accounts int
+	// InitialBalance funds each account at genesis.
+	InitialBalance uint64
+}
+
+func (c BitcoinConfig) withDefaults() BitcoinConfig {
+	c.Net = c.Net.withDefaults()
+	if c.BlockInterval <= 0 {
+		c.BlockInterval = 10 * time.Minute
+	}
+	if c.Accounts <= 0 {
+		c.Accounts = 64
+	}
+	if c.InitialBalance == 0 {
+		c.InitialBalance = 1_000_000
+	}
+	if c.Ledger.MaxBlockBytes == 0 {
+		c.Ledger = utxo.DefaultParams()
+		// Keep difficulty static during short simulated spans.
+		c.Ledger.RetargetWindow = 1 << 30
+	}
+	if len(c.HashRates) == 0 {
+		c.HashRates = make([]float64, c.Net.Nodes)
+		for i := range c.HashRates {
+			c.HashRates[i] = 1
+		}
+	}
+	return c
+}
+
+// btcNode is one full node: a ledger replica plus gossip dedup state.
+type btcNode struct {
+	id     sim.NodeID
+	ledger *utxo.Ledger
+	seen   map[hashx.Hash]bool
+}
+
+// BitcoinNet is a running Bitcoin-like network simulation.
+type BitcoinNet struct {
+	cfg     BitcoinConfig
+	sim     *sim.Simulator
+	net     *sim.Network
+	nodes   []*btcNode
+	ring    *keys.Ring
+	lottery *pow.Lottery
+
+	difficulty float64
+	created    map[hashx.Hash]time.Duration // block hash -> creation time
+	reach      map[hashx.Hash]int           // block hash -> nodes reached
+	metrics    ChainMetrics
+	blockTimes []time.Duration
+}
+
+// NewBitcoin builds the network: every node holds an identical genesis
+// (same allocation), miners share the PoW lottery, and blocks flood the
+// gossip topology.
+func NewBitcoin(cfg BitcoinConfig) (*BitcoinNet, error) {
+	cfg = cfg.withDefaults()
+	s, net := buildNetwork(cfg.Net)
+
+	ring := keys.NewRing("btc-net", cfg.Accounts)
+	alloc := make(map[keys.Address]uint64, cfg.Accounts)
+	for i := 0; i < cfg.Accounts; i++ {
+		alloc[ring.Addr(i)] = cfg.InitialBalance
+	}
+
+	miners := make([]pow.Miner, 0, len(cfg.HashRates))
+	for i, hr := range cfg.HashRates {
+		if hr > 0 {
+			miners = append(miners, pow.Miner{ID: i, HashRate: hr})
+		}
+	}
+	lottery, err := pow.NewLottery(miners)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+
+	b := &BitcoinNet{
+		cfg:     cfg,
+		sim:     s,
+		net:     net,
+		ring:    ring,
+		lottery: lottery,
+		created: make(map[hashx.Hash]time.Duration),
+		reach:   make(map[hashx.Hash]int),
+	}
+	b.difficulty = lottery.DifficultyForInterval(cfg.BlockInterval)
+
+	for i := 0; i < cfg.Net.Nodes; i++ {
+		ledger, err := utxo.NewLedger(alloc, cfg.Ledger)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: node %d: %w", i, err)
+		}
+		node := &btcNode{ledger: ledger, seen: make(map[hashx.Hash]bool)}
+		node.id = net.AddNode(nil)
+		net.SetHandler(node.id, b.handlerFor(node))
+		b.nodes = append(b.nodes, node)
+	}
+	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))
+	return b, nil
+}
+
+// Observer returns the ledger of the observer node (node 0), whose view
+// defines the reported metrics.
+func (b *BitcoinNet) Observer() *utxo.Ledger { return b.nodes[0].ledger }
+
+// Ring returns the funded account identities.
+func (b *BitcoinNet) Ring() *keys.Ring { return b.ring }
+
+// Sim exposes the simulator (for scheduling custom events in tests).
+func (b *BitcoinNet) Sim() *sim.Simulator { return b.sim }
+
+// handlerFor returns the gossip handler of a node: first-seen blocks are
+// processed and re-flooded to peers.
+func (b *BitcoinNet) handlerFor(n *btcNode) sim.Handler {
+	return func(from sim.NodeID, payload any, size int) {
+		blk, ok := payload.(*chain.Block)
+		if !ok {
+			return
+		}
+		h := blk.Hash()
+		if n.seen[h] {
+			return
+		}
+		n.seen[h] = true
+		b.reach[h]++
+		if b.reach[h] == len(b.nodes) {
+			b.metrics.Propagation.AddDuration(b.sim.Now() - b.created[h])
+		}
+		// Processing errors mean a byzantine block; honest sims don't
+		// produce them, and a relay node still floods valid-looking data.
+		_, _ = n.ledger.ProcessBlock(blk)
+		b.net.SendToPeers(n.id, blk, blk.Size())
+	}
+}
+
+// scheduleMining arms the next global block-discovery event.
+func (b *BitcoinNet) scheduleMining() {
+	interval := b.lottery.SampleInterval(b.sim.Rand(), b.difficulty)
+	b.sim.After(interval, func() {
+		winner := b.lottery.SampleWinner(b.sim.Rand())
+		b.mineAt(winner)
+		b.scheduleMining()
+	})
+}
+
+// mineAt lets the winning node extend its own view — the stale-tip race
+// that produces Fig. 4's soft forks when propagation lags.
+func (b *BitcoinNet) mineAt(nodeIdx int) {
+	node := b.nodes[nodeIdx]
+	miner := keys.DeterministicN("btc-miner", nodeIdx).Address()
+	blk := node.ledger.BuildBlock(miner, b.sim.Now())
+	blk.Header.Difficulty = b.difficulty
+	h := blk.Hash()
+	b.created[h] = b.sim.Now()
+	b.metrics.BlocksTotal++
+	b.blockTimes = append(b.blockTimes, b.sim.Now())
+	node.seen[h] = true
+	b.reach[h] = 1
+	_, _ = node.ledger.ProcessBlock(blk)
+	b.net.SendToPeers(node.id, blk, blk.Size())
+}
+
+// SubmitPayment schedules a payment: the sender's home node builds the
+// transaction from its current view and every node pools it. Returns
+// false if scheduling parameters are invalid.
+func (b *BitcoinNet) SubmitPayment(p workload.TimedPayment, fee uint64) {
+	b.sim.At(p.At, func() {
+		b.metrics.SubmittedTxs++
+		home := b.nodes[p.From%len(b.nodes)]
+		tx, err := utxo.NewPaymentAvoiding(
+			home.ledger.UTXOSet(), home.ledger.Pool().Spends,
+			b.ring.Pair(p.From), b.ring.Addr(p.To), p.Amount, fee)
+		if err != nil {
+			b.metrics.RejectedTxs++
+			return
+		}
+		accepted := false
+		for _, n := range b.nodes {
+			if err := n.ledger.SubmitTx(tx); err == nil {
+				accepted = true
+			}
+		}
+		if !accepted {
+			b.metrics.RejectedTxs++
+		}
+	})
+}
+
+// Run drives the simulation for the given span and returns the metrics.
+func (b *BitcoinNet) Run(duration time.Duration) ChainMetrics {
+	b.scheduleMining()
+	b.sim.RunUntil(duration)
+	return b.collect(duration)
+}
+
+// RunWithPayments submits the payment stream before running.
+func (b *BitcoinNet) RunWithPayments(duration time.Duration, payments []workload.TimedPayment, fee uint64) ChainMetrics {
+	for _, p := range payments {
+		b.SubmitPayment(p, fee)
+	}
+	return b.Run(duration)
+}
+
+func (b *BitcoinNet) collect(duration time.Duration) ChainMetrics {
+	obs := b.nodes[0].ledger
+	st := obs.Store().Stats()
+	m := &b.metrics
+	m.Duration = duration
+	m.BlocksOnMain = int(obs.Height())
+	m.Orphaned = st.OrphanedTotal
+	if m.BlocksTotal > 0 {
+		m.OrphanRate = float64(m.Orphaned) / float64(m.BlocksTotal)
+	}
+	m.Reorgs = st.Reorgs
+	m.MaxReorgDepth = st.MaxReorgDepth
+	// Main-chain transactions minus one coinbase per block and minus the
+	// genesis allocation tx.
+	m.ConfirmedTxs = st.TxsOnMain - m.BlocksOnMain - 1
+	if m.ConfirmedTxs < 0 {
+		m.ConfirmedTxs = 0
+	}
+	if duration > 0 {
+		m.TPS = float64(m.ConfirmedTxs) / duration.Seconds()
+	}
+	m.PendingAtEnd = obs.Pool().Len()
+	m.LedgerBytes = obs.LedgerBytes()
+	if len(b.blockTimes) > 1 {
+		span := b.blockTimes[len(b.blockTimes)-1] - b.blockTimes[0]
+		m.MeanBlockInterval = span / time.Duration(len(b.blockTimes)-1)
+	}
+	ns := b.net.Stats()
+	m.MessagesSent = ns.MessagesSent
+	m.BytesSent = ns.BytesSent
+	return *m
+}
+
+// ErrNoMiners mirrors §III-A1: with no hash rate there is no throughput.
+var ErrNoMiners = errors.New("netsim: no mining power configured")

@@ -1,0 +1,287 @@
+// Package plasma implements the nested-chain scaling construction of
+// paper §VI-A: "The framework creates a nested blockchain structure …
+// Only Merkle roots created in the sidechains are periodically broadcasted
+// to the main network during non-faulty states allowing scalable
+// transactions. For faulty states, stakeholders need to display proof of
+// fraud and the Byzantine node gets penalized."
+//
+// An operator batches sidechain transactions into Plasma blocks and
+// commits only the Merkle root on the root chain; users hold inclusion
+// proofs. Each transaction declares the sender's pre-balance, so a fraud
+// proof is stateless: an inclusion proof of a transaction whose amount
+// exceeds its declared balance (or whose declared balance disagrees with
+// the previous committed state) convicts the operator and slashes its
+// bond.
+package plasma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/hashx"
+	"repro/internal/keys"
+	"repro/internal/merkle"
+)
+
+// Tx is one sidechain transfer. PrevBalance is the sender's balance
+// before this transaction according to the operator — the declaration
+// fraud proofs check.
+type Tx struct {
+	From        keys.Address
+	To          keys.Address
+	Amount      uint64
+	PrevBalance uint64
+}
+
+// txWireSize models the sidechain encoding of a transaction.
+const txWireSize = 2*keys.AddressSize + 16
+
+// Encode serializes the transaction as a Merkle leaf.
+func (t Tx) Encode() []byte {
+	buf := make([]byte, 0, txWireSize)
+	buf = append(buf, t.From[:]...)
+	buf = append(buf, t.To[:]...)
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], t.Amount)
+	buf = append(buf, scratch[:]...)
+	binary.BigEndian.PutUint64(scratch[:], t.PrevBalance)
+	return append(buf, scratch[:]...)
+}
+
+// Block is a sealed batch of sidechain transactions.
+type Block struct {
+	Number uint64
+	Txs    []Tx
+	tree   *merkle.Tree
+}
+
+// Root returns the block's Merkle root — the only bytes that reach the
+// root chain.
+func (b *Block) Root() hashx.Hash { return b.tree.Root() }
+
+// Prove returns the inclusion proof for the i-th transaction.
+func (b *Block) Prove(i int) (merkle.Proof, error) { return b.tree.Prove(i) }
+
+// CommitmentBytes is the on-chain footprint of one commitment: the root
+// plus the block number. This constant is the heart of the compression
+// argument: thousands of sidechain transactions cost the root chain 40
+// bytes.
+const CommitmentBytes = hashx.Size + 8
+
+// Commitment is one root-chain record.
+type Commitment struct {
+	Number uint64
+	Root   hashx.Hash
+}
+
+// Errors.
+var (
+	ErrNoBond       = errors.New("plasma: operator bond must be positive")
+	ErrSlashed      = errors.New("plasma: operator already slashed")
+	ErrUnknownBlock = errors.New("plasma: unknown committed block")
+	ErrProofInvalid = errors.New("plasma: merkle proof does not verify")
+	ErrTxHonest     = errors.New("plasma: transaction is not fraudulent")
+	ErrOverdraft    = errors.New("plasma: sender balance too low")
+	ErrExitTooSmall = errors.New("plasma: exit amount exceeds proven transfer")
+)
+
+// RootChain is the main-chain contract: it holds the operator's bond and
+// the sequence of commitments, verifies exits, and adjudicates fraud.
+type RootChain struct {
+	operator    keys.Address
+	bond        uint64
+	slashed     bool
+	commitments map[uint64]Commitment
+	latest      uint64
+	onChainByte int
+	exited      map[hashx.Hash]bool
+}
+
+// NewRootChain deploys the contract with the operator's bond at stake.
+func NewRootChain(operator keys.Address, bond uint64) (*RootChain, error) {
+	if bond == 0 {
+		return nil, ErrNoBond
+	}
+	return &RootChain{
+		operator:    operator,
+		bond:        bond,
+		commitments: make(map[uint64]Commitment),
+		exited:      make(map[hashx.Hash]bool),
+	}, nil
+}
+
+// Commit records a sidechain block root. Only the root and number touch
+// the chain.
+func (rc *RootChain) Commit(number uint64, root hashx.Hash) error {
+	if rc.slashed {
+		return ErrSlashed
+	}
+	rc.commitments[number] = Commitment{Number: number, Root: root}
+	if number > rc.latest {
+		rc.latest = number
+	}
+	rc.onChainByte += CommitmentBytes
+	return nil
+}
+
+// Commitments returns the number of recorded roots.
+func (rc *RootChain) Commitments() int { return len(rc.commitments) }
+
+// OnChainBytes returns the cumulative root-chain bytes consumed.
+func (rc *RootChain) OnChainBytes() int { return rc.onChainByte }
+
+// Bond returns the operator's remaining bond.
+func (rc *RootChain) Bond() uint64 {
+	if rc.slashed {
+		return 0
+	}
+	return rc.bond
+}
+
+// Slashed reports whether fraud was proven.
+func (rc *RootChain) Slashed() bool { return rc.slashed }
+
+// VerifyInclusion checks that tx is part of the committed block.
+func (rc *RootChain) VerifyInclusion(number uint64, tx Tx, proof merkle.Proof) error {
+	c, ok := rc.commitments[number]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlock, number)
+	}
+	if !merkle.VerifyData(c.Root, tx.Encode(), proof) {
+		return ErrProofInvalid
+	}
+	return nil
+}
+
+// Exit lets a user withdraw funds by proving a transfer to them was
+// committed. Each proven transfer can exit once.
+func (rc *RootChain) Exit(number uint64, tx Tx, proof merkle.Proof, amount uint64) error {
+	if err := rc.VerifyInclusion(number, tx, proof); err != nil {
+		return err
+	}
+	if amount > tx.Amount {
+		return ErrExitTooSmall
+	}
+	leaf := hashx.Sum(tx.Encode())
+	if rc.exited[leaf] {
+		return errors.New("plasma: transfer already exited")
+	}
+	rc.exited[leaf] = true
+	return nil
+}
+
+// SubmitFraudProof convicts the operator with an inclusion proof of a
+// transaction that overdraws its declared balance ("stakeholders need to
+// display proof of fraud and the Byzantine node gets penalized"). The
+// slashed bond is awarded to the prover.
+func (rc *RootChain) SubmitFraudProof(number uint64, tx Tx, proof merkle.Proof) (reward uint64, err error) {
+	if rc.slashed {
+		return 0, ErrSlashed
+	}
+	if err := rc.VerifyInclusion(number, tx, proof); err != nil {
+		return 0, err
+	}
+	if tx.Amount <= tx.PrevBalance {
+		return 0, ErrTxHonest
+	}
+	rc.slashed = true
+	reward = rc.bond
+	return reward, nil
+}
+
+// Operator runs the sidechain: it collects transactions, tracks balances,
+// seals blocks and commits their roots. A malicious operator can be
+// constructed with AllowFraud to exercise the fraud-proof path.
+type Operator struct {
+	kp         *keys.KeyPair
+	rc         *RootChain
+	balances   map[keys.Address]uint64
+	pending    []Tx
+	blocks     map[uint64]*Block
+	nextNumber uint64
+	allowFraud bool
+	txsTotal   int
+}
+
+// NewOperator creates a sidechain operator bound to a root chain.
+func NewOperator(kp *keys.KeyPair, rc *RootChain) *Operator {
+	return &Operator{
+		kp:         kp,
+		rc:         rc,
+		balances:   make(map[keys.Address]uint64),
+		blocks:     make(map[uint64]*Block),
+		nextNumber: 1,
+	}
+}
+
+// AllowFraud disables the operator's own overdraft check, modeling a
+// Byzantine operator.
+func (o *Operator) AllowFraud() { o.allowFraud = true }
+
+// Deposit credits a user on the sidechain (the on-chain deposit leg is
+// out of scope; experiments fund accounts directly).
+func (o *Operator) Deposit(addr keys.Address, amount uint64) {
+	o.balances[addr] += amount
+}
+
+// Balance returns a user's sidechain balance.
+func (o *Operator) Balance(addr keys.Address) uint64 { return o.balances[addr] }
+
+// Submit queues a transfer into the next block.
+func (o *Operator) Submit(from, to keys.Address, amount uint64) error {
+	bal := o.balances[from]
+	if !o.allowFraud && bal < amount {
+		return fmt.Errorf("%w: %d < %d", ErrOverdraft, bal, amount)
+	}
+	tx := Tx{From: from, To: to, Amount: amount, PrevBalance: bal}
+	o.pending = append(o.pending, tx)
+	// Apply optimistically (saturating when fraudulent).
+	if bal >= amount {
+		o.balances[from] = bal - amount
+	} else {
+		o.balances[from] = 0
+	}
+	o.balances[to] += amount
+	return nil
+}
+
+// Seal batches pending transactions into a block and commits its root.
+func (o *Operator) Seal() (*Block, error) {
+	leaves := make([][]byte, len(o.pending))
+	for i, tx := range o.pending {
+		leaves[i] = tx.Encode()
+	}
+	b := &Block{Number: o.nextNumber, Txs: o.pending, tree: merkle.New(leaves)}
+	if err := o.rc.Commit(b.Number, b.Root()); err != nil {
+		return nil, err
+	}
+	o.blocks[b.Number] = b
+	o.txsTotal += len(o.pending)
+	o.pending = nil
+	o.nextNumber++
+	return b, nil
+}
+
+// BlockByNumber returns a sealed block (users need it to build proofs;
+// data availability is assumed, as in the paper's non-faulty case).
+func (o *Operator) BlockByNumber(n uint64) (*Block, bool) {
+	b, ok := o.blocks[n]
+	return b, ok
+}
+
+// TxsCommitted returns the total sidechain transactions committed.
+func (o *Operator) TxsCommitted() int { return o.txsTotal }
+
+// SidechainBytes returns the modeled off-chain data footprint.
+func (o *Operator) SidechainBytes() int { return o.txsTotal * txWireSize }
+
+// CompressionRatio returns off-chain transaction bytes per on-chain
+// commitment byte — the §VI-A scalability win.
+func (o *Operator) CompressionRatio() float64 {
+	onChain := o.rc.OnChainBytes()
+	if onChain == 0 {
+		return 0
+	}
+	return float64(o.SidechainBytes()) / float64(onChain)
+}

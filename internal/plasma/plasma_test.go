@@ -1,0 +1,207 @@
+package plasma
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func setup(t *testing.T) (*Operator, *RootChain, *keys.Ring) {
+	t.Helper()
+	r := keys.NewRing("plasma-test", 8)
+	rc, err := NewRootChain(r.Addr(0), 1_000)
+	if err != nil {
+		t.Fatalf("NewRootChain: %v", err)
+	}
+	op := NewOperator(r.Pair(0), rc)
+	return op, rc, r
+}
+
+func TestRootChainValidation(t *testing.T) {
+	r := keys.NewRing("rc", 1)
+	if _, err := NewRootChain(r.Addr(0), 0); !errors.Is(err, ErrNoBond) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHappyPathCommitAndExit(t *testing.T) {
+	op, rc, r := setup(t)
+	op.Deposit(r.Addr(1), 100)
+	if err := op.Submit(r.Addr(1), r.Addr(2), 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Submit(r.Addr(1), r.Addr(3), 10); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := op.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Commitments() != 1 || rc.OnChainBytes() != CommitmentBytes {
+		t.Fatalf("commitments=%d bytes=%d", rc.Commitments(), rc.OnChainBytes())
+	}
+	if op.Balance(r.Addr(1)) != 50 || op.Balance(r.Addr(2)) != 40 {
+		t.Fatal("sidechain balances wrong")
+	}
+	// The recipient exits with an inclusion proof.
+	proof, err := blk.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Exit(blk.Number, blk.Txs[0], proof, 40); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+	// Double exit is rejected.
+	if err := rc.Exit(blk.Number, blk.Txs[0], proof, 40); err == nil {
+		t.Fatal("double exit accepted")
+	}
+	// Exiting more than the transfer is rejected.
+	proof1, _ := blk.Prove(1)
+	if err := rc.Exit(blk.Number, blk.Txs[1], proof1, 11); !errors.Is(err, ErrExitTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExitRejectsBadProofs(t *testing.T) {
+	op, rc, r := setup(t)
+	op.Deposit(r.Addr(1), 100)
+	op.Submit(r.Addr(1), r.Addr(2), 40)
+	blk, _ := op.Seal()
+	proof, _ := blk.Prove(0)
+
+	// Unknown block.
+	if err := rc.Exit(99, blk.Txs[0], proof, 40); !errors.Is(err, ErrUnknownBlock) {
+		t.Fatalf("err = %v", err)
+	}
+	// Tampered transaction.
+	forged := blk.Txs[0]
+	forged.Amount = 4_000
+	if err := rc.Exit(blk.Number, forged, proof, 4_000); !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHonestOperatorRejectsOverdraft(t *testing.T) {
+	op, _, r := setup(t)
+	op.Deposit(r.Addr(1), 10)
+	if err := op.Submit(r.Addr(1), r.Addr(2), 11); !errors.Is(err, ErrOverdraft) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// §VI-A's faulty state: a Byzantine operator commits an invalid transfer;
+// a stakeholder proves fraud and the operator's bond is slashed.
+func TestFraudProofSlashesOperator(t *testing.T) {
+	op, rc, r := setup(t)
+	op.AllowFraud()
+	op.Deposit(r.Addr(1), 10)
+	// Fraud: spend 1000 from an account holding 10.
+	if err := op.Submit(r.Addr(1), r.Addr(2), 1_000); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := op.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _ := blk.Prove(0)
+	reward, err := rc.SubmitFraudProof(blk.Number, blk.Txs[0], proof)
+	if err != nil {
+		t.Fatalf("SubmitFraudProof: %v", err)
+	}
+	if reward != 1_000 {
+		t.Fatalf("reward = %d, want the full bond", reward)
+	}
+	if !rc.Slashed() || rc.Bond() != 0 {
+		t.Fatal("operator not slashed")
+	}
+	// A slashed operator can no longer commit.
+	if err := rc.Commit(99, blk.Root()); !errors.Is(err, ErrSlashed) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := rc.SubmitFraudProof(blk.Number, blk.Txs[0], proof); !errors.Is(err, ErrSlashed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFraudProofRejectsHonestTx(t *testing.T) {
+	op, rc, r := setup(t)
+	op.Deposit(r.Addr(1), 100)
+	op.Submit(r.Addr(1), r.Addr(2), 40)
+	blk, _ := op.Seal()
+	proof, _ := blk.Prove(0)
+	if _, err := rc.SubmitFraudProof(blk.Number, blk.Txs[0], proof); !errors.Is(err, ErrTxHonest) {
+		t.Fatalf("err = %v", err)
+	}
+	if rc.Slashed() {
+		t.Fatal("honest tx slashed the operator")
+	}
+}
+
+// The compression claim: thousands of sidechain transactions cost the
+// root chain a few dozen bytes per block.
+func TestCompressionRatio(t *testing.T) {
+	op, rc, r := setup(t)
+	op.Deposit(r.Addr(1), 1_000_000)
+	const perBlock = 1_000
+	for blkN := 0; blkN < 5; blkN++ {
+		for i := 0; i < perBlock; i++ {
+			if err := op.Submit(r.Addr(1), r.Addr(2), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := op.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if op.TxsCommitted() != 5*perBlock {
+		t.Fatalf("committed = %d", op.TxsCommitted())
+	}
+	if rc.OnChainBytes() != 5*CommitmentBytes {
+		t.Fatalf("on-chain bytes = %d", rc.OnChainBytes())
+	}
+	ratio := op.CompressionRatio()
+	// 1000 txs × 56 B vs 40 B on chain → ≈1400× per block.
+	if ratio < 1_000 {
+		t.Fatalf("compression ratio = %.0f, want > 1000", ratio)
+	}
+	// Fresh operator with no commitments has ratio 0.
+	rc2, _ := NewRootChain(r.Addr(0), 1)
+	if NewOperator(r.Pair(0), rc2).CompressionRatio() != 0 {
+		t.Fatal("empty operator ratio should be 0")
+	}
+}
+
+func TestBlockByNumber(t *testing.T) {
+	op, _, r := setup(t)
+	op.Deposit(r.Addr(1), 10)
+	op.Submit(r.Addr(1), r.Addr(2), 5)
+	blk, _ := op.Seal()
+	got, ok := op.BlockByNumber(blk.Number)
+	if !ok || got.Root() != blk.Root() {
+		t.Fatal("BlockByNumber lookup failed")
+	}
+	if _, ok := op.BlockByNumber(42); ok {
+		t.Fatal("phantom block found")
+	}
+}
+
+func BenchmarkSeal1000Txs(b *testing.B) {
+	r := keys.NewRing("plasma-bench", 3)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rc, err := NewRootChain(r.Addr(0), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		op := NewOperator(r.Pair(0), rc)
+		op.Deposit(r.Addr(1), 1<<40)
+		for j := 0; j < 1000; j++ {
+			op.Submit(r.Addr(1), r.Addr(2), 1)
+		}
+		b.StartTimer()
+		if _, err := op.Seal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package pow
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+)
+
+func TestMineAndVerifyHeader(t *testing.T) {
+	h := &chain.Header{Height: 1, Difficulty: 256} // ~8 zero bits
+	nonce, ok := MineHeader(h, 1<<20)
+	if !ok {
+		t.Fatal("failed to mine difficulty-256 header in 2^20 attempts")
+	}
+	if h.Nonce != nonce {
+		t.Fatal("MineHeader must set the header nonce")
+	}
+	if !VerifyHeader(h) {
+		t.Fatal("mined header does not verify")
+	}
+	h.Nonce++
+	if VerifyHeader(h) {
+		t.Fatal("altered nonce should (overwhelmingly) fail verification")
+	}
+}
+
+func TestMineHeaderGivesUp(t *testing.T) {
+	h := &chain.Header{Difficulty: math.Pow(2, 60)}
+	if _, ok := MineHeader(h, 10); ok {
+		t.Fatal("2^60 difficulty in 10 attempts is effectively impossible")
+	}
+}
+
+func TestBitcoinRetarget(t *testing.T) {
+	cases := []struct {
+		name             string
+		prev             float64
+		actual, expected time.Duration
+		want             float64
+	}{
+		{"on schedule", 1000, 20 * time.Minute, 20 * time.Minute, 1000},
+		{"too fast doubles", 1000, 10 * time.Minute, 20 * time.Minute, 2000},
+		{"too slow halves", 1000, 40 * time.Minute, 20 * time.Minute, 500},
+		{"clamped up", 1000, time.Minute, 20 * time.Minute, 4000},
+		{"clamped down", 1000, 200 * time.Minute, 20 * time.Minute, 250},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := BitcoinRetarget(tc.prev, tc.actual, tc.expected, 4)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("got %g, want %g", got, tc.want)
+			}
+		})
+	}
+	if BitcoinRetarget(1000, 0, time.Minute, 4) != 1000 {
+		t.Fatal("degenerate input should return prev")
+	}
+	if BitcoinRetarget(0.5, time.Minute, time.Minute, 4) < 1 {
+		t.Fatal("difficulty must not drop below 1")
+	}
+}
+
+func TestEthereumAdjustConverges(t *testing.T) {
+	// Fast blocks raise difficulty, slow blocks lower it.
+	if EthereumAdjust(1e6, 2*time.Second) <= 1e6 {
+		t.Fatal("fast block should raise difficulty")
+	}
+	if EthereumAdjust(1e6, 30*time.Second) >= 1e6 {
+		t.Fatal("slow block should lower difficulty")
+	}
+	// The -99 clamp bounds the drop.
+	next := EthereumAdjust(1e6, time.Hour)
+	if next < 1e6*(1-99.0/2048)-1 {
+		t.Fatalf("clamp violated: %g", next)
+	}
+	if EthereumAdjust(1, time.Hour) < 1 {
+		t.Fatal("difficulty must not drop below 1")
+	}
+}
+
+func TestLotteryRejectsNoHashRate(t *testing.T) {
+	if _, err := NewLottery(nil); !errors.Is(err, ErrNoHashRate) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewLottery([]Miner{{ID: 1, HashRate: 0}}); !errors.Is(err, ErrNoHashRate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// The PoW lottery must elect leaders proportionally to hash power — the
+// core fairness property of §III-A1.
+func TestLotteryWinnerProportional(t *testing.T) {
+	l, err := NewLottery([]Miner{
+		{ID: 0, HashRate: 10},
+		{ID: 1, HashRate: 30},
+		{ID: 2, HashRate: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	wins := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		wins[l.SampleWinner(rng)]++
+	}
+	for id, wantFrac := range map[int]float64{0: 0.10, 1: 0.30, 2: 0.60} {
+		got := float64(wins[id]) / n
+		if math.Abs(got-wantFrac) > 0.01 {
+			t.Fatalf("miner %d won %.3f, want ≈%.2f", id, got, wantFrac)
+		}
+	}
+}
+
+func TestLotteryIntervalMean(t *testing.T) {
+	l, err := NewLottery([]Miner{{ID: 0, HashRate: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	difficulty := l.DifficultyForInterval(10 * time.Second)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += l.SampleInterval(rng, difficulty)
+	}
+	mean := sum.Seconds() / n
+	if mean < 9.5 || mean > 10.5 {
+		t.Fatalf("mean interval = %.2f s, want ≈10 s", mean)
+	}
+}
+
+func TestDifficultyForIntervalFloor(t *testing.T) {
+	l, _ := NewLottery([]Miner{{ID: 0, HashRate: 0.001}})
+	if l.DifficultyForInterval(time.Nanosecond) < 1 {
+		t.Fatal("difficulty must be at least 1")
+	}
+}
+
+func TestCatchUpProbabilityKnownValues(t *testing.T) {
+	// Reference values from Nakamoto's paper (section 11).
+	cases := []struct {
+		q    float64
+		z    int
+		want float64
+	}{
+		{0.10, 0, 1.0},
+		{0.10, 5, 0.0009137},
+		{0.10, 10, 0.0000012},
+		{0.30, 5, 0.1773523},
+		{0.30, 10, 0.0416605},
+	}
+	for _, tc := range cases {
+		got := CatchUpProbability(tc.q, tc.z)
+		if math.Abs(got-tc.want) > 1e-4 {
+			t.Fatalf("P(q=%.2f, z=%d) = %.7f, want %.7f", tc.q, tc.z, got, tc.want)
+		}
+	}
+}
+
+func TestCatchUpProbabilityBounds(t *testing.T) {
+	if CatchUpProbability(0, 6) != 0 {
+		t.Fatal("q=0 should never catch up")
+	}
+	if CatchUpProbability(0.5, 6) != 1 {
+		t.Fatal("q=0.5 always catches up")
+	}
+	if CatchUpProbability(0.7, 6) != 1 {
+		t.Fatal("majority attacker always catches up")
+	}
+	// Monotone decreasing in z.
+	prev := 1.1
+	for z := 0; z <= 12; z++ {
+		p := CatchUpProbability(0.25, z)
+		if p > prev {
+			t.Fatalf("P not monotone at z=%d: %g > %g", z, p, prev)
+		}
+		prev = p
+	}
+}
+
+// §IV-A: "six for Bitcoin" — with q ≈ 10% the classic 6-block rule gives
+// < 0.1% attacker success.
+func TestConfirmationsForRiskMatchesPaperGuidance(t *testing.T) {
+	z := ConfirmationsForRisk(0.10, 0.001, 50)
+	if z != 5 && z != 6 {
+		t.Fatalf("q=10%%, risk 0.1%% needs z=%d, expected ≈6 (Nakamoto gives 5)", z)
+	}
+	// Ethereum's 5–11 window corresponds to similar risk at slightly
+	// different q; at q=30% the same risk needs many more blocks.
+	z30 := ConfirmationsForRisk(0.30, 0.001, 100)
+	if z30 <= z {
+		t.Fatal("stronger attacker must require more confirmations")
+	}
+	if ConfirmationsForRisk(0.5, 0.001, 100) != -1 {
+		t.Fatal("q >= 0.5 can never be safe")
+	}
+}
+
+func TestExpectedOrphanRate(t *testing.T) {
+	// Bitcoin-like: 10s propagation vs 600s interval → ~1.65% stale rate.
+	r := ExpectedOrphanRate(10*time.Second, 600*time.Second)
+	if r < 0.015 || r > 0.018 {
+		t.Fatalf("orphan rate = %.4f, want ≈0.0165", r)
+	}
+	// Ethereum-like: same delay vs 15s interval → far higher.
+	r2 := ExpectedOrphanRate(10*time.Second, 15*time.Second)
+	if r2 <= r {
+		t.Fatal("shorter interval must raise orphan rate")
+	}
+	if ExpectedOrphanRate(time.Second, 0) != 1 {
+		t.Fatal("zero interval should saturate at 1")
+	}
+}
+
+func BenchmarkMineHeaderDifficulty4096(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := &chain.Header{Height: uint64(i), Difficulty: 4096}
+		if _, ok := MineHeader(h, 1<<24); !ok {
+			b.Fatal("mining failed")
+		}
+	}
+}
+
+func BenchmarkSampleWinner(b *testing.B) {
+	miners := make([]Miner, 1000)
+	for i := range miners {
+		miners[i] = Miner{ID: i, HashRate: float64(i + 1)}
+	}
+	l, err := NewLottery(miners)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.SampleWinner(rng)
+	}
+}

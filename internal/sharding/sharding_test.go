@@ -1,0 +1,266 @@
+package sharding
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestHomeShardStableAndSpread(t *testing.T) {
+	r := keys.NewRing("shard-home", 256)
+	const k = 8
+	counts := make([]int, k)
+	for i := 0; i < r.Len(); i++ {
+		s := HomeShard(r.Addr(i), k)
+		if s != HomeShard(r.Addr(i), k) {
+			t.Fatal("home shard not stable")
+		}
+		if s < 0 || s >= k {
+			t.Fatalf("shard %d out of range", s)
+		}
+		counts[s]++
+	}
+	// Rough uniformity: every shard sees at least a few accounts.
+	for i, c := range counts {
+		if c < 8 {
+			t.Fatalf("shard %d got only %d/256 accounts", i, c)
+		}
+	}
+	if HomeShard(r.Addr(0), 0) != 0 {
+		t.Fatal("degenerate k should map to shard 0")
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(0); !errors.Is(err, ErrBadShardCount) {
+		t.Fatalf("err = %v", err)
+	}
+	n, err := NewNetwork(4)
+	if err != nil || n.K() != 4 {
+		t.Fatalf("K = %d (%v)", n.K(), err)
+	}
+}
+
+// findPair returns two ring indices homed on the same / different shards.
+func findPair(r *keys.Ring, k int, same bool) (int, int) {
+	for i := 0; i < r.Len(); i++ {
+		for j := i + 1; j < r.Len(); j++ {
+			a, b := HomeShard(r.Addr(i), k), HomeShard(r.Addr(j), k)
+			if (a == b) == same {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+func TestLocalTransfer(t *testing.T) {
+	r := keys.NewRing("shard-local", 64)
+	n, _ := NewNetwork(4)
+	i, j := findPair(r, 4, true)
+	if i < 0 {
+		t.Fatal("no same-shard pair found")
+	}
+	n.Fund(r.Addr(i), 100)
+	if err := n.Transfer(r.Addr(i), r.Addr(j), 30); err != nil {
+		t.Fatal(err)
+	}
+	if n.Balance(r.Addr(i)) != 70 || n.Balance(r.Addr(j)) != 30 {
+		t.Fatal("local transfer balances wrong")
+	}
+	st := n.Load()
+	if st.LocalTxs != 1 || st.CrossTxs != 0 {
+		t.Fatalf("load = %+v", st)
+	}
+}
+
+func TestCrossShardTransferSettlesViaReceipts(t *testing.T) {
+	r := keys.NewRing("shard-cross", 64)
+	n, _ := NewNetwork(4)
+	i, j := findPair(r, 4, false)
+	if i < 0 {
+		t.Fatal("no cross-shard pair found")
+	}
+	n.Fund(r.Addr(i), 100)
+	if err := n.Transfer(r.Addr(i), r.Addr(j), 30); err != nil {
+		t.Fatal(err)
+	}
+	// Debited immediately, credited only after the receipt round.
+	if n.Balance(r.Addr(i)) != 70 {
+		t.Fatal("source not debited")
+	}
+	if n.Balance(r.Addr(j)) != 0 {
+		t.Fatal("destination credited before receipt relay")
+	}
+	if err := n.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Balance(r.Addr(j)) != 30 {
+		t.Fatal("receipt not applied")
+	}
+	st := n.Load()
+	if st.CrossTxs != 1 {
+		t.Fatalf("cross count = %d", st.CrossTxs)
+	}
+	// Two-phase cost: 2 executions for 1 logical transfer.
+	if st.TotalWork != 2 || st.PerTxWork != 2 {
+		t.Fatalf("work = %+v", st)
+	}
+}
+
+func TestTransferInsufficient(t *testing.T) {
+	r := keys.NewRing("shard-insuf", 8)
+	n, _ := NewNetwork(2)
+	if err := n.Transfer(r.Addr(0), r.Addr(1), 1); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReceiptReplayAndForgery(t *testing.T) {
+	r := keys.NewRing("shard-replay", 64)
+	n, _ := NewNetwork(4)
+	i, j := findPair(r, 4, false)
+	n.Fund(r.Addr(i), 100)
+	n.Transfer(r.Addr(i), r.Addr(j), 30)
+
+	src := n.Shard(HomeShard(r.Addr(i), 4))
+	blk := src.Seal()
+	if len(blk.Receipts) != 1 {
+		t.Fatalf("receipts = %d", len(blk.Receipts))
+	}
+	proof, err := blk.ProveReceipt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := n.Shard(HomeShard(r.Addr(j), 4))
+	if err := dst.ApplyReceipt(blk, blk.Receipts[0], proof); err != nil {
+		t.Fatal(err)
+	}
+	// Replay rejected.
+	if err := dst.ApplyReceipt(blk, blk.Receipts[0], proof); !errors.Is(err, ErrReplay) {
+		t.Fatalf("err = %v", err)
+	}
+	// Forged amount rejected by the proof.
+	forged := blk.Receipts[0]
+	forged.Amount *= 10
+	if err := dst.ApplyReceipt(blk, forged, proof); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong destination shard refuses the receipt.
+	wrongShard := n.Shard((dst.ID() + 1) % 4)
+	if err := wrongShard.ApplyReceipt(blk, blk.Receipts[0], proof); !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// §VII's scalability definition: with K shards, the busiest shard handles
+// roughly 1/K of the traffic — "every node does not need to process every
+// transaction".
+func TestLoadFactorDropsWithShards(t *testing.T) {
+	r := keys.NewRing("shard-load", 128)
+	factors := map[int]float64{}
+	for _, k := range []int{1, 4, 16} {
+		n, _ := NewNetwork(k)
+		for i := 0; i < r.Len(); i++ {
+			n.Fund(r.Addr(i), 1_000)
+		}
+		// Uniform random-ish traffic: each account pays the next.
+		for round := 0; round < 20; round++ {
+			for i := 0; i < r.Len(); i++ {
+				j := (i + round + 1) % r.Len()
+				if err := n.Transfer(r.Addr(i), r.Addr(j), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := n.SealAll(); err != nil {
+			t.Fatal(err)
+		}
+		factors[k] = n.Load().LoadFactor
+	}
+	if !(factors[1] >= 0.99) {
+		t.Fatalf("k=1 load factor = %.2f, want ≈1", factors[1])
+	}
+	if !(factors[4] < factors[1] && factors[16] < factors[4]) {
+		t.Fatalf("load factor not decreasing: %v", factors)
+	}
+	if factors[16] > 0.25 {
+		t.Fatalf("k=16 load factor = %.2f, want well below 0.25", factors[16])
+	}
+}
+
+func TestValueConservation(t *testing.T) {
+	r := keys.NewRing("shard-conserve", 32)
+	n, _ := NewNetwork(8)
+	var supply uint64
+	for i := 0; i < r.Len(); i++ {
+		n.Fund(r.Addr(i), 100)
+		supply += 100
+	}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < r.Len(); i++ {
+			n.Transfer(r.Addr(i), r.Addr((i+3)%r.Len()), 5)
+		}
+		if err := n.SealAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total uint64
+	for i := 0; i < r.Len(); i++ {
+		total += n.Balance(r.Addr(i))
+	}
+	if total != supply {
+		t.Fatalf("supply leaked: %d != %d", total, supply)
+	}
+}
+
+func TestCapacityTPS(t *testing.T) {
+	// K=1 degenerates to the node rate.
+	if CapacityTPS(1, 100, 0) != 100 {
+		t.Fatal("k=1 capacity wrong")
+	}
+	// Linear in K with no cross traffic.
+	if CapacityTPS(16, 100, 0) != 1600 {
+		t.Fatal("linear scaling violated")
+	}
+	// Cross traffic erodes it: full cross = half capacity.
+	if math.Abs(CapacityTPS(16, 100, 1)-800) > 1e-9 {
+		t.Fatal("cross-shard erosion wrong")
+	}
+	// Clamps.
+	if CapacityTPS(16, 100, 2) != CapacityTPS(16, 100, 1) {
+		t.Fatal("crossFraction > 1 should clamp")
+	}
+	if CapacityTPS(16, 100, -1) != CapacityTPS(16, 100, 0) {
+		t.Fatal("negative crossFraction should clamp")
+	}
+	if CapacityTPS(0, 100, 0) != 0 || CapacityTPS(4, 0, 0) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+}
+
+func BenchmarkShardedTransfers(b *testing.B) {
+	r := keys.NewRing("shard-bench", 256)
+	n, err := NewNetwork(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < r.Len(); i++ {
+		n.Fund(r.Addr(i), 1<<40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := r.Addr(i % 256)
+		to := r.Addr((i + 7) % 256)
+		if err := n.Transfer(from, to, 1); err != nil {
+			b.Fatal(err)
+		}
+		if i%4096 == 4095 {
+			if err := n.SealAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,433 @@
+// Package sim is a deterministic discrete-event simulator with a virtual
+// clock. All whole-network experiments run on it: Proof-of-Work block races
+// (paper §III-A), soft forks caused by propagation delay (§IV-A, Fig. 4),
+// Nano vote gossip (§IV-B) and the throughput experiments of §VI, where
+// "real world limitations, e.g., network conditions and processing power"
+// are exactly the latency and per-node processing budgets modeled here.
+//
+// The simulator is single-threaded: events execute one at a time in
+// (time, sequence) order, so runs are reproducible bit-for-bit from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID uint64
+
+type event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock, the pending-event queue and the seeded
+// random source shared by the whole simulation.
+type Simulator struct {
+	now     time.Duration
+	queue   eventHeap
+	nextSeq uint64
+	byID    map[EventID]*event
+	rng     *rand.Rand
+	ran     uint64
+}
+
+// New creates a simulator whose randomness derives entirely from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		byID: make(map[EventID]*event),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time (zero at simulation start).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// EventsRun returns how many events have executed, a cheap progress and
+// runaway-loop indicator.
+func (s *Simulator) EventsRun() uint64 { return s.ran }
+
+// Pending returns the number of events still queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Times in the past are
+// clamped to now (the event still runs after the current one finishes).
+func (s *Simulator) At(t time.Duration, fn func()) EventID {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	id := EventID(ev.seq)
+	s.byID[id] = ev
+	return id
+}
+
+// After schedules fn to run d from now.
+func (s *Simulator) After(d time.Duration, fn func()) EventID {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from running. Canceling an event that
+// already ran (or was already canceled) is a no-op.
+func (s *Simulator) Cancel(id EventID) {
+	if ev, ok := s.byID[id]; ok {
+		ev.canceled = true
+		delete(s.byID, id)
+	}
+}
+
+// Step executes the next event, if any, advancing the clock to its time.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		delete(s.byID, EventID(ev.seq))
+		s.now = ev.at
+		s.ran++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or maxEvents have run;
+// maxEvents <= 0 means no limit. It returns the number of events executed.
+func (s *Simulator) Run(maxEvents uint64) uint64 {
+	start := s.ran
+	for maxEvents <= 0 || s.ran-start < maxEvents {
+		if !s.Step() {
+			break
+		}
+	}
+	return s.ran - start
+}
+
+// RunUntil executes all events scheduled up to and including t, then sets
+// the clock to t.
+func (s *Simulator) RunUntil(t time.Duration) {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for a span of virtual time from now.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Exp samples an exponentially distributed duration with the given mean,
+// the inter-arrival law of Poisson processes (PoW block discovery).
+func Exp(rng *rand.Rand, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// Uniform samples a duration uniformly from [lo, hi].
+func Uniform(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
+}
+
+// NodeID indexes a node within a Network.
+type NodeID int
+
+// Handler consumes a message delivered to a node.
+type Handler func(from NodeID, payload any, size int)
+
+// LinkModel decides per-message delay and loss.
+type LinkModel interface {
+	// Delay returns the propagation delay for size bytes from one node to
+	// another, and whether the message is delivered at all.
+	Delay(rng *rand.Rand, from, to NodeID, size int) (time.Duration, bool)
+}
+
+// UniformLinks is a simple symmetric link model: latency uniform in
+// [MinLatency, MaxLatency], optional bandwidth serialization and loss.
+type UniformLinks struct {
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// BytesPerSec adds size/BytesPerSec of serialization delay when > 0.
+	BytesPerSec float64
+	// DropRate is the probability a message is lost, in [0, 1).
+	DropRate float64
+}
+
+// Delay implements LinkModel.
+func (u UniformLinks) Delay(rng *rand.Rand, _, _ NodeID, size int) (time.Duration, bool) {
+	if u.DropRate > 0 && rng.Float64() < u.DropRate {
+		return 0, false
+	}
+	d := Uniform(rng, u.MinLatency, u.MaxLatency)
+	if u.BytesPerSec > 0 {
+		d += time.Duration(float64(size) / u.BytesPerSec * float64(time.Second))
+	}
+	return d, true
+}
+
+// RegionLinks models a geo-distributed network: each node belongs to a
+// region; intra-region messages are fast, inter-region messages slow.
+type RegionLinks struct {
+	// Region maps each node to its region index.
+	Region []int
+	// Intra and Inter are the base latencies within and across regions.
+	Intra, Inter time.Duration
+	// JitterFrac adds ±JitterFrac of random jitter to the base latency.
+	JitterFrac float64
+	// BytesPerSec adds serialization delay when > 0.
+	BytesPerSec float64
+}
+
+// Delay implements LinkModel.
+func (r RegionLinks) Delay(rng *rand.Rand, from, to NodeID, size int) (time.Duration, bool) {
+	base := r.Inter
+	if int(from) < len(r.Region) && int(to) < len(r.Region) && r.Region[from] == r.Region[to] {
+		base = r.Intra
+	}
+	d := base
+	if r.JitterFrac > 0 {
+		j := 1 + r.JitterFrac*(2*rng.Float64()-1)
+		d = time.Duration(float64(base) * j)
+	}
+	if r.BytesPerSec > 0 {
+		d += time.Duration(float64(size) / r.BytesPerSec * float64(time.Second))
+	}
+	return d, true
+}
+
+// NetStats counts network traffic.
+type NetStats struct {
+	MessagesSent int
+	BytesSent    int64
+	Dropped      int
+	Partitioned  int
+}
+
+// Network connects handlers through a link model on a simulator. Optional
+// per-node processing budgets serialize message handling, modeling the
+// "quality of consumer grade hardware" bound the paper gives for Nano
+// throughput (§VI-B).
+type Network struct {
+	sim       *Simulator
+	handlers  []Handler
+	links     LinkModel
+	group     []int // partition group per node; same group = connected
+	peers     [][]NodeID
+	procCost  func(to NodeID, payload any, size int) time.Duration
+	busyUntil []time.Duration
+	stats     NetStats
+}
+
+// NewNetwork creates an empty network over the simulator and link model.
+func NewNetwork(s *Simulator, links LinkModel) *Network {
+	return &Network{sim: s, links: links}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *Simulator { return n.sim }
+
+// AddNode registers a handler and returns its NodeID. A nil handler can be
+// set later with SetHandler (nodes often need their ID to construct).
+func (n *Network) AddNode(h Handler) NodeID {
+	n.handlers = append(n.handlers, h)
+	n.group = append(n.group, 0)
+	n.busyUntil = append(n.busyUntil, 0)
+	return NodeID(len(n.handlers) - 1)
+}
+
+// SetHandler binds the handler for an existing node.
+func (n *Network) SetHandler(id NodeID, h Handler) { n.handlers[id] = h }
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.handlers) }
+
+// SetProcessing installs a per-message processing-cost model. When set,
+// each node handles messages serially: a message's handler runs only when
+// the node is free, and occupies it for the returned cost.
+func (n *Network) SetProcessing(cost func(to NodeID, payload any, size int) time.Duration) {
+	n.procCost = cost
+}
+
+// Partition assigns nodes to connectivity groups; messages across groups
+// are dropped until Heal is called. Nodes default to group 0.
+func (n *Network) Partition(groups map[NodeID]int) {
+	for id, g := range groups {
+		if int(id) < len(n.group) {
+			n.group[id] = g
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	for i := range n.group {
+		n.group[i] = 0
+	}
+}
+
+// SetPeers installs a gossip topology; SendToPeers fans out along it.
+func (n *Network) SetPeers(peers [][]NodeID) { n.peers = peers }
+
+// Peers returns the peer list of a node (nil when no topology installed).
+func (n *Network) Peers(id NodeID) []NodeID {
+	if n.peers == nil || int(id) >= len(n.peers) {
+		return nil
+	}
+	return n.peers[id]
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() NetStats { return n.stats }
+
+// Send delivers payload from one node to another through the link model.
+// Delivery is scheduled on the simulator; the handler runs at arrival time
+// (plus queueing when a processing model is installed).
+func (n *Network) Send(from, to NodeID, payload any, size int) {
+	if int(to) >= len(n.handlers) || n.handlers[to] == nil {
+		return
+	}
+	if n.group[from] != n.group[to] {
+		n.stats.Partitioned++
+		return
+	}
+	delay, ok := n.links.Delay(n.sim.rng, from, to, size)
+	if !ok {
+		n.stats.Dropped++
+		return
+	}
+	n.stats.MessagesSent++
+	n.stats.BytesSent += int64(size)
+	arrival := n.sim.Now() + delay
+	n.sim.At(arrival, func() { n.deliver(from, to, payload, size) })
+}
+
+// deliver runs the destination handler, honoring the processing budget.
+func (n *Network) deliver(from, to NodeID, payload any, size int) {
+	if n.procCost == nil {
+		n.handlers[to](from, payload, size)
+		return
+	}
+	start := n.sim.Now()
+	if b := n.busyUntil[to]; b > start {
+		start = b
+	}
+	cost := n.procCost(to, payload, size)
+	n.busyUntil[to] = start + cost
+	if start == n.sim.Now() {
+		n.handlers[to](from, payload, size)
+		return
+	}
+	n.sim.At(start, func() { n.handlers[to](from, payload, size) })
+}
+
+// BroadcastAll sends payload from one node directly to every other node.
+// It models an idealized relay network; gossip via SetPeers/SendToPeers is
+// the realistic alternative.
+func (n *Network) BroadcastAll(from NodeID, payload any, size int) {
+	for id := range n.handlers {
+		if NodeID(id) != from {
+			n.Send(from, NodeID(id), payload, size)
+		}
+	}
+}
+
+// SendToPeers sends payload from a node to each of its gossip peers.
+func (n *Network) SendToPeers(from NodeID, payload any, size int) {
+	for _, p := range n.Peers(from) {
+		n.Send(from, p, payload, size)
+	}
+}
+
+// RandomPeers builds a random undirected topology where every node has at
+// least degree peers (more when chosen by others). It panics if degree is
+// infeasible for n nodes.
+func RandomPeers(rng *rand.Rand, n, degree int) [][]NodeID {
+	if degree >= n {
+		panic(fmt.Sprintf("sim: degree %d infeasible for %d nodes", degree, n))
+	}
+	adj := make([]map[NodeID]bool, n)
+	for i := range adj {
+		adj[i] = make(map[NodeID]bool, degree*2)
+	}
+	for i := 0; i < n; i++ {
+		for len(adj[i]) < degree {
+			j := NodeID(rng.Intn(n))
+			if int(j) == i {
+				continue
+			}
+			adj[i][j] = true
+			adj[j][NodeID(i)] = true
+		}
+	}
+	out := make([][]NodeID, n)
+	for i, set := range adj {
+		out[i] = make([]NodeID, 0, len(set))
+		for p := range set {
+			out[i] = append(out[i], p)
+		}
+		// Sort for determinism: map iteration order is random.
+		sortNodeIDs(out[i])
+	}
+	return out
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

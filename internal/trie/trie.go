@@ -1,0 +1,469 @@
+// Package trie implements a persistent (copy-on-write) Merkle Patricia-style
+// trie. It is the substrate for the Ethereum-like world state the paper
+// discusses in §V-A: every block commits to a state root, historical roots
+// share unchanged subtrees ("deltas in the global state"), pruning discards
+// the node sets only reachable from old roots, and fast sync enumerates the
+// full key/value set at a pivot root to rebuild state without replaying
+// history.
+//
+// The trie is hexary with two node kinds, branch and leaf; shared key
+// prefixes form chains of single-child branches. This keeps the structure
+// canonical — the root hash depends only on the key/value content, never on
+// the insertion order — which the tests verify by property checking.
+//
+// A Trie value is immutable: Put and Delete return a new Trie that shares
+// all untouched nodes with its parent. Tries are not safe for concurrent
+// mutation but any number of goroutines may read distinct Trie values.
+package trie
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"repro/internal/hashx"
+)
+
+// node is either a *leafNode or a *branchNode.
+type node interface {
+	// hash returns the Merkle digest of the subtree, memoizing it.
+	hash() hashx.Hash
+	// encodedSize returns the modeled on-disk size of this single node.
+	encodedSize() int
+}
+
+// leafNode stores the remaining key path (in nibbles) and the value.
+type leafNode struct {
+	path  []byte // nibbles remaining below the parent
+	value []byte
+	memo  hashx.Hash
+	done  bool
+}
+
+// branchNode fans out on the next nibble; value is set when a key
+// terminates exactly at this node (a key that is a prefix of another).
+type branchNode struct {
+	children [16]node
+	value    []byte // nil means no value terminates here
+	memo     hashx.Hash
+	done     bool
+}
+
+func (l *leafNode) hash() hashx.Hash {
+	if l.done {
+		return l.memo
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(l.path)))
+	l.memo = hashx.Concat([]byte{0x02}, lenBuf[:], l.path, l.value)
+	l.done = true
+	return l.memo
+}
+
+func (l *leafNode) encodedSize() int { return 1 + 4 + len(l.path) + len(l.value) }
+
+func (b *branchNode) hash() hashx.Hash {
+	if b.done {
+		return b.memo
+	}
+	buf := make([]byte, 0, 1+16*hashx.Size+1+len(b.value))
+	buf = append(buf, 0x01)
+	for _, c := range b.children {
+		if c == nil {
+			buf = append(buf, hashx.Zero[:]...)
+		} else {
+			h := c.hash()
+			buf = append(buf, h[:]...)
+		}
+	}
+	if b.value != nil {
+		buf = append(buf, 0x01)
+		buf = append(buf, b.value...)
+	} else {
+		buf = append(buf, 0x00)
+	}
+	b.memo = hashx.Sum(buf)
+	b.done = true
+	return b.memo
+}
+
+func (b *branchNode) encodedSize() int {
+	// 16 child references plus the optional value.
+	return 1 + 16*hashx.Size + 1 + len(b.value)
+}
+
+// Trie is an immutable key/value map with a Merkle root. The zero value is
+// the empty trie.
+type Trie struct {
+	root  node
+	count int
+}
+
+// Empty returns the empty trie.
+func Empty() *Trie { return &Trie{} }
+
+// Len returns the number of keys stored.
+func (t *Trie) Len() int { return t.count }
+
+// Root returns the Merkle root of the trie, or hashx.Zero when empty.
+func (t *Trie) Root() hashx.Hash {
+	if t.root == nil {
+		return hashx.Zero
+	}
+	return t.root.hash()
+}
+
+// nibbles expands a key into 4-bit digits, high nibble first.
+func nibbles(key []byte) []byte {
+	out := make([]byte, 0, 2*len(key))
+	for _, b := range key {
+		out = append(out, b>>4, b&0x0F)
+	}
+	return out
+}
+
+// packNibbles reassembles a full nibble path into the original key bytes.
+// The path length is always even for byte keys.
+func packNibbles(path []byte) []byte {
+	out := make([]byte, len(path)/2)
+	for i := range out {
+		out[i] = path[2*i]<<4 | path[2*i+1]
+	}
+	return out
+}
+
+// Get returns the value stored under key, or ok=false.
+func (t *Trie) Get(key []byte) (value []byte, ok bool) {
+	n := t.root
+	path := nibbles(key)
+	for {
+		switch cur := n.(type) {
+		case nil:
+			return nil, false
+		case *leafNode:
+			if bytes.Equal(cur.path, path) {
+				return cur.value, true
+			}
+			return nil, false
+		case *branchNode:
+			if len(path) == 0 {
+				if cur.value == nil {
+					return nil, false
+				}
+				return cur.value, true
+			}
+			n = cur.children[path[0]]
+			path = path[1:]
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Put returns a new trie with key bound to value. The value slice is
+// copied so later caller mutation cannot corrupt shared structure.
+func (t *Trie) Put(key, value []byte) *Trie {
+	v := make([]byte, len(value))
+	copy(v, value)
+	if v == nil {
+		v = []byte{}
+	}
+	root, added := put(t.root, nibbles(key), v)
+	count := t.count
+	if added {
+		count++
+	}
+	return &Trie{root: root, count: count}
+}
+
+// put inserts value at path below n, returning the replacement node and
+// whether a brand-new key was created (false when overwriting).
+func put(n node, path, value []byte) (node, bool) {
+	switch cur := n.(type) {
+	case nil:
+		return &leafNode{path: path, value: value}, true
+	case *leafNode:
+		if bytes.Equal(cur.path, path) {
+			return &leafNode{path: path, value: value}, false
+		}
+		// Split: find the common prefix, fan out below it.
+		cp := commonPrefix(cur.path, path)
+		br := &branchNode{}
+		if len(cur.path) == cp {
+			br.value = cur.value
+		} else {
+			br.children[cur.path[cp]] = &leafNode{path: cur.path[cp+1:], value: cur.value}
+		}
+		if len(path) == cp {
+			br.value = value
+		} else {
+			br.children[path[cp]] = &leafNode{path: path[cp+1:], value: value}
+		}
+		// Wrap the shared prefix in a chain of single-child branches.
+		var out node = br
+		for i := cp - 1; i >= 0; i-- {
+			wrap := &branchNode{}
+			wrap.children[path[i]] = out
+			out = wrap
+		}
+		return out, true
+	case *branchNode:
+		nb := &branchNode{children: cur.children, value: cur.value}
+		if len(path) == 0 {
+			added := cur.value == nil
+			nb.value = value
+			return nb, added
+		}
+		child, added := put(cur.children[path[0]], path[1:], value)
+		nb.children[path[0]] = child
+		return nb, added
+	default:
+		panic("trie: unknown node type")
+	}
+}
+
+func commonPrefix(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// Delete returns a new trie without key. If the key was absent the
+// original trie is returned unchanged.
+func (t *Trie) Delete(key []byte) *Trie {
+	root, deleted := del(t.root, nibbles(key))
+	if !deleted {
+		return t
+	}
+	return &Trie{root: root, count: t.count - 1}
+}
+
+func del(n node, path []byte) (node, bool) {
+	switch cur := n.(type) {
+	case nil:
+		return nil, false
+	case *leafNode:
+		if bytes.Equal(cur.path, path) {
+			return nil, true
+		}
+		return cur, false
+	case *branchNode:
+		if len(path) == 0 {
+			if cur.value == nil {
+				return cur, false
+			}
+			nb := &branchNode{children: cur.children}
+			return contract(nb), true
+		}
+		child, deleted := del(cur.children[path[0]], path[1:])
+		if !deleted {
+			return cur, false
+		}
+		nb := &branchNode{children: cur.children, value: cur.value}
+		nb.children[path[0]] = child
+		return contract(nb), true
+	default:
+		panic("trie: unknown node type")
+	}
+}
+
+// contract restores the canonical shape after a deletion: a branch without
+// a value and with a single leaf child merges into that leaf. Single-child
+// branches over a *branch* child are kept — they are exactly how fresh
+// builds encode shared prefixes, so the shape stays insertion-order free.
+func contract(b *branchNode) node {
+	var (
+		only     node
+		onlyIdx  int
+		childcnt int
+	)
+	for i, c := range b.children {
+		if c != nil {
+			childcnt++
+			only = c
+			onlyIdx = i
+		}
+	}
+	switch {
+	case childcnt == 0 && b.value == nil:
+		return nil
+	case childcnt == 0:
+		return &leafNode{path: nil, value: b.value}
+	case childcnt == 1 && b.value == nil:
+		if lf, ok := only.(*leafNode); ok {
+			merged := make([]byte, 0, 1+len(lf.path))
+			merged = append(merged, byte(onlyIdx))
+			merged = append(merged, lf.path...)
+			return &leafNode{path: merged, value: lf.value}
+		}
+		return b
+	default:
+		return b
+	}
+}
+
+// KV is one key/value pair of a trie enumeration.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Items enumerates all key/value pairs in lexicographic key order. This is
+// the "download an entire recent state" step of fast sync (§V-A).
+func (t *Trie) Items() []KV {
+	out := make([]KV, 0, t.count)
+	var walk func(n node, prefix []byte)
+	walk = func(n node, prefix []byte) {
+		switch cur := n.(type) {
+		case nil:
+		case *leafNode:
+			full := append(append([]byte{}, prefix...), cur.path...)
+			out = append(out, KV{Key: packNibbles(full), Value: cur.value})
+		case *branchNode:
+			if cur.value != nil {
+				out = append(out, KV{Key: packNibbles(prefix), Value: cur.value})
+			}
+			for i, c := range cur.children {
+				if c != nil {
+					walk(c, append(append([]byte{}, prefix...), byte(i)))
+				}
+			}
+		}
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// FromItems rebuilds a trie from an enumeration, the receiving half of
+// fast sync. The resulting root must (and, by canonicality, does) match the
+// root the items were enumerated from.
+func FromItems(items []KV) *Trie {
+	t := Empty()
+	for _, kv := range items {
+		t = t.Put(kv.Key, kv.Value)
+	}
+	return t
+}
+
+// Stats describes the storage footprint of a trie snapshot.
+type Stats struct {
+	// Nodes is the number of distinct trie nodes reachable from the root.
+	Nodes int
+	// Bytes is the modeled encoded size of those nodes.
+	Bytes int
+}
+
+// Measure walks the trie and returns its storage footprint. Structure
+// shared with other tries is still counted: Measure answers "what does
+// storing this snapshot alone cost".
+func (t *Trie) Measure() Stats {
+	var s Stats
+	seen := make(map[hashx.Hash]struct{})
+	var walk func(n node)
+	walk = func(n node) {
+		if n == nil {
+			return
+		}
+		h := n.hash()
+		if _, dup := seen[h]; dup {
+			return
+		}
+		seen[h] = struct{}{}
+		s.Nodes++
+		s.Bytes += n.encodedSize()
+		if br, ok := n.(*branchNode); ok {
+			for _, c := range br.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return s
+}
+
+// hashSet collects the hashes of every node reachable from t.
+func (t *Trie) hashSet() map[hashx.Hash]struct{} {
+	set := make(map[hashx.Hash]struct{})
+	var walk func(n node)
+	walk = func(n node) {
+		if n == nil {
+			return
+		}
+		h := n.hash()
+		if _, dup := set[h]; dup {
+			return
+		}
+		set[h] = struct{}{}
+		if br, ok := n.(*branchNode); ok {
+			for _, c := range br.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return set
+}
+
+// DiffStats returns the footprint of the nodes reachable from new but not
+// from old: the state delta a block writes (§V-A, "a delta in a global
+// state is the difference between two states of the ledger"). Descent is
+// pruned at shared subtrees, so the cost is proportional to the delta.
+func DiffStats(old, new *Trie) Stats {
+	oldSet := old.hashSet()
+	var s Stats
+	seen := make(map[hashx.Hash]struct{})
+	var walk func(n node)
+	walk = func(n node) {
+		if n == nil {
+			return
+		}
+		h := n.hash()
+		if _, shared := oldSet[h]; shared {
+			return // identical subtree, nothing new below it
+		}
+		if _, dup := seen[h]; dup {
+			return
+		}
+		seen[h] = struct{}{}
+		s.Nodes++
+		s.Bytes += n.encodedSize()
+		if br, ok := n.(*branchNode); ok {
+			for _, c := range br.children {
+				walk(c)
+			}
+		}
+	}
+	walk(new.root)
+	return s
+}
+
+// MeasureMany returns the combined footprint of several snapshots with
+// shared structure counted once — the cost of an archive node retaining
+// every historical root.
+func MeasureMany(tries []*Trie) Stats {
+	var s Stats
+	seen := make(map[hashx.Hash]struct{})
+	var walk func(n node)
+	walk = func(n node) {
+		if n == nil {
+			return
+		}
+		h := n.hash()
+		if _, dup := seen[h]; dup {
+			return
+		}
+		seen[h] = struct{}{}
+		s.Nodes++
+		s.Bytes += n.encodedSize()
+		if br, ok := n.(*branchNode); ok {
+			for _, c := range br.children {
+				walk(c)
+			}
+		}
+	}
+	for _, t := range tries {
+		walk(t.root)
+	}
+	return s
+}

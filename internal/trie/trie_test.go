@@ -1,0 +1,356 @@
+package trie
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashx"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%05d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%05d", i)) }
+
+func TestEmpty(t *testing.T) {
+	tr := Empty()
+	if tr.Root() != hashx.Zero {
+		t.Fatal("empty trie root should be zero")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("empty trie Len should be 0")
+	}
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("Get on empty trie should miss")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := Empty()
+	for i := 0; i < 100; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		got, ok := tr.Get(key(i))
+		if !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get(key %d) = %q, %v", i, got, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("absent")); ok {
+		t.Fatal("absent key should miss")
+	}
+}
+
+func TestOverwriteDoesNotGrow(t *testing.T) {
+	tr := Empty().Put([]byte("k"), []byte("v1"))
+	tr2 := tr.Put([]byte("k"), []byte("v2"))
+	if tr2.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d, want 1", tr2.Len())
+	}
+	got, _ := tr2.Get([]byte("k"))
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	// original snapshot unaffected
+	got, _ = tr.Get([]byte("k"))
+	if !bytes.Equal(got, []byte("v1")) {
+		t.Fatal("persistence violated: old snapshot changed")
+	}
+}
+
+func TestPrefixKeys(t *testing.T) {
+	// One key is a strict prefix of another: the value must live on a
+	// branch node.
+	tr := Empty().
+		Put([]byte("ab"), []byte("short")).
+		Put([]byte("abcd"), []byte("long"))
+	if got, ok := tr.Get([]byte("ab")); !ok || string(got) != "short" {
+		t.Fatalf("prefix key lost: %q %v", got, ok)
+	}
+	if got, ok := tr.Get([]byte("abcd")); !ok || string(got) != "long" {
+		t.Fatalf("long key lost: %q %v", got, ok)
+	}
+	if _, ok := tr.Get([]byte("abc")); ok {
+		t.Fatal("middle key should miss")
+	}
+	// Delete the prefix; the long key must survive.
+	tr = tr.Delete([]byte("ab"))
+	if _, ok := tr.Get([]byte("ab")); ok {
+		t.Fatal("deleted prefix key still present")
+	}
+	if _, ok := tr.Get([]byte("abcd")); !ok {
+		t.Fatal("sibling key lost by delete")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := Empty()
+	for i := 0; i < 50; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	for i := 0; i < 50; i += 2 {
+		tr = tr.Delete(key(i))
+	}
+	if tr.Len() != 25 {
+		t.Fatalf("Len after deletes = %d, want 25", tr.Len())
+	}
+	for i := 0; i < 50; i++ {
+		_, ok := tr.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d present=%v want=%v", i, ok, want)
+		}
+	}
+}
+
+func TestDeleteAbsentReturnsSame(t *testing.T) {
+	tr := Empty().Put([]byte("a"), []byte("1"))
+	tr2 := tr.Delete([]byte("zz"))
+	if tr2 != tr {
+		t.Fatal("deleting an absent key should return the same trie")
+	}
+}
+
+func TestDeleteToEmpty(t *testing.T) {
+	tr := Empty().Put([]byte("only"), []byte("v")).Delete([]byte("only"))
+	if tr.Len() != 0 || tr.Root() != hashx.Zero {
+		t.Fatal("deleting the only key should restore the empty root")
+	}
+}
+
+// The root must be a pure function of contents, independent of insertion
+// order and of any delete history.
+func TestRootCanonicalOrderIndependent(t *testing.T) {
+	keys := [][]byte{
+		[]byte("alpha"), []byte("albatross"), []byte("beta"),
+		[]byte("al"), []byte("alphabet"), []byte("b"),
+	}
+	a := Empty()
+	for _, k := range keys {
+		a = a.Put(k, append([]byte("v:"), k...))
+	}
+	b := Empty()
+	for i := len(keys) - 1; i >= 0; i-- {
+		b = b.Put(keys[i], append([]byte("v:"), keys[i]...))
+	}
+	if a.Root() != b.Root() {
+		t.Fatal("root depends on insertion order")
+	}
+}
+
+func TestRootCanonicalAfterDeletes(t *testing.T) {
+	// build {a,b,c}, delete b  ==  build {a,c}
+	withDelete := Empty().
+		Put([]byte("aa1"), []byte("x")).
+		Put([]byte("aa2"), []byte("y")).
+		Put([]byte("ab3"), []byte("z")).
+		Delete([]byte("aa2"))
+	fresh := Empty().
+		Put([]byte("aa1"), []byte("x")).
+		Put([]byte("ab3"), []byte("z"))
+	if withDelete.Root() != fresh.Root() {
+		t.Fatal("delete left a non-canonical shape")
+	}
+}
+
+func TestQuickCanonicalRoot(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 5
+		type kv struct{ k, v []byte }
+		kvs := make([]kv, 0, n)
+		seen := map[string]bool{}
+		for len(kvs) < n {
+			k := make([]byte, rng.Intn(6)+1)
+			rng.Read(k)
+			if seen[string(k)] {
+				continue
+			}
+			seen[string(k)] = true
+			v := make([]byte, rng.Intn(8)+1)
+			rng.Read(v)
+			kvs = append(kvs, kv{k, v})
+		}
+		// Insert in two different random orders, with some extra keys
+		// added and deleted along the way in trie a.
+		a := Empty()
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			a = a.Put(kvs[i].k, kvs[i].v)
+			if rng.Intn(3) == 0 {
+				extra := append([]byte{0xFE}, byte(rng.Intn(255)))
+				a = a.Put(extra, []byte("tmp"))
+				a = a.Delete(extra)
+			}
+		}
+		b := Empty()
+		for _, i := range rng.Perm(n) {
+			b = b.Put(kvs[i].k, kvs[i].v)
+		}
+		return a.Root() == b.Root() && a.Len() == b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootChangesOnMutation(t *testing.T) {
+	tr := Empty().Put([]byte("k1"), []byte("v1")).Put([]byte("k2"), []byte("v2"))
+	r := tr.Root()
+	if tr.Put([]byte("k1"), []byte("other")).Root() == r {
+		t.Fatal("value change did not change root")
+	}
+	if tr.Put([]byte("k3"), []byte("v3")).Root() == r {
+		t.Fatal("insert did not change root")
+	}
+	if tr.Delete([]byte("k2")).Root() == r {
+		t.Fatal("delete did not change root")
+	}
+}
+
+func TestItemsAndFastSyncRoundTrip(t *testing.T) {
+	tr := Empty()
+	for i := 0; i < 200; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	items := tr.Items()
+	if len(items) != 200 {
+		t.Fatalf("Items returned %d entries, want 200", len(items))
+	}
+	// lexicographic order
+	for i := 1; i < len(items); i++ {
+		if bytes.Compare(items[i-1].Key, items[i].Key) >= 0 {
+			t.Fatal("Items not in lexicographic key order")
+		}
+	}
+	rebuilt := FromItems(items)
+	if rebuilt.Root() != tr.Root() {
+		t.Fatal("fast-sync rebuild root mismatch")
+	}
+}
+
+func TestQuickItemsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := Empty()
+		for i := 0; i < rng.Intn(50)+1; i++ {
+			k := make([]byte, rng.Intn(5)+1)
+			rng.Read(k)
+			v := make([]byte, rng.Intn(5)+1)
+			rng.Read(v)
+			tr = tr.Put(k, v)
+		}
+		return FromItems(tr.Items()).Root() == tr.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	tr := Empty()
+	s0 := tr.Measure()
+	if s0.Nodes != 0 || s0.Bytes != 0 {
+		t.Fatal("empty trie should measure zero")
+	}
+	tr = tr.Put([]byte("a"), []byte("1"))
+	s1 := tr.Measure()
+	if s1.Nodes == 0 || s1.Bytes == 0 {
+		t.Fatal("non-empty trie should measure non-zero")
+	}
+	big := tr
+	for i := 0; i < 100; i++ {
+		big = big.Put(key(i), val(i))
+	}
+	if got := big.Measure(); got.Nodes <= s1.Nodes {
+		t.Fatal("bigger trie should have more nodes")
+	}
+}
+
+func TestDiffStatsSharing(t *testing.T) {
+	base := Empty()
+	for i := 0; i < 100; i++ {
+		base = base.Put(key(i), val(i))
+	}
+	// One-key update: delta must be much smaller than the whole trie.
+	next := base.Put(key(7), []byte("changed"))
+	delta := DiffStats(base, next)
+	full := next.Measure()
+	if delta.Nodes == 0 {
+		t.Fatal("delta should be non-empty")
+	}
+	if delta.Nodes >= full.Nodes/2 {
+		t.Fatalf("delta (%d nodes) should be far smaller than full (%d nodes)",
+			delta.Nodes, full.Nodes)
+	}
+	// No change: zero delta.
+	if d := DiffStats(base, base); d.Nodes != 0 {
+		t.Fatalf("self-diff should be zero, got %d nodes", d.Nodes)
+	}
+}
+
+func TestMeasureManySharesStructure(t *testing.T) {
+	base := Empty()
+	for i := 0; i < 50; i++ {
+		base = base.Put(key(i), val(i))
+	}
+	next := base.Put(key(0), []byte("new"))
+	both := MeasureMany([]*Trie{base, next})
+	sum := base.Measure().Bytes + next.Measure().Bytes
+	if both.Bytes >= sum {
+		t.Fatalf("archive of two snapshots (%d B) should cost less than sum (%d B)",
+			both.Bytes, sum)
+	}
+	if both.Bytes < base.Measure().Bytes {
+		t.Fatal("archive cannot cost less than one snapshot")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	v := []byte("mutable")
+	tr := Empty().Put([]byte("k"), v)
+	v[0] = 'X'
+	got, _ := tr.Get([]byte("k"))
+	if string(got) != "mutable" {
+		t.Fatal("Put must copy the value slice")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := Empty()
+	for i := 0; i < 1000; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i%1000), []byte("new-value"))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := Empty()
+	for i := 0; i < 1000; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.Get(key(i % 1000)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkRoot1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := Empty()
+		for j := 0; j < 1000; j++ {
+			tr = tr.Put(key(j), val(j))
+		}
+		b.StartTimer()
+		_ = tr.Root()
+	}
+}

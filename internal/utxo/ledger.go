@@ -1,0 +1,373 @@
+package utxo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/hashx"
+	"repro/internal/keys"
+	"repro/internal/pow"
+)
+
+// Params configures a Bitcoin-style ledger. DefaultParams mirrors Bitcoin:
+// 1 MB blocks every ~10 minutes (§VI-A), a 50-unit subsidy halving every
+// 210,000 blocks, retargeting every 2016 blocks clamped 4×.
+type Params struct {
+	MaxBlockBytes     int
+	InitialSubsidy    uint64
+	HalvingInterval   uint64
+	TargetInterval    time.Duration
+	RetargetWindow    uint64
+	MaxRetargetFactor float64
+	InitialDifficulty float64
+	ForkChoice        chain.ForkChoice
+	// GenesisOutputsPerAccount splits each genesis allocation into this
+	// many equal outputs (default 1). Simulations raise it so accounts
+	// can keep several payments in flight without chaining unconfirmed
+	// change.
+	GenesisOutputsPerAccount int
+}
+
+// DefaultParams returns Bitcoin-shaped parameters.
+func DefaultParams() Params {
+	return Params{
+		MaxBlockBytes:     1_000_000,
+		InitialSubsidy:    50_0000_0000, // 50 coins at 10^8 base units
+		HalvingInterval:   210_000,
+		TargetInterval:    10 * time.Minute,
+		RetargetWindow:    2016,
+		MaxRetargetFactor: 4,
+		InitialDifficulty: 1 << 20,
+		ForkChoice:        chain.HeaviestChain,
+	}
+}
+
+// Ledger is a full Bitcoin-style node state: block store with fork choice,
+// the UTXO set at the main-chain tip, per-block undo journals for reorgs,
+// and a fee-ordered mempool.
+type Ledger struct {
+	params  Params
+	store   *chain.Store
+	set     *Set
+	pool    *Mempool
+	undos   map[hashx.Hash]*Undo      // main-chain block -> undo journal
+	txBlock map[hashx.Hash]hashx.Hash // confirmed tx id -> containing block
+	genesis *chain.Block
+}
+
+// NewLedger creates a ledger whose genesis block mints the given
+// allocation. All replicas constructed from equal allocations and params
+// share the same genesis hash.
+func NewLedger(alloc map[keys.Address]uint64, params Params) (*Ledger, error) {
+	if params.MaxBlockBytes <= 0 {
+		return nil, errors.New("utxo: MaxBlockBytes must be positive")
+	}
+	genesisTx := &Tx{CoinbaseHeight: 0}
+	addrs := make([]keys.Address, 0, len(alloc))
+	for a := range alloc {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Hex() < addrs[j].Hex() })
+	split := params.GenesisOutputsPerAccount
+	if split < 1 {
+		split = 1
+	}
+	for _, a := range addrs {
+		value := alloc[a]
+		chunk := value / uint64(split)
+		if chunk == 0 {
+			genesisTx.Outs = append(genesisTx.Outs, TxOut{Value: value, Owner: a})
+			continue
+		}
+		for i := 0; i < split; i++ {
+			v := chunk
+			if i == 0 {
+				v += value % uint64(split) // remainder rides the first output
+			}
+			genesisTx.Outs = append(genesisTx.Outs, TxOut{Value: v, Owner: a})
+		}
+	}
+	body := &BlockBody{Txs: []*Tx{genesisTx}}
+	genesis := &chain.Block{
+		Header: chain.Header{
+			Parent: hashx.Zero,
+			Height: 0,
+			TxRoot: body.Root(),
+		},
+		Payload: body,
+	}
+	store, err := chain.NewStore(genesis, params.ForkChoice)
+	if err != nil {
+		return nil, fmt.Errorf("utxo: %w", err)
+	}
+	set := NewSet()
+	undo, err := set.ApplyBlock(body, totalAlloc(alloc))
+	if err != nil {
+		return nil, fmt.Errorf("utxo: apply genesis: %w", err)
+	}
+	l := &Ledger{
+		params:  params,
+		store:   store,
+		set:     set,
+		undos:   map[hashx.Hash]*Undo{genesis.Hash(): undo},
+		txBlock: map[hashx.Hash]hashx.Hash{genesisTx.ID(): genesis.Hash()},
+		genesis: genesis,
+	}
+	l.pool = NewMempool(set)
+	return l, nil
+}
+
+func totalAlloc(alloc map[keys.Address]uint64) uint64 {
+	var t uint64
+	for _, v := range alloc {
+		t += v
+	}
+	return t
+}
+
+// Store exposes the underlying block store (read-mostly; use ProcessBlock
+// to add blocks so the UTXO set stays in sync).
+func (l *Ledger) Store() *chain.Store { return l.store }
+
+// Pool exposes the mempool.
+func (l *Ledger) Pool() *Mempool { return l.pool }
+
+// UTXOSet exposes the tip UTXO set for read-only queries.
+func (l *Ledger) UTXOSet() *Set { return l.set }
+
+// Genesis returns the genesis block.
+func (l *Ledger) Genesis() *chain.Block { return l.genesis }
+
+// Params returns the ledger parameters.
+func (l *Ledger) Params() Params { return l.params }
+
+// Balance returns the confirmed balance of an address at the tip.
+func (l *Ledger) Balance(addr keys.Address) uint64 { return l.set.Balance(addr) }
+
+// Height returns the main-chain height.
+func (l *Ledger) Height() uint64 { return l.store.Height() }
+
+// SubmitTx validates a transaction and adds it to the mempool.
+func (l *Ledger) SubmitTx(tx *Tx) error { return l.pool.Add(tx) }
+
+// Confirmations returns how deep a transaction is buried on the main
+// chain: 1 means "in the tip block", 0 means unconfirmed or orphaned —
+// exactly the §IV-A notion merchants count before trusting a payment.
+func (l *Ledger) Confirmations(txID hashx.Hash) int {
+	blockHash, ok := l.txBlock[txID]
+	if !ok {
+		return 0
+	}
+	return l.store.Confirmations(blockHash)
+}
+
+// NextDifficulty computes the difficulty for the next block: unchanged
+// within a retarget window, rescaled at window boundaries so the average
+// interval converges back to TargetInterval (§VI-A: "the PoW puzzle
+// difficulty is dynamic so that the block generation time converges to a
+// fixed value").
+func (l *Ledger) NextDifficulty() float64 {
+	tip := l.store.TipBlock()
+	if tip.Header.Height == 0 {
+		return l.params.InitialDifficulty
+	}
+	next := tip.Header.Height + 1
+	if l.params.RetargetWindow == 0 || next%l.params.RetargetWindow != 0 {
+		return tip.Header.Difficulty
+	}
+	windowStartHeight := next - l.params.RetargetWindow
+	startHash, ok := l.store.HashAtHeight(windowStartHeight)
+	if !ok {
+		return tip.Header.Difficulty
+	}
+	start, _ := l.store.Get(startHash)
+	actual := tip.Header.Time - start.Header.Time
+	expected := time.Duration(l.params.RetargetWindow) * l.params.TargetInterval
+	return pow.BitcoinRetarget(tip.Header.Difficulty, actual, expected, l.params.MaxRetargetFactor)
+}
+
+// BuildBlock assembles a candidate block on the current tip: mempool
+// transactions by fee rate up to the block-size limit (the §VI-A cap on
+// throughput), plus the miner's coinbase collecting subsidy and fees. The
+// header's Nonce is left zero — the simulation's Poisson mining model
+// stands in for hash grinding, and tests that want real PoW call
+// pow.MineHeader on the result.
+func (l *Ledger) BuildBlock(miner keys.Address, now time.Duration) *chain.Block {
+	tip := l.store.TipBlock()
+	height := tip.Header.Height + 1
+	coinbaseSize := NewCoinbase(height, miner, 0).EncodedSize()
+	budget := l.params.MaxBlockBytes - tip.Header.EncodedSize() - coinbaseSize
+	txs := l.pool.Assemble(budget)
+	var fees uint64
+	for _, tx := range txs {
+		if fee, err := l.set.CheckTx(tx); err == nil {
+			fees += fee
+		}
+	}
+	subsidy := Subsidy(height, l.params.InitialSubsidy, l.params.HalvingInterval)
+	coinbase := NewCoinbase(height, miner, subsidy+fees)
+	body := &BlockBody{Txs: append([]*Tx{coinbase}, txs...)}
+	return &chain.Block{
+		Header: chain.Header{
+			Parent:     tip.Hash(),
+			Height:     height,
+			Time:       now,
+			TxRoot:     body.Root(),
+			Difficulty: l.NextDifficulty(),
+			Proposer:   miner,
+		},
+		Payload: body,
+	}
+}
+
+// ProcessBlock adds a received block, keeping the UTXO set, the tx index
+// and the mempool consistent through any reorg. Side-chain blocks are
+// stored but not executed; their transactions are validated if and when
+// their branch becomes the main chain — the same lazy rule Bitcoin uses.
+func (l *Ledger) ProcessBlock(b *chain.Block) (chain.AddResult, error) {
+	if b.Payload == nil {
+		return chain.AddResult{Status: chain.Rejected, Err: errors.New("utxo: block without body")},
+			errors.New("utxo: block without body")
+	}
+	res := l.store.Add(b)
+	switch res.Status {
+	case chain.Accepted:
+		if err := l.connect(b); err != nil {
+			return res, err
+		}
+	case chain.AcceptedReorg:
+		if err := l.applyReorg(res.Reorg); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// connect applies a block's transactions at the tip.
+func (l *Ledger) connect(b *chain.Block) error {
+	body, ok := b.Payload.(*BlockBody)
+	if !ok {
+		return errors.New("utxo: foreign payload type")
+	}
+	subsidy := Subsidy(b.Header.Height, l.params.InitialSubsidy, l.params.HalvingInterval)
+	undo, err := l.set.ApplyBlock(body, subsidy)
+	if err != nil {
+		return fmt.Errorf("utxo: connect %s: %w", b.Hash(), err)
+	}
+	h := b.Hash()
+	l.undos[h] = undo
+	for _, tx := range body.Txs {
+		l.txBlock[tx.ID()] = h
+	}
+	l.pool.RemoveConfirmed(body.Txs)
+	return nil
+}
+
+// disconnect reverses a block at the tip and reinjects its transactions.
+func (l *Ledger) disconnect(h hashx.Hash) error {
+	b, ok := l.store.Get(h)
+	if !ok {
+		return fmt.Errorf("utxo: disconnect: %w", chain.ErrUnknownBlock)
+	}
+	undo, ok := l.undos[h]
+	if !ok {
+		return fmt.Errorf("utxo: no undo journal for %s", h)
+	}
+	l.set.UndoBlock(undo)
+	delete(l.undos, h)
+	body := b.Payload.(*BlockBody)
+	for _, tx := range body.Txs {
+		delete(l.txBlock, tx.ID())
+	}
+	l.pool.Reinject(body.Txs)
+	return nil
+}
+
+// applyReorg rewinds the abandoned branch and plays the adopted one.
+func (l *Ledger) applyReorg(r *chain.Reorg) error {
+	for _, h := range r.Abandoned { // already ordered old-tip first
+		if err := l.disconnect(h); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.Adopted { // ancestor-to-tip order
+		b, _ := l.store.Get(h)
+		if err := l.connect(b); err != nil {
+			return fmt.Errorf("utxo: reorg connect: %w", err)
+		}
+	}
+	return nil
+}
+
+// LedgerBytes returns the total modeled size of the main chain — the
+// §V "ledger size" a full node stores before pruning.
+func (l *Ledger) LedgerBytes() int {
+	total := 0
+	for _, h := range l.store.MainChain() {
+		b, _ := l.store.Get(h)
+		total += b.Size()
+	}
+	return total
+}
+
+// NewPayment builds and signs a payment of amount (plus fee) from the key
+// pair's confirmed outputs to a recipient, returning change to the sender.
+// Output selection is deterministic: largest value first, ties broken by
+// outpoint identity.
+func NewPayment(set *Set, from *keys.KeyPair, to keys.Address, amount, fee uint64) (*Tx, error) {
+	return NewPaymentAvoiding(set, nil, from, to, amount, fee)
+}
+
+// NewPaymentAvoiding is NewPayment with wallet-style in-flight tracking:
+// outputs for which avoid returns true (typically Mempool.Spends) are not
+// selected, so an account can keep several unconfirmed payments in flight
+// without double-spending its own pooled transactions.
+func NewPaymentAvoiding(set *Set, avoid func(Outpoint) bool, from *keys.KeyPair, to keys.Address, amount, fee uint64) (*Tx, error) {
+	need := amount + fee
+	if need < amount {
+		return nil, ErrValueOverflow
+	}
+	ops := set.OutpointsOf(from.Address())
+	if avoid != nil {
+		kept := ops[:0]
+		for _, op := range ops {
+			if !avoid(op) {
+				kept = append(kept, op)
+			}
+		}
+		ops = kept
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		oi, _ := set.Get(ops[i])
+		oj, _ := set.Get(ops[j])
+		if oi.Value != oj.Value {
+			return oi.Value > oj.Value
+		}
+		if c := ops[i].TxID.Cmp(ops[j].TxID); c != 0 {
+			return c < 0
+		}
+		return ops[i].Index < ops[j].Index
+	})
+	tx := &Tx{}
+	var gathered uint64
+	for _, op := range ops {
+		out, _ := set.Get(op)
+		tx.Ins = append(tx.Ins, TxIn{Prev: op})
+		gathered += out.Value
+		if gathered >= need {
+			break
+		}
+	}
+	if gathered < need {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficient, gathered, need)
+	}
+	tx.Outs = append(tx.Outs, TxOut{Value: amount, Owner: to})
+	if change := gathered - need; change > 0 {
+		tx.Outs = append(tx.Outs, TxOut{Value: change, Owner: from.Address()})
+	}
+	tx.SignAll(from)
+	return tx, nil
+}

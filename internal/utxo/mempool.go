@@ -1,0 +1,189 @@
+package utxo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hashx"
+)
+
+// Mempool errors.
+var (
+	ErrPoolConflict = errors.New("utxo: transaction conflicts with a pooled transaction")
+	ErrPoolDup      = errors.New("utxo: transaction already pooled")
+)
+
+// poolEntry is one pending transaction with its cached fee.
+type poolEntry struct {
+	tx      *Tx
+	id      hashx.Hash
+	fee     uint64
+	size    int
+	seq     uint64 // arrival order, tie-breaker
+	feeRate float64
+}
+
+// Mempool holds validated, unconfirmed transactions ordered by fee rate.
+// It is the "pending transactions" backlog of §VI. Transactions must spend
+// confirmed outputs: chains of unconfirmed transactions are rejected, a
+// simplification that keeps validation stateless against the UTXO set.
+type Mempool struct {
+	set     *Set
+	entries map[hashx.Hash]*poolEntry
+	spends  map[Outpoint]hashx.Hash // pooled input -> pooled tx id
+	bytes   int
+	nextSeq uint64
+}
+
+// NewMempool creates a pool validating against the given UTXO set.
+func NewMempool(set *Set) *Mempool {
+	return &Mempool{
+		set:     set,
+		entries: make(map[hashx.Hash]*poolEntry),
+		spends:  make(map[Outpoint]hashx.Hash),
+	}
+}
+
+// Len returns the number of pooled transactions.
+func (m *Mempool) Len() int { return len(m.entries) }
+
+// Bytes returns the total modeled size of pooled transactions.
+func (m *Mempool) Bytes() int { return m.bytes }
+
+// Contains reports whether a transaction is pooled.
+func (m *Mempool) Contains(id hashx.Hash) bool {
+	_, ok := m.entries[id]
+	return ok
+}
+
+// Spends reports whether a pooled transaction already claims the output —
+// the wallet-side check that keeps multiple payments in flight without
+// self-conflicts (see NewPaymentAvoiding).
+func (m *Mempool) Spends(op Outpoint) bool {
+	_, ok := m.spends[op]
+	return ok
+}
+
+// Add validates tx against the UTXO set and pools it. Double spends of
+// outputs already claimed by a pooled transaction are rejected — the
+// first-seen rule relay nodes apply.
+func (m *Mempool) Add(tx *Tx) error {
+	if tx.IsCoinbase() {
+		return errors.New("utxo: coinbase transactions cannot be pooled")
+	}
+	id := tx.ID()
+	if _, dup := m.entries[id]; dup {
+		return ErrPoolDup
+	}
+	fee, err := m.set.CheckTx(tx)
+	if err != nil {
+		return err
+	}
+	for _, in := range tx.Ins {
+		if rival, clash := m.spends[in.Prev]; clash {
+			return fmt.Errorf("%w: %s also spent by %s", ErrPoolConflict, in.Prev, rival)
+		}
+	}
+	e := &poolEntry{tx: tx, id: id, fee: fee, size: tx.EncodedSize(), seq: m.nextSeq}
+	m.nextSeq++
+	e.feeRate = float64(fee) / float64(e.size)
+	m.entries[id] = e
+	for _, in := range tx.Ins {
+		m.spends[in.Prev] = id
+	}
+	m.bytes += e.size
+	return nil
+}
+
+// remove unlinks one entry.
+func (m *Mempool) remove(id hashx.Hash) {
+	e, ok := m.entries[id]
+	if !ok {
+		return
+	}
+	delete(m.entries, id)
+	for _, in := range e.tx.Ins {
+		if m.spends[in.Prev] == id {
+			delete(m.spends, in.Prev)
+		}
+	}
+	m.bytes -= e.size
+}
+
+// RemoveConfirmed drops transactions that were just mined, plus any pooled
+// transaction that became invalid because one of its inputs is now spent.
+func (m *Mempool) RemoveConfirmed(txs []*Tx) {
+	for _, tx := range txs {
+		m.remove(tx.ID())
+		// Evict pooled rivals spending the same outputs.
+		for _, in := range tx.Ins {
+			if rival, ok := m.spends[in.Prev]; ok {
+				m.remove(rival)
+			}
+		}
+	}
+}
+
+// Reinject returns orphaned transactions to the pool after a reorg
+// (§IV-A: "Orphaned transactions need to be included in a new block").
+// Transactions that no longer validate (e.g. double-spent on the new
+// branch) are silently dropped; the count of successfully reinjected
+// transactions is returned.
+func (m *Mempool) Reinject(txs []*Tx) int {
+	n := 0
+	for _, tx := range txs {
+		if tx.IsCoinbase() {
+			continue // orphaned block rewards simply vanish
+		}
+		if err := m.Add(tx); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Assemble selects transactions for a new block greedily by fee rate
+// until maxBytes of body space is used. Entries that no longer validate
+// against the UTXO set are evicted on the way.
+func (m *Mempool) Assemble(maxBytes int) []*Tx {
+	order := make([]*poolEntry, 0, len(m.entries))
+	for _, e := range m.entries {
+		order = append(order, e)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].feeRate != order[j].feeRate {
+			return order[i].feeRate > order[j].feeRate
+		}
+		return order[i].seq < order[j].seq
+	})
+	var (
+		out   []*Tx
+		used  int
+		stale []hashx.Hash
+	)
+	for _, e := range order {
+		if used+e.size > maxBytes {
+			continue
+		}
+		if _, err := m.set.CheckTx(e.tx); err != nil {
+			stale = append(stale, e.id)
+			continue
+		}
+		out = append(out, e.tx)
+		used += e.size
+	}
+	for _, id := range stale {
+		m.remove(id)
+	}
+	return out
+}
+
+// FeeOf returns the cached fee of a pooled transaction.
+func (m *Mempool) FeeOf(id hashx.Hash) (uint64, bool) {
+	e, ok := m.entries[id]
+	if !ok {
+		return 0, false
+	}
+	return e.fee, true
+}

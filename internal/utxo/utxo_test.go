@@ -1,0 +1,574 @@
+package utxo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/hashx"
+	"repro/internal/keys"
+)
+
+// testParams keeps difficulty and block size small for unit tests.
+func testParams() Params {
+	p := DefaultParams()
+	p.InitialDifficulty = 1
+	p.MaxBlockBytes = 100_000
+	return p
+}
+
+// ring returns n deterministic identities for a test.
+func ring(n int) *keys.Ring { return keys.NewRing("utxo-test", n) }
+
+// newTestLedger funds the first nFunded ring accounts with 1000 units each.
+func newTestLedger(t *testing.T, r *keys.Ring, nFunded int) *Ledger {
+	t.Helper()
+	alloc := make(map[keys.Address]uint64, nFunded)
+	for i := 0; i < nFunded; i++ {
+		alloc[r.Addr(i)] = 1000
+	}
+	l, err := NewLedger(alloc, testParams())
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	return l
+}
+
+func TestSubsidyHalving(t *testing.T) {
+	cases := []struct {
+		height uint64
+		want   uint64
+	}{
+		{0, 50}, {209_999, 50}, {210_000, 25}, {419_999, 25}, {420_000, 12},
+		{210_000 * 64, 0}, {210_000 * 100, 0},
+	}
+	for _, tc := range cases {
+		if got := Subsidy(tc.height, 50, 210_000); got != tc.want {
+			t.Fatalf("Subsidy(%d) = %d, want %d", tc.height, got, tc.want)
+		}
+	}
+	if Subsidy(5, 50, 0) != 50 {
+		t.Fatal("zero halving interval should mean no halving")
+	}
+}
+
+func TestTxIDCoversSignature(t *testing.T) {
+	r := ring(2)
+	tx := &Tx{
+		Ins:  []TxIn{{Prev: Outpoint{TxID: hashx.Sum([]byte("prev")), Index: 0}}},
+		Outs: []TxOut{{Value: 10, Owner: r.Addr(1)}},
+	}
+	if err := tx.Sign(0, r.Pair(0)); err != nil {
+		t.Fatal(err)
+	}
+	id1 := tx.ID()
+	tx.Ins[0].Sig[0] ^= 0xFF
+	if tx.ID() == id1 {
+		t.Fatal("signature change should change the tx ID")
+	}
+	if err := tx.Sign(5, r.Pair(0)); err == nil {
+		t.Fatal("signing out-of-range input should fail")
+	}
+}
+
+func TestSigHashExcludesSignature(t *testing.T) {
+	r := ring(1)
+	tx := &Tx{Ins: []TxIn{{Prev: Outpoint{Index: 1}}}, Outs: []TxOut{{Value: 1, Owner: r.Addr(0)}}}
+	before := tx.SigHash()
+	tx.SignAll(r.Pair(0))
+	if tx.SigHash() != before {
+		t.Fatal("SigHash must not cover signatures")
+	}
+}
+
+func TestSetApplyAndCheck(t *testing.T) {
+	r := ring(3)
+	set := NewSet()
+	fund := NewCoinbase(1, r.Addr(0), 100)
+	undo := &Undo{}
+	if _, err := set.applyTx(fund, undo); err != nil {
+		t.Fatal(err)
+	}
+	if set.Balance(r.Addr(0)) != 100 || set.TotalValue() != 100 || set.Len() != 1 {
+		t.Fatalf("post-fund set wrong: bal=%d total=%d len=%d",
+			set.Balance(r.Addr(0)), set.TotalValue(), set.Len())
+	}
+
+	pay := &Tx{
+		Ins: []TxIn{{Prev: Outpoint{TxID: fund.ID(), Index: 0}}},
+		Outs: []TxOut{
+			{Value: 60, Owner: r.Addr(1)},
+			{Value: 30, Owner: r.Addr(0)}, // change; 10 is fee
+		},
+	}
+	pay.SignAll(r.Pair(0))
+	fee, err := set.CheckTx(pay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fee != 10 {
+		t.Fatalf("fee = %d, want 10", fee)
+	}
+}
+
+func TestCheckTxRejections(t *testing.T) {
+	r := ring(3)
+	set := NewSet()
+	fund := NewCoinbase(1, r.Addr(0), 100)
+	set.applyTx(fund, &Undo{})
+	op := Outpoint{TxID: fund.ID(), Index: 0}
+
+	t.Run("missing output", func(t *testing.T) {
+		tx := &Tx{Ins: []TxIn{{Prev: Outpoint{TxID: hashx.Sum([]byte("no")), Index: 0}}},
+			Outs: []TxOut{{Value: 1, Owner: r.Addr(1)}}}
+		tx.SignAll(r.Pair(0))
+		if _, err := set.CheckTx(tx); !errors.Is(err, ErrMissingOutput) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("duplicate input", func(t *testing.T) {
+		tx := &Tx{Ins: []TxIn{{Prev: op}, {Prev: op}},
+			Outs: []TxOut{{Value: 1, Owner: r.Addr(1)}}}
+		tx.SignAll(r.Pair(0))
+		if _, err := set.CheckTx(tx); !errors.Is(err, ErrMissingOutput) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("wrong owner", func(t *testing.T) {
+		tx := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 1, Owner: r.Addr(1)}}}
+		tx.SignAll(r.Pair(1)) // signed by non-owner
+		if _, err := set.CheckTx(tx); !errors.Is(err, ErrWrongOwner) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad signature", func(t *testing.T) {
+		tx := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 1, Owner: r.Addr(1)}}}
+		tx.SignAll(r.Pair(0))
+		tx.Ins[0].Sig[0] ^= 0xFF
+		if _, err := set.CheckTx(tx); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("overspend", func(t *testing.T) {
+		tx := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 101, Owner: r.Addr(1)}}}
+		tx.SignAll(r.Pair(0))
+		if _, err := set.CheckTx(tx); !errors.Is(err, ErrInsufficient) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("coinbase refused", func(t *testing.T) {
+		if _, err := set.CheckTx(NewCoinbase(2, r.Addr(0), 1)); err == nil {
+			t.Fatal("CheckTx should refuse coinbase")
+		}
+	})
+}
+
+func TestApplyBlockAndUndoRoundTrip(t *testing.T) {
+	r := ring(3)
+	set := NewSet()
+	fund := NewCoinbase(1, r.Addr(0), 100)
+	set.applyTx(fund, &Undo{})
+
+	pay := &Tx{
+		Ins:  []TxIn{{Prev: Outpoint{TxID: fund.ID(), Index: 0}}},
+		Outs: []TxOut{{Value: 90, Owner: r.Addr(1)}}, // fee 10
+	}
+	pay.SignAll(r.Pair(0))
+	coinbase := NewCoinbase(2, r.Addr(2), 50+10) // subsidy + fees
+	body := &BlockBody{Txs: []*Tx{coinbase, pay}}
+
+	totalBefore := set.TotalValue()
+	undo, err := set.ApplyBlock(body, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Balance(r.Addr(1)) != 90 || set.Balance(r.Addr(2)) != 60 || set.Balance(r.Addr(0)) != 0 {
+		t.Fatalf("balances wrong: %d/%d/%d",
+			set.Balance(r.Addr(0)), set.Balance(r.Addr(1)), set.Balance(r.Addr(2)))
+	}
+	// Supply grew by exactly the subsidy (fees just moved).
+	if set.TotalValue() != totalBefore+50 {
+		t.Fatalf("supply = %d, want %d", set.TotalValue(), totalBefore+50)
+	}
+	set.UndoBlock(undo)
+	if set.Balance(r.Addr(0)) != 100 || set.TotalValue() != totalBefore || set.Len() != 1 {
+		t.Fatal("undo did not restore the set")
+	}
+}
+
+func TestApplyBlockCoinbaseRules(t *testing.T) {
+	r := ring(2)
+	set := NewSet()
+	fund := NewCoinbase(1, r.Addr(0), 100)
+	set.applyTx(fund, &Undo{})
+
+	t.Run("greedy coinbase rejected", func(t *testing.T) {
+		body := &BlockBody{Txs: []*Tx{NewCoinbase(2, r.Addr(1), 51)}}
+		if _, err := set.ApplyBlock(body, 50); !errors.Is(err, ErrCoinbaseValue) {
+			t.Fatalf("err = %v", err)
+		}
+		if set.Len() != 1 {
+			t.Fatal("failed apply must leave set unchanged")
+		}
+	})
+	t.Run("coinbase not first rejected", func(t *testing.T) {
+		pay := &Tx{Ins: []TxIn{{Prev: Outpoint{TxID: fund.ID(), Index: 0}}},
+			Outs: []TxOut{{Value: 100, Owner: r.Addr(1)}}}
+		pay.SignAll(r.Pair(0))
+		body := &BlockBody{Txs: []*Tx{pay, NewCoinbase(2, r.Addr(1), 50)}}
+		if _, err := set.ApplyBlock(body, 50); err == nil {
+			t.Fatal("coinbase in position 1 accepted")
+		}
+		if set.Balance(r.Addr(0)) != 100 {
+			t.Fatal("failed apply must roll back partial state")
+		}
+	})
+	t.Run("two coinbases rejected", func(t *testing.T) {
+		body := &BlockBody{Txs: []*Tx{NewCoinbase(2, r.Addr(1), 25), NewCoinbase(3, r.Addr(1), 25)}}
+		if _, err := set.ApplyBlock(body, 50); err == nil {
+			t.Fatal("two coinbases accepted")
+		}
+	})
+}
+
+// Property: random valid payment chains conserve value minus fees, and
+// undoing everything restores the initial state exactly.
+func TestQuickValueConservation(t *testing.T) {
+	r := ring(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := NewSet()
+		fund := NewCoinbase(1, r.Addr(0), 1_000_000)
+		set.applyTx(fund, &Undo{})
+		supply := set.TotalValue()
+
+		var undos []*Undo
+		for round := 0; round < 5; round++ {
+			// Pick a funded sender and pay a random recipient.
+			var sender int
+			for i := 0; i < 8; i++ {
+				if set.Balance(r.Addr(i)) > 100 {
+					sender = i
+					break
+				}
+			}
+			to := rng.Intn(8)
+			amount := uint64(rng.Intn(50) + 1)
+			fee := uint64(rng.Intn(5))
+			tx, err := NewPayment(set, r.Pair(sender), r.Addr(to), amount, fee)
+			if err != nil {
+				return false
+			}
+			coinbase := NewCoinbase(uint64(round+2), r.Addr(7), 50+fee)
+			undo, err := set.ApplyBlock(&BlockBody{Txs: []*Tx{coinbase, tx}}, 50)
+			if err != nil {
+				return false
+			}
+			undos = append(undos, undo)
+			supply += 50
+			if set.TotalValue() != supply {
+				return false
+			}
+		}
+		for i := len(undos) - 1; i >= 0; i-- {
+			set.UndoBlock(undos[i])
+		}
+		return set.TotalValue() == 1_000_000 && set.Balance(r.Addr(0)) == 1_000_000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMempoolOrderingAndConflicts(t *testing.T) {
+	r := ring(4)
+	set := NewSet()
+	// Three outputs for account 0 so we can build three independent txs.
+	for i := 0; i < 3; i++ {
+		set.applyTx(NewCoinbase(uint64(i+1), r.Addr(0), 100), &Undo{})
+	}
+	pool := NewMempool(set)
+	ops := set.OutpointsOf(r.Addr(0))
+
+	mkTx := func(op Outpoint, fee uint64) *Tx {
+		tx := &Tx{Ins: []TxIn{{Prev: op}},
+			Outs: []TxOut{{Value: 100 - fee, Owner: r.Addr(1)}}}
+		tx.SignAll(r.Pair(0))
+		return tx
+	}
+	low := mkTx(ops[0], 1)
+	mid := mkTx(ops[1], 5)
+	high := mkTx(ops[2], 20)
+	for _, tx := range []*Tx{low, mid, high} {
+		if err := pool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Len() != 3 || pool.Bytes() == 0 {
+		t.Fatalf("pool len=%d bytes=%d", pool.Len(), pool.Bytes())
+	}
+	if err := pool.Add(low); !errors.Is(err, ErrPoolDup) {
+		t.Fatalf("duplicate add err = %v", err)
+	}
+	// A conflicting spend of ops[0] must be rejected (first-seen rule).
+	rival := mkTx(ops[0], 50)
+	if err := pool.Add(rival); !errors.Is(err, ErrPoolConflict) {
+		t.Fatalf("conflict err = %v", err)
+	}
+	// Assembly must order by fee rate.
+	txs := pool.Assemble(1_000_000)
+	if len(txs) != 3 {
+		t.Fatalf("assembled %d txs", len(txs))
+	}
+	if txs[0].ID() != high.ID() || txs[2].ID() != low.ID() {
+		t.Fatal("assembly not fee-ordered")
+	}
+	// A tight budget takes only the best-paying tx.
+	small := pool.Assemble(high.EncodedSize())
+	if len(small) != 1 || small[0].ID() != high.ID() {
+		t.Fatal("size-capped assembly wrong")
+	}
+	// Confirming high evicts it; confirming a rival spend evicts victims.
+	pool.RemoveConfirmed([]*Tx{high})
+	if pool.Contains(high.ID()) {
+		t.Fatal("confirmed tx still pooled")
+	}
+	if _, ok := pool.FeeOf(mid.ID()); !ok {
+		t.Fatal("unrelated tx evicted")
+	}
+}
+
+func TestMempoolRejectsCoinbaseAndUnfunded(t *testing.T) {
+	r := ring(2)
+	set := NewSet()
+	pool := NewMempool(set)
+	if err := pool.Add(NewCoinbase(1, r.Addr(0), 50)); err == nil {
+		t.Fatal("coinbase pooled")
+	}
+	tx := &Tx{Ins: []TxIn{{Prev: Outpoint{TxID: hashx.Sum([]byte("x")), Index: 0}}},
+		Outs: []TxOut{{Value: 1, Owner: r.Addr(1)}}}
+	tx.SignAll(r.Pair(0))
+	if err := pool.Add(tx); err == nil {
+		t.Fatal("unfunded tx pooled")
+	}
+}
+
+func TestLedgerMineAndConfirm(t *testing.T) {
+	r := ring(4)
+	l := newTestLedger(t, r, 2)
+	miner := r.Addr(3)
+
+	tx, err := NewPayment(l.UTXOSet(), r.Pair(0), r.Addr(2), 250, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	b := l.BuildBlock(miner, time.Minute)
+	if b.TxCount() != 2 { // coinbase + payment
+		t.Fatalf("block has %d txs", b.TxCount())
+	}
+	res, err := l.ProcessBlock(b)
+	if err != nil || res.Status != chain.Accepted {
+		t.Fatalf("ProcessBlock: %v %v", res.Status, err)
+	}
+	if l.Balance(r.Addr(2)) != 250 {
+		t.Fatalf("recipient balance = %d", l.Balance(r.Addr(2)))
+	}
+	if l.Balance(r.Addr(0)) != 1000-255 {
+		t.Fatalf("sender balance = %d", l.Balance(r.Addr(0)))
+	}
+	wantMiner := Subsidy(1, l.Params().InitialSubsidy, l.Params().HalvingInterval) + 5
+	if l.Balance(miner) != wantMiner {
+		t.Fatalf("miner balance = %d, want %d", l.Balance(miner), wantMiner)
+	}
+	if got := l.Confirmations(tx.ID()); got != 1 {
+		t.Fatalf("confirmations = %d, want 1", got)
+	}
+	if l.Pool().Len() != 0 {
+		t.Fatal("mined tx still pooled")
+	}
+	// More blocks deepen the confirmation.
+	for i := 0; i < 5; i++ {
+		b := l.BuildBlock(miner, time.Duration(i+2)*time.Minute)
+		if _, err := l.ProcessBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Confirmations(tx.ID()); got != 6 {
+		t.Fatalf("confirmations = %d, want 6", got)
+	}
+}
+
+// The §IV-A double-spend story end to end: a payment confirmed on the main
+// chain is reversed when a heavier attacker branch with a conflicting
+// spend reorganizes the ledger; the merchant's confirmations drop to 0.
+func TestLedgerReorgDoubleSpend(t *testing.T) {
+	r := ring(4)
+	attacker, victim, minerA, minerB := r.Pair(0), r.Addr(1), r.Addr(2), r.Addr(3)
+	l := newTestLedger(t, r, 1) // only attacker funded
+
+	// Honest branch: attacker pays the victim, block mined on top.
+	honest, err := NewPayment(l.UTXOSet(), attacker, victim, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SubmitTx(honest); err != nil {
+		t.Fatal(err)
+	}
+	b1 := l.BuildBlock(minerA, 1*time.Minute)
+	if _, err := l.ProcessBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	if l.Confirmations(honest.ID()) != 1 || l.Balance(victim) != 600 {
+		t.Fatal("honest payment not confirmed")
+	}
+
+	// Attacker branch: a second ledger replica sees the same genesis but
+	// not b1, and mines the conflicting self-payment plus one more block.
+	alloc := map[keys.Address]uint64{attacker.Address(): 1000}
+	evil, err := NewLedger(alloc, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict, err := NewPayment(evil.UTXOSet(), attacker, attacker.Address(), 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evil.SubmitTx(conflict); err != nil {
+		t.Fatal(err)
+	}
+	e1 := evil.BuildBlock(minerB, 1*time.Minute)
+	if _, err := evil.ProcessBlock(e1); err != nil {
+		t.Fatal(err)
+	}
+	e2 := evil.BuildBlock(minerB, 2*time.Minute)
+	if _, err := evil.ProcessBlock(e2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim's node receives the longer attacker branch.
+	if res, err := l.ProcessBlock(e1); err != nil || res.Status != chain.AcceptedSide {
+		t.Fatalf("e1: %v %v", res.Status, err)
+	}
+	res, err := l.ProcessBlock(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != chain.AcceptedReorg {
+		t.Fatalf("e2 status = %v, want reorg", res.Status)
+	}
+	// The double spend succeeded: victim's money is gone, merchant sees
+	// zero confirmations again.
+	if l.Balance(victim) != 0 {
+		t.Fatalf("victim balance after reorg = %d, want 0", l.Balance(victim))
+	}
+	if l.Confirmations(honest.ID()) != 0 {
+		t.Fatal("orphaned payment still reports confirmations")
+	}
+	// The honest tx conflicts with the attacker's spend, so reinjection
+	// must have dropped it.
+	if l.Pool().Contains(honest.ID()) {
+		t.Fatal("conflicting tx must not be reinjected")
+	}
+}
+
+func TestLedgerRetargetsDifficulty(t *testing.T) {
+	r := ring(2)
+	p := testParams()
+	p.RetargetWindow = 4
+	p.TargetInterval = 10 * time.Minute
+	p.InitialDifficulty = 1000
+	alloc := map[keys.Address]uint64{r.Addr(0): 1000}
+	l, err := NewLedger(alloc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mine the first window at double speed (5-minute blocks). Like
+	// Bitcoin, the retarget measures first-to-last timestamps of the
+	// window, i.e. window-1 = 3 intervals: actual 15 min vs expected
+	// 40 min, so difficulty scales by 8/3.
+	now := time.Duration(0)
+	for i := 0; i < 4; i++ {
+		d := l.NextDifficulty()
+		if i < 3 && d != 1000 {
+			t.Fatalf("difficulty changed mid-window at block %d: %g", i, d)
+		}
+		now += 5 * time.Minute
+		b := l.BuildBlock(r.Addr(1), now)
+		if _, err := l.ProcessBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := l.NextDifficulty()
+	if d < 2600 || d > 2700 {
+		t.Fatalf("retargeted difficulty = %g, want ≈2666.7 (8/3 of 1000)", d)
+	}
+}
+
+func TestNewPaymentInsufficient(t *testing.T) {
+	r := ring(2)
+	l := newTestLedger(t, r, 1)
+	if _, err := NewPayment(l.UTXOSet(), r.Pair(0), r.Addr(1), 5000, 0); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewPayment(l.UTXOSet(), r.Pair(1), r.Addr(0), 1, 0); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("unfunded sender err = %v", err)
+	}
+}
+
+func TestLedgerBytesGrow(t *testing.T) {
+	r := ring(2)
+	l := newTestLedger(t, r, 1)
+	before := l.LedgerBytes()
+	b := l.BuildBlock(r.Addr(1), time.Minute)
+	if _, err := l.ProcessBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if l.LedgerBytes() <= before {
+		t.Fatal("ledger size should grow with each block")
+	}
+}
+
+func BenchmarkCheckTx(b *testing.B) {
+	r := keys.NewRing("bench", 2)
+	set := NewSet()
+	fund := NewCoinbase(1, r.Addr(0), 1000)
+	set.applyTx(fund, &Undo{})
+	tx := &Tx{Ins: []TxIn{{Prev: Outpoint{TxID: fund.ID(), Index: 0}}},
+		Outs: []TxOut{{Value: 999, Owner: r.Addr(1)}}}
+	tx.SignAll(r.Pair(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := set.CheckTx(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildAndProcessBlock(b *testing.B) {
+	r := keys.NewRing("bench2", 3)
+	alloc := map[keys.Address]uint64{r.Addr(0): 1 << 40}
+	l, err := NewLedger(alloc, testParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := NewPayment(l.UTXOSet(), r.Pair(0), r.Addr(1), 100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.SubmitTx(tx); err != nil {
+			b.Fatal(err)
+		}
+		blk := l.BuildBlock(r.Addr(2), time.Duration(i)*time.Minute)
+		if _, err := l.ProcessBlock(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

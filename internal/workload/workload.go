@@ -1,0 +1,233 @@
+// Package workload generates the transaction traffic the experiments feed
+// into each ledger: Poisson payment arrivals over uniform or Zipf-skewed
+// account populations, bursty load for backlog experiments (paper §VI's
+// pending-transaction counts), double-spend attack plans for the
+// confirmation experiments (§IV) and spam floods for Nano's anti-spam PoW
+// (§III-B).
+//
+// Generators are pure functions of an explicit *rand.Rand so that every
+// experiment is reproducible from its seed.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Payment is one value transfer between ring-indexed accounts.
+type Payment struct {
+	From   int
+	To     int
+	Amount uint64
+}
+
+// TimedPayment schedules a payment at a virtual time.
+type TimedPayment struct {
+	At time.Duration
+	Payment
+}
+
+// Config shapes a generated payment stream.
+type Config struct {
+	// Accounts is the number of participating accounts (ring indices
+	// 0..Accounts-1).
+	Accounts int
+	// Rate is the mean arrival rate in payments per second (Poisson).
+	Rate float64
+	// Duration is the span of virtual time to cover.
+	Duration time.Duration
+	// ZipfS skews sender/receiver choice when > 1 (s parameter of the
+	// Zipf law); 0 selects uniformly.
+	ZipfS float64
+	// MinAmount and MaxAmount bound the uniform payment size; both
+	// default to 1 when zero.
+	MinAmount uint64
+	MaxAmount uint64
+}
+
+// picker chooses account indices.
+type picker struct {
+	n    int
+	zipf *rand.Zipf
+	rng  *rand.Rand
+}
+
+func newPicker(rng *rand.Rand, cfg Config) picker {
+	p := picker{n: cfg.Accounts, rng: rng}
+	if cfg.ZipfS > 1 {
+		p.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Accounts-1))
+	}
+	return p
+}
+
+func (p picker) pick() int {
+	if p.zipf != nil {
+		return int(p.zipf.Uint64())
+	}
+	return p.rng.Intn(p.n)
+}
+
+// Payments generates a Poisson stream of payments over cfg.Duration,
+// sorted by arrival time. Sender and receiver always differ.
+func Payments(rng *rand.Rand, cfg Config) []TimedPayment {
+	if cfg.Accounts < 2 || cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return nil
+	}
+	lo, hi := cfg.MinAmount, cfg.MaxAmount
+	if lo == 0 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	p := newPicker(rng, cfg)
+	est := int(cfg.Rate*cfg.Duration.Seconds()) + 1
+	out := make([]TimedPayment, 0, est)
+	mean := time.Duration(float64(time.Second) / cfg.Rate)
+	for t := time.Duration(0); ; {
+		t += time.Duration(rng.ExpFloat64() * float64(mean))
+		if t > cfg.Duration {
+			break
+		}
+		from := p.pick()
+		to := p.pick()
+		for to == from {
+			to = p.pick()
+		}
+		amount := lo
+		if hi > lo {
+			amount = lo + uint64(rng.Int63n(int64(hi-lo)+1))
+		}
+		out = append(out, TimedPayment{At: t, Payment: Payment{From: from, To: to, Amount: amount}})
+	}
+	return out
+}
+
+// Burst generates payments in periodic bursts: quiet for period−burstLen,
+// then burstRate payments/second for burstLen. It models the backlog
+// spikes behind the paper's pending-transaction figures (§VI).
+func Burst(rng *rand.Rand, cfg Config, burstLen, period time.Duration) []TimedPayment {
+	if cfg.Accounts < 2 || cfg.Rate <= 0 || cfg.Duration <= 0 || burstLen <= 0 || period < burstLen {
+		return nil
+	}
+	p := newPicker(rng, cfg)
+	lo, hi := cfg.MinAmount, cfg.MaxAmount
+	if lo == 0 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	var out []TimedPayment
+	mean := time.Duration(float64(time.Second) / cfg.Rate)
+	for start := time.Duration(0); start < cfg.Duration; start += period {
+		for t := start; t < start+burstLen && t < cfg.Duration; {
+			t += time.Duration(rng.ExpFloat64() * float64(mean))
+			if t >= start+burstLen || t > cfg.Duration {
+				break
+			}
+			from := p.pick()
+			to := p.pick()
+			for to == from {
+				to = p.pick()
+			}
+			amount := lo
+			if hi > lo {
+				amount = lo + uint64(rng.Int63n(int64(hi-lo)+1))
+			}
+			out = append(out, TimedPayment{At: t, Payment: Payment{From: from, To: to, Amount: amount}})
+		}
+	}
+	return out
+}
+
+// DoubleSpend is an attack plan: the attacker pays the victim, waits for
+// the merchant's confirmation depth, then tries to replace that history
+// with a conflicting payment to itself (§IV-A's orphaning risk, §III-B's
+// Nano fork scenario).
+type DoubleSpend struct {
+	// Attacker and Victim are ring indices.
+	Attacker int
+	Victim   int
+	// Amount is the value of both conflicting payments.
+	Amount uint64
+	// At is when the honest-looking payment is issued.
+	At time.Duration
+	// TargetDepth is the confirmation depth the merchant waits for.
+	TargetDepth int
+}
+
+// DoubleSpends schedules n attack attempts spread uniformly over the
+// duration, each from a distinct attacker index (0..n-1 shifted by base).
+func DoubleSpends(rng *rand.Rand, n, base, victims int, amount uint64, dur time.Duration, depth int) []DoubleSpend {
+	out := make([]DoubleSpend, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, DoubleSpend{
+			Attacker:    base + i,
+			Victim:      rng.Intn(victims),
+			Amount:      amount,
+			At:          time.Duration(rng.Int63n(int64(dur))),
+			TargetDepth: depth,
+		})
+	}
+	return out
+}
+
+// Spam is a flood of minimum-value self-payments from one account,
+// modeling the "over-generation of transactions by a malicious user"
+// that Nano's anti-spam PoW throttles (§III-B).
+type Spam struct {
+	From  int
+	Count int
+	// Rate is the attempted injection rate in tx/second.
+	Rate float64
+	At   time.Duration
+}
+
+// SpamFlood expands a Spam plan into timed payments to a sink account.
+func SpamFlood(s Spam, sink int) []TimedPayment {
+	if s.Count <= 0 || s.Rate <= 0 {
+		return nil
+	}
+	gap := time.Duration(float64(time.Second) / s.Rate)
+	out := make([]TimedPayment, 0, s.Count)
+	for i := 0; i < s.Count; i++ {
+		out = append(out, TimedPayment{
+			At:      s.At + time.Duration(i)*gap,
+			Payment: Payment{From: s.From, To: sink, Amount: 1},
+		})
+	}
+	return out
+}
+
+// Merge combines multiple sorted payment streams into one sorted stream.
+func Merge(streams ...[]TimedPayment) []TimedPayment {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]TimedPayment, 0, total)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	// Simple insertion-friendly sort; streams are mostly sorted already.
+	sortTimed(out)
+	return out
+}
+
+func sortTimed(ps []TimedPayment) {
+	// Shell sort: no extra allocation, fine at experiment scale, stable
+	// enough for our purposes (exact ties are broken arbitrarily but
+	// deterministically).
+	gaps := []int{701, 301, 132, 57, 23, 10, 4, 1}
+	for _, gap := range gaps {
+		for i := gap; i < len(ps); i++ {
+			tmp := ps[i]
+			j := i
+			for ; j >= gap && ps[j-gap].At > tmp.At; j -= gap {
+				ps[j] = ps[j-gap]
+			}
+			ps[j] = tmp
+		}
+	}
+}

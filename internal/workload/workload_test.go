@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPaymentsRateAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := Config{Accounts: 50, Rate: 100, Duration: 60 * time.Second, MinAmount: 5, MaxAmount: 10}
+	ps := Payments(rng, cfg)
+	// Poisson with mean 6000: expect within ±5σ.
+	mean := 6000.0
+	if math.Abs(float64(len(ps))-mean) > 5*math.Sqrt(mean) {
+		t.Fatalf("generated %d payments, want ≈%d", len(ps), int(mean))
+	}
+	var prev time.Duration
+	for _, p := range ps {
+		if p.At < prev {
+			t.Fatal("payments not sorted by time")
+		}
+		prev = p.At
+		if p.At > cfg.Duration {
+			t.Fatal("payment beyond duration")
+		}
+		if p.From == p.To {
+			t.Fatal("self-payment generated")
+		}
+		if p.From < 0 || p.From >= 50 || p.To < 0 || p.To >= 50 {
+			t.Fatal("account index out of range")
+		}
+		if p.Amount < 5 || p.Amount > 10 {
+			t.Fatalf("amount %d out of [5,10]", p.Amount)
+		}
+	}
+}
+
+func TestPaymentsDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := Payments(rng, Config{Accounts: 5, Rate: 10, Duration: 10 * time.Second})
+	for _, p := range ps {
+		if p.Amount != 1 {
+			t.Fatalf("default amount should be 1, got %d", p.Amount)
+		}
+	}
+}
+
+func TestPaymentsDegenerateConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if Payments(rng, Config{Accounts: 1, Rate: 1, Duration: time.Second}) != nil {
+		t.Fatal("1 account should generate nothing")
+	}
+	if Payments(rng, Config{Accounts: 5, Rate: 0, Duration: time.Second}) != nil {
+		t.Fatal("0 rate should generate nothing")
+	}
+	if Payments(rng, Config{Accounts: 5, Rate: 1, Duration: 0}) != nil {
+		t.Fatal("0 duration should generate nothing")
+	}
+}
+
+func TestPaymentsDeterministic(t *testing.T) {
+	cfg := Config{Accounts: 10, Rate: 50, Duration: 10 * time.Second}
+	a := Payments(rand.New(rand.NewSource(7)), cfg)
+	b := Payments(rand.New(rand.NewSource(7)), cfg)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := Config{Accounts: 100, Rate: 200, Duration: 60 * time.Second, ZipfS: 1.5}
+	ps := Payments(rng, cfg)
+	counts := make([]int, 100)
+	for _, p := range ps {
+		counts[p.From]++
+	}
+	// Zipf: account 0 must dominate the tail by a wide margin.
+	tail := 0
+	for _, c := range counts[50:] {
+		tail += c
+	}
+	if counts[0] < tail {
+		t.Fatalf("zipf skew missing: head=%d tail-sum=%d", counts[0], tail)
+	}
+}
+
+func TestBurstQuietPeriods(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := Config{Accounts: 10, Rate: 1000, Duration: 10 * time.Second}
+	burstLen, period := time.Second, 5*time.Second
+	ps := Burst(rng, cfg, burstLen, period)
+	if len(ps) == 0 {
+		t.Fatal("no burst traffic generated")
+	}
+	for _, p := range ps {
+		offset := p.At % period
+		if offset > burstLen {
+			t.Fatalf("payment at %v falls outside burst window", p.At)
+		}
+	}
+	if Burst(rng, cfg, 2*time.Second, time.Second) != nil {
+		t.Fatal("period < burstLen should generate nothing")
+	}
+}
+
+func TestDoubleSpends(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	plans := DoubleSpends(rng, 10, 100, 20, 500, time.Minute, 6)
+	if len(plans) != 10 {
+		t.Fatalf("got %d plans", len(plans))
+	}
+	seen := map[int]bool{}
+	for _, p := range plans {
+		if p.Attacker < 100 || p.Attacker >= 110 {
+			t.Fatalf("attacker index %d out of range", p.Attacker)
+		}
+		if seen[p.Attacker] {
+			t.Fatal("duplicate attacker")
+		}
+		seen[p.Attacker] = true
+		if p.Victim < 0 || p.Victim >= 20 {
+			t.Fatalf("victim %d out of range", p.Victim)
+		}
+		if p.At < 0 || p.At >= time.Minute {
+			t.Fatalf("attack time %v out of range", p.At)
+		}
+		if p.Amount != 500 || p.TargetDepth != 6 {
+			t.Fatal("plan fields wrong")
+		}
+	}
+}
+
+func TestSpamFlood(t *testing.T) {
+	s := Spam{From: 3, Count: 100, Rate: 50, At: time.Second}
+	ps := SpamFlood(s, 9)
+	if len(ps) != 100 {
+		t.Fatalf("got %d spam payments", len(ps))
+	}
+	if ps[0].At != time.Second {
+		t.Fatal("first spam payment should start at s.At")
+	}
+	gap := ps[1].At - ps[0].At
+	if gap != 20*time.Millisecond {
+		t.Fatalf("spam gap = %v, want 20ms", gap)
+	}
+	for _, p := range ps {
+		if p.From != 3 || p.To != 9 || p.Amount != 1 {
+			t.Fatal("spam payment fields wrong")
+		}
+	}
+	if SpamFlood(Spam{Count: 0, Rate: 1}, 0) != nil {
+		t.Fatal("empty spam should be nil")
+	}
+}
+
+func TestMergeSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Payments(rng, Config{Accounts: 5, Rate: 20, Duration: 5 * time.Second})
+	b := SpamFlood(Spam{From: 1, Count: 50, Rate: 25, At: 0}, 2)
+	merged := Merge(a, b)
+	if len(merged) != len(a)+len(b) {
+		t.Fatalf("merge lost payments: %d != %d+%d", len(merged), len(a), len(b))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].At < merged[i-1].At {
+			t.Fatal("merged stream not sorted")
+		}
+	}
+}
+
+func BenchmarkPayments(b *testing.B) {
+	cfg := Config{Accounts: 1000, Rate: 1000, Duration: 60 * time.Second, ZipfS: 1.2}
+	for i := 0; i < b.N; i++ {
+		Payments(rand.New(rand.NewSource(int64(i))), cfg)
+	}
+}
