@@ -1,0 +1,31 @@
+# Mirrors the CI pipeline (.github/workflows/ci.yml) so local runs and CI
+# agree on what "green" means.
+GO ?= go
+
+.PHONY: build test race bench lint all
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Guards the worker-pool concurrency: experiment scheduler, lattice batch
+# settlement, signature batching, parallel merkle hashing.
+race:
+	$(GO) test -race -timeout 40m ./internal/core/... ./internal/lattice/... ./internal/keys/... ./internal/merkle/...
+
+# One pass over every benchmark; bench_output.txt is the perf source of
+# truth uploaded by CI. Redirect-then-cat (not tee) so a bench failure
+# fails the target under plain /bin/sh.
+bench:
+	$(GO) test -short -bench=. -benchtime=1x -run '^$$' ./... > bench_output.txt || (cat bench_output.txt; exit 1)
+	@cat bench_output.txt
+
+lint:
+	$(GO) vet ./...
+	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi

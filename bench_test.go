@@ -7,13 +7,16 @@ package dlt
 // out in DESIGN.md §4.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/chain"
 	"repro/internal/hashx"
 	"repro/internal/keys"
+	"repro/internal/lattice"
 	"repro/internal/orv"
 	"repro/internal/trie"
 	"repro/internal/utxo"
@@ -187,18 +190,77 @@ func metricName(q float64) string {
 	}
 }
 
-// BenchmarkFullComparison runs the entire registry once per iteration —
-// the headline "reproduce the whole paper" cost.
+// BenchmarkFullComparison runs the entire registry once per iteration
+// through the worker-pool runner — the headline "reproduce the whole
+// paper" cost at full hardware parallelism.
 func BenchmarkFullComparison(b *testing.B) {
 	if testing.Short() {
 		b.Skip("long benchmark")
 	}
 	for i := 0; i < b.N; i++ {
-		for _, e := range Experiments() {
-			if _, err := e.Run(Config{Seed: int64(i + 1), Scale: 0.1}); err != nil {
-				b.Fatalf("%s: %v", e.ID, err)
-			}
+		if _, err := RunAll(Config{Seed: int64(i + 1), Scale: 0.1}, 0); err != nil {
+			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelSpeedup compares the full E1–E13 sweep at workers=1
+// against one worker per core: the measured form of the paper's §IV/§VI
+// claim that independent work (DAG settlement, here whole experiments)
+// need not be serialized. Compare the two sub-benchmark wall clocks in
+// bench_output.txt for the speedup.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				report, err := RunAll(Config{Seed: int64(i + 1), Scale: 0.1, Workers: workers}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := len(report.Runs); got != 13 {
+					b.Fatalf("sweep ran %d/13 experiments", got)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLatticeProcessBatch measures batch settlement of a send storm
+// against worker count: stage 1 (ed25519 + work stamps) is the hot path
+// the pool parallelizes.
+func BenchmarkLatticeProcessBatch(b *testing.B) {
+	ring := keys.NewRing("bench-batch", 64)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				lat, _, err := lattice.New(ring.Pair(0), 1<<40, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocks := make([]*lattice.Block, 0, 256)
+				for j := 0; j < 256; j++ {
+					send, err := lat.NewSend(ring.Pair(0), ring.Addr(1+j%63), 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res := lat.Process(send); res.Status != lattice.Accepted {
+						b.Fatalf("seed send: %v", res.Status)
+					}
+					blocks = append(blocks, send)
+				}
+				replay, _, err := lattice.New(ring.Pair(0), 1<<40, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, res := range replay.ProcessBatch(blocks, workers) {
+					if res.Status == lattice.Rejected {
+						b.Fatalf("batch: %v", res.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

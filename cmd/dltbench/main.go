@@ -1,20 +1,26 @@
 // Command dltbench regenerates every table of the paper reproduction:
 // one experiment per figure or quantitative claim of "Distributed Ledger
 // Technology: Blockchain Compared to Directed Acyclic Graph" (ICDCS
-// 2018).
+// 2018). Experiments are scheduled on the core worker-pool runner, so a
+// multi-core host regenerates the whole paper concurrently; -workers 1
+// reproduces the serial sweep with identical tables.
 //
 // Usage:
 //
-//	dltbench                     # run all experiments at full scale
+//	dltbench                     # run all experiments, one worker per core
+//	dltbench -workers 1          # serial sweep (same tables, slower)
 //	dltbench -experiment E9      # one experiment
 //	dltbench -scale 0.25 -seed 7 # smaller/faster, different randomness
 //	dltbench -list               # show the registry
+//	dltbench -timing             # append the wall-clock/speedup table
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 )
@@ -28,6 +34,8 @@ func run() int {
 		experiment = flag.String("experiment", "all", "experiment id (E1…E13) or 'all'")
 		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
 		scale      = flag.Float64("scale", 1.0, "duration/workload scale factor")
+		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU core)")
+		timing     = flag.Bool("timing", false, "print the sweep wall-clock/speedup table")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		summary    = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
 	)
@@ -47,7 +55,10 @@ func run() int {
 		return 0
 	}
 
-	cfg := core.Config{Seed: *seed, Scale: *scale}
+	// -workers bounds both levels of parallelism: the sweep pool and the
+	// fan-out of sweep points inside E9/E10/E12. -workers 1 is the fully
+	// serial schedule; the tables are identical either way.
+	cfg := core.Config{Seed: *seed, Scale: *scale, Workers: *workers}
 	selected := core.Experiments()
 	if *experiment != "all" {
 		e, err := core.ByID(*experiment)
@@ -58,18 +69,32 @@ func run() int {
 		selected = []core.Experiment{e}
 	}
 
-	for _, e := range selected {
-		fmt.Printf("=== %s [§%s] %s\n", e.ID, e.Section, e.Title)
-		table, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			return 1
+	// Ctrl-C stops scheduling new experiments; in-flight ones finish and
+	// the report marks the rest as not started.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	report, runErr := core.RunSelected(ctx, cfg, *workers, selected)
+	for _, r := range report.Runs {
+		fmt.Printf("=== %s [§%s] %s\n", r.Experiment.ID, r.Experiment.Section, r.Experiment.Title)
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Experiment.ID, r.Err)
+			continue
 		}
-		if err := table.Render(os.Stdout); err != nil {
+		if err := r.Table.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		fmt.Println()
+	}
+	if *timing {
+		if err := report.Table().Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if runErr != nil {
+		return 1
 	}
 	return 0
 }

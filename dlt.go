@@ -22,6 +22,7 @@
 package dlt
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -81,6 +82,26 @@ func NewEthereumNetwork(cfg EthereumConfig) (*EthereumNet, error) { return netsi
 
 // NewNanoNetwork builds a Nano-like block-lattice network simulation.
 func NewNanoNetwork(cfg NanoConfig) (*NanoNet, error) { return netsim.NewNano(cfg) }
+
+// Run and Report are the worker-pool scheduler's per-experiment and
+// aggregate results.
+type (
+	Run    = core.Run
+	Report = core.Report
+)
+
+// RunAll executes the full registry concurrently with bounded parallelism
+// (workers <= 0 means runtime.NumCPU; 1 reproduces the serial sweep). Each
+// experiment runs under a deterministic derived seed, so results are
+// identical for any worker count. The returned error aggregates every
+// experiment failure.
+func RunAll(cfg Config, workers int) (*Report, error) { return core.RunAll(cfg, workers) }
+
+// RunAllContext is RunAll with cancellation: experiments not yet started
+// when ctx is done are marked with ctx's error instead of running.
+func RunAllContext(ctx context.Context, cfg Config, workers int) (*Report, error) {
+	return core.RunAllContext(ctx, cfg, workers)
+}
 
 // Experiments returns the full registry (E1…E13) in paper order.
 func Experiments() []Experiment { return core.Experiments() }

@@ -36,6 +36,33 @@ func TestRunExperimentRenders(t *testing.T) {
 	}
 }
 
+// The facade scheduler must run the registry concurrently and report
+// per-experiment results in registry order.
+func TestFacadeRunAll(t *testing.T) {
+	report, err := RunAll(Config{Seed: 5, Scale: 0.05}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Runs) != 13 {
+		t.Fatalf("sweep ran %d/13 experiments", len(report.Runs))
+	}
+	for i, r := range report.Runs {
+		if r.Experiment.ID != Experiments()[i].ID {
+			t.Fatalf("run %d is %s, want registry order", i, r.Experiment.ID)
+		}
+		if r.Table == nil || r.Err != nil {
+			t.Fatalf("%s: table=%v err=%v", r.Experiment.ID, r.Table, r.Err)
+		}
+	}
+	var sb strings.Builder
+	if err := report.Table().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "speedup=") {
+		t.Fatalf("timing table missing speedup note:\n%s", sb.String())
+	}
+}
+
 func TestFacadeParadigms(t *testing.T) {
 	if Blockchain.String() != "blockchain" || DAG.String() != "dag" {
 		t.Fatal("paradigm re-export broken")

@@ -44,6 +44,11 @@ type Config struct {
 	// Scale stretches or shrinks simulated durations and workload sizes
 	// (1.0 = the defaults used in EXPERIMENTS.md; tests use less).
 	Scale float64
+	// Workers bounds intra-experiment parallelism: experiments whose
+	// sweep points are independent simulations (E9, E10, E12) fan them
+	// out across this many goroutines (<= 0 means one per CPU core).
+	// Results are identical for every value.
+	Workers int
 }
 
 // withDefaults fills zero values.

@@ -94,6 +94,7 @@ func RunE6VoteConfirmation(cfg Config) (*metrics.Table, error) {
 				Accounts:       24,
 				Reps:           reps,
 				QuorumFraction: quorum,
+				Workers:        cfg.Workers,
 			})
 			if err != nil {
 				return nil, err

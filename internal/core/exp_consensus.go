@@ -35,7 +35,7 @@ func RunE13Consensus(cfg Config) (*metrics.Table, error) {
 	for i := 0; i < draws; i++ {
 		powWins[lottery.SampleWinner(rng)]++
 	}
-	for id, share := range map[int]float64{0: 0.10, 1: 0.30, 2: 0.60} {
+	for id, share := range []float64{0.10, 0.30, 0.60} {
 		got := float64(powWins[id]) / float64(draws)
 		t.AddRow("PoW lottery", fmt.Sprintf("miner %d", id), metrics.Pct(share), metrics.Pct(got))
 		if got < share*0.8 || got > share*1.2 {

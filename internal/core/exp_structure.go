@@ -141,6 +141,7 @@ func RunE3Settlement(cfg Config) (*metrics.Table, error) {
 			Accounts:         16,
 			Reps:             4,
 			OfflineReceivers: offline,
+			Workers:          cfg.Workers,
 		})
 		if err != nil {
 			return netsim.NanoMetrics{}, err

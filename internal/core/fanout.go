@@ -1,0 +1,24 @@
+package core
+
+import (
+	"repro/internal/par"
+)
+
+// fanOut runs n independent sub-tasks across the configured worker pool
+// and returns their results in index order — the building block that lets
+// an experiment's sweep points (one simulated network each) run
+// concurrently without perturbing table order or determinism. Every task
+// runs even if an earlier one fails; the lowest-index error is returned.
+func fanOut[T any](cfg Config, n int, task func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	par.Each(n, cfg.Workers, 1, func(i int) {
+		out[i], errs[i] = task(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

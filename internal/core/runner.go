@@ -1,0 +1,162 @@
+// The experiment scheduler: a worker-pool engine that runs the E1…E13
+// registry with bounded parallelism. Experiments are self-contained (each
+// builds its own simulators and instance-scoped randomness), so the sweep
+// parallelizes across cores — which is itself the paper's §VI point about
+// DAG settlement: independent work need not be serialized. The scheduler
+// derives a private deterministic seed per experiment, so results are
+// identical for any worker count and any completion order.
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/hashx"
+	"repro/internal/metrics"
+	"repro/internal/par"
+)
+
+// DefaultWorkers is the scheduler's default parallelism.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// DeriveSeed maps a sweep seed and an experiment ID to the experiment's
+// private seed. Derived seeds decorrelate the experiments' random streams
+// and depend only on (base, id) — never on scheduling — so a sweep is
+// reproducible for any worker count.
+func DeriveSeed(base int64, id string) int64 {
+	digest := hashx.Sum([]byte(fmt.Sprintf("runner/%s/%d", id, base)))
+	s := int64(binary.BigEndian.Uint64(digest[:8]) &^ (1 << 63))
+	if s == 0 {
+		s = base // avoid 0, which Config.withDefaults would rewrite
+	}
+	return s
+}
+
+// Run is the outcome of one scheduled experiment.
+type Run struct {
+	Experiment Experiment
+	// Seed is the derived seed the experiment actually ran with.
+	Seed int64
+	// Table is the experiment's result (nil when Err is set).
+	Table *metrics.Table
+	// Err is the experiment failure, a recovered panic, or the context
+	// error for experiments the scheduler never started.
+	Err error
+	// Elapsed is the experiment's own wall clock.
+	Elapsed time.Duration
+}
+
+// Report aggregates a scheduled sweep.
+type Report struct {
+	// Runs holds one entry per requested experiment, in request order.
+	Runs []Run
+	// Workers is the parallelism the sweep ran with.
+	Workers int
+	// Elapsed is the wall clock of the whole sweep.
+	Elapsed time.Duration
+}
+
+// Err joins every experiment error in request order (nil if all passed).
+func (r *Report) Err() error {
+	var errs []error
+	for _, run := range r.Runs {
+		if run.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", run.Experiment.ID, run.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// SerialTime sums the per-experiment wall clocks — the cost a single
+// worker would pay for the same sweep.
+func (r *Report) SerialTime() time.Duration {
+	var total time.Duration
+	for _, run := range r.Runs {
+		total += run.Elapsed
+	}
+	return total
+}
+
+// Speedup is the sweep's aggregate parallel speedup: serial-sum over
+// sweep wall clock.
+func (r *Report) Speedup() float64 { return metrics.Speedup(r.SerialTime(), r.Elapsed) }
+
+// Table renders the sweep timing: per-experiment wall clock and share of
+// the serial sum, with aggregate wall-clock/speedup notes — the §IV
+// "concurrent settlement" story measured on the reproduction itself.
+func (r *Report) Table() *metrics.Table {
+	t := metrics.NewTable("experiment sweep — wall clock", "id", "section", "status", "seed", "wall", "share")
+	serial := r.SerialTime()
+	for _, run := range r.Runs {
+		status := "ok"
+		if run.Err != nil {
+			status = "error"
+		}
+		share := 0.0
+		if serial > 0 {
+			share = float64(run.Elapsed) / float64(serial)
+		}
+		t.AddRow(run.Experiment.ID, run.Experiment.Section, status,
+			metrics.I64(run.Seed), metrics.Dur(run.Elapsed), metrics.Pct(share))
+	}
+	t.AddNote("workers=%d wall=%s serial-sum=%s speedup=%s",
+		r.Workers, metrics.Dur(r.Elapsed), metrics.Dur(serial), metrics.X(r.Speedup()))
+	return t
+}
+
+// RunAll executes the full registry with bounded parallelism (workers <= 0
+// means DefaultWorkers) and returns the aggregated report. The returned
+// error is Report.Err.
+func RunAll(cfg Config, workers int) (*Report, error) {
+	return RunSelected(context.Background(), cfg, workers, Experiments())
+}
+
+// RunAllContext is RunAll with cancellation: experiments not yet started
+// when ctx is done are marked with ctx's error instead of running.
+func RunAllContext(ctx context.Context, cfg Config, workers int) (*Report, error) {
+	return RunSelected(ctx, cfg, workers, Experiments())
+}
+
+// RunSelected schedules an arbitrary experiment list across the pool.
+func RunSelected(ctx context.Context, cfg Config, workers int, exps []Experiment) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(exps) && len(exps) > 0 {
+		workers = len(exps)
+	}
+	report := &Report{Runs: make([]Run, len(exps)), Workers: workers}
+	start := time.Now()
+	par.Each(len(exps), workers, 1, func(i int) {
+		report.Runs[i] = runOne(ctx, cfg, exps[i])
+	})
+	report.Elapsed = time.Since(start)
+	return report, report.Err()
+}
+
+// runOne executes a single experiment under its derived seed, converting
+// panics into errors so one bad experiment cannot take down the sweep.
+func runOne(ctx context.Context, cfg Config, e Experiment) (run Run) {
+	run.Experiment = e
+	run.Seed = DeriveSeed(cfg.Seed, e.ID)
+	if err := ctx.Err(); err != nil {
+		run.Err = fmt.Errorf("not started: %w", err)
+		return run
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			run.Err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	ecfg := cfg
+	ecfg.Seed = run.Seed
+	start := time.Now()
+	run.Table, run.Err = e.Run(ecfg)
+	run.Elapsed = time.Since(start)
+	return run
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// renderAll renders every table of a report into one string, in request
+// order, so sweeps can be compared byte for byte.
+func renderAll(t *testing.T, r *Report) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, run := range r.Runs {
+		if run.Err != nil {
+			t.Fatalf("%s: %v", run.Experiment.ID, run.Err)
+		}
+		fmt.Fprintf(&sb, "== %s seed=%d\n", run.Experiment.ID, run.Seed)
+		if err := run.Table.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+// The tentpole guarantee: same sweep seed, any worker count, identical
+// tables — scheduling must never leak into results.
+func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	base, err := RunAll(Config{Seed: 7, Scale: 0.05, Workers: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, base)
+	// workers=13 (one per experiment) plus inner fan-out is the most
+	// adversarial schedule; one variant keeps the suite affordable.
+	for _, workers := range []int{13} {
+		rep, err := RunAll(Config{Seed: 7, Scale: 0.05, Workers: workers}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAll(t, rep); got != want {
+			t.Fatalf("workers=%d diverged from workers=1:\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
+		}
+		if rep.Workers != workers {
+			t.Fatalf("report workers = %d, want %d", rep.Workers, workers)
+		}
+	}
+}
+
+func TestDeriveSeedStableAndDistinct(t *testing.T) {
+	a, b := DeriveSeed(42, "E1"), DeriveSeed(42, "E1")
+	if a != b {
+		t.Fatalf("DeriveSeed not stable: %d vs %d", a, b)
+	}
+	if DeriveSeed(42, "E1") == DeriveSeed(42, "E2") {
+		t.Fatal("different experiments share a derived seed")
+	}
+	if DeriveSeed(42, "E1") == DeriveSeed(43, "E1") {
+		t.Fatal("different base seeds share a derived seed")
+	}
+	if DeriveSeed(42, "E1") <= 0 {
+		t.Fatal("derived seed must stay positive so withDefaults keeps it")
+	}
+}
+
+func fakeExperiment(id string, run func(Config) (*metrics.Table, error)) Experiment {
+	return Experiment{ID: id, Title: "fake " + id, Section: "test", Run: run}
+}
+
+func TestRunSelectedErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	ok := func(Config) (*metrics.Table, error) {
+		ran.Add(1)
+		return metrics.NewTable("t", "c"), nil
+	}
+	bad := func(Config) (*metrics.Table, error) { return nil, boom }
+	panicky := func(Config) (*metrics.Table, error) { panic("kaboom") }
+
+	exps := []Experiment{
+		fakeExperiment("F1", ok),
+		fakeExperiment("F2", bad),
+		fakeExperiment("F3", panicky),
+		fakeExperiment("F4", ok),
+	}
+	rep, err := RunSelected(context.Background(), Config{Seed: 1, Scale: 1}, 2, exps)
+	if err == nil {
+		t.Fatal("aggregate error missing")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("aggregate error does not wrap the experiment error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "F2") || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("aggregate error lacks detail: %v", err)
+	}
+	// A failing or panicking experiment must not stop its siblings.
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("healthy experiments ran %d/2 times", got)
+	}
+	if rep.Runs[0].Err != nil || rep.Runs[3].Err != nil {
+		t.Fatalf("healthy runs carry errors: %v %v", rep.Runs[0].Err, rep.Runs[3].Err)
+	}
+	if rep.Runs[1].Err == nil || rep.Runs[2].Err == nil {
+		t.Fatal("failed runs lack errors")
+	}
+}
+
+func TestRunSelectedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	// The first experiment cancels the context; with one worker, every
+	// later experiment must be marked not-started with the context error.
+	exps := []Experiment{
+		fakeExperiment("C1", func(Config) (*metrics.Table, error) {
+			ran.Add(1)
+			cancel()
+			return metrics.NewTable("t", "c"), nil
+		}),
+		fakeExperiment("C2", func(Config) (*metrics.Table, error) {
+			ran.Add(1)
+			return metrics.NewTable("t", "c"), nil
+		}),
+		fakeExperiment("C3", func(Config) (*metrics.Table, error) {
+			ran.Add(1)
+			return metrics.NewTable("t", "c"), nil
+		}),
+	}
+	rep, err := RunSelected(ctx, Config{Seed: 1, Scale: 1}, 1, exps)
+	if err == nil {
+		t.Fatal("cancelled sweep reported no error")
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d experiments ran after cancellation, want 1", got)
+	}
+	for _, run := range rep.Runs[1:] {
+		if !errors.Is(run.Err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", run.Experiment.ID, run.Err)
+		}
+	}
+}
+
+func TestReportTableAndSpeedup(t *testing.T) {
+	rep, err := RunSelected(context.Background(), Config{Seed: 3, Scale: 1}, 2, []Experiment{
+		fakeExperiment("T1", func(Config) (*metrics.Table, error) { return metrics.NewTable("t", "c"), nil }),
+		fakeExperiment("T2", func(Config) (*metrics.Table, error) { return metrics.NewTable("t", "c"), nil }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.Table().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T1", "T2", "speedup=", "workers=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report table missing %q:\n%s", want, out)
+		}
+	}
+	if rep.SerialTime() < rep.Runs[0].Elapsed {
+		t.Fatal("serial sum below a single run")
+	}
+}

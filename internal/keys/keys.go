@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/hashx"
+	"repro/internal/par"
 )
 
 // AddressSize is the byte length of an Address.
@@ -96,6 +97,32 @@ func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
 		return false
 	}
 	return ed25519.Verify(pub, msg, sig)
+}
+
+// VerifyJob is one signature check submitted to VerifyBatch.
+type VerifyJob struct {
+	Pub ed25519.PublicKey
+	Msg []byte
+	Sig []byte
+}
+
+// batchInlineLimit is the job count below which VerifyBatch verifies on
+// the calling goroutine: pool startup costs more than it saves there.
+const batchInlineLimit = 8
+
+// VerifyBatch checks a batch of signatures across a bounded worker pool
+// (workers <= 0 means one per CPU core) and returns one verdict per job
+// in input order. Signature verification is the dominant cost of ledger
+// validation, and every job is independent, so the batch parallelizes
+// perfectly — this is the primitive behind lattice.ProcessBatch and the
+// netsim validation hot paths.
+func VerifyBatch(jobs []VerifyJob, workers int) []bool {
+	out := make([]bool, len(jobs))
+	par.Each(len(jobs), workers, batchInlineLimit, func(i int) {
+		j := jobs[i]
+		out[i] = Verify(j.Pub, j.Msg, j.Sig)
+	})
+	return out
 }
 
 // Ring is a reusable set of deterministic identities indexed 0..n-1,

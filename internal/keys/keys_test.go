@@ -156,3 +156,42 @@ func BenchmarkVerify(b *testing.B) {
 		}
 	}
 }
+
+func TestVerifyBatch(t *testing.T) {
+	msgs := make([][]byte, 40)
+	jobs := make([]VerifyJob, 40)
+	want := make([]bool, 40)
+	for i := range jobs {
+		kp := DeterministicN("batch", i)
+		msgs[i] = []byte{byte(i), byte(i >> 8), 0xaa}
+		sig := kp.Sign(msgs[i])
+		jobs[i] = VerifyJob{Pub: kp.Pub, Msg: msgs[i], Sig: sig}
+		want[i] = true
+		switch i % 5 {
+		case 1: // tampered signature
+			jobs[i].Sig = append([]byte(nil), sig...)
+			jobs[i].Sig[3] ^= 0x01
+			want[i] = false
+		case 2: // wrong key
+			jobs[i].Pub = DeterministicN("batch", i+1).Pub
+			want[i] = false
+		case 3: // malformed sizes must not panic the pool
+			jobs[i].Sig = sig[:10]
+			want[i] = false
+		}
+	}
+	for _, workers := range []int{0, 1, 3, 64} {
+		got := VerifyBatch(jobs, workers)
+		if len(got) != len(jobs) {
+			t.Fatalf("workers=%d: %d verdicts for %d jobs", workers, len(got), len(jobs))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d job %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+	if out := VerifyBatch(nil, 4); len(out) != 0 {
+		t.Fatalf("empty batch returned %d verdicts", len(out))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/hashx"
 	"repro/internal/keys"
@@ -238,6 +239,12 @@ type Lattice struct {
 	gapSource map[hashx.Hash][]*Block
 	supply    uint64
 	genesis   hashx.Hash
+
+	// mu guards all shared state during ProcessBatch application; the
+	// single-goroutine entry points (Process, accessors) do not take it.
+	mu sync.Mutex
+	// locks serializes per-account application across batch workers.
+	locks *lockTable
 }
 
 // New creates a lattice whose genesis open block grants the entire supply
@@ -256,6 +263,7 @@ func New(genesisOwner *keys.KeyPair, supply uint64, workBits int) (*Lattice, *Bl
 		gapPrev:   make(map[hashx.Hash][]*Block),
 		gapSource: make(map[hashx.Hash][]*Block),
 		supply:    supply,
+		locks:     newLockTable(64),
 	}
 	genesis := &Block{
 		Type:           Open,
@@ -403,10 +411,20 @@ func (l *Lattice) processOne(b *Block) Result {
 	if _, dup := l.byHash[h]; dup {
 		return Result{Status: Duplicate}
 	}
-	if !b.VerifySig() {
+	return l.processVerified(b, h, b.VerifySig(), l.workBits <= 0 || b.VerifyWork(l.workBits))
+}
+
+// processVerified attaches a block whose expensive crypto checks (owner
+// signature, anti-spam work) were already performed — inline by processOne,
+// or across the ProcessBatch worker pool.
+func (l *Lattice) processVerified(b *Block, h hashx.Hash, sigOK, workOK bool) Result {
+	if _, dup := l.byHash[h]; dup {
+		return Result{Status: Duplicate}
+	}
+	if !sigOK {
 		return Result{Status: Rejected, Err: ErrBadSignature}
 	}
-	if l.workBits > 0 && !b.VerifyWork(l.workBits) {
+	if !workOK {
 		return Result{Status: Rejected, Err: ErrBadWork}
 	}
 	switch b.Type {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/hashx"
+	"repro/internal/par"
 )
 
 // Domain-separation prefixes for leaf and interior hashing.
@@ -166,4 +167,59 @@ func VerifyData(root hashx.Hash, data []byte, p Proof) bool {
 // slice without retaining the tree.
 func RootOfHashes(leaves []hashx.Hash) hashx.Hash {
 	return NewFromHashes(leaves).Root()
+}
+
+// parallelThreshold is the element count below which the serial path is
+// used regardless of the requested worker count: goroutine startup costs
+// more than hashing a small level.
+const parallelThreshold = 256
+
+// HashLeavesParallel digests raw leaf payloads with HashLeaf across a
+// bounded worker pool (workers <= 0 means one per CPU core). Leaf hashing
+// is embarrassingly parallel and dominates tree construction for wide
+// blocks, which is why DAG-era validators fan it out.
+func HashLeavesParallel(leaves [][]byte, workers int) []hashx.Hash {
+	digests := make([]hashx.Hash, len(leaves))
+	par.For(len(leaves), workers, parallelThreshold, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			digests[i] = HashLeaf(leaves[i])
+		}
+	})
+	return digests
+}
+
+// NewFromHashesParallel builds the same tree as NewFromHashes, combining
+// wide interior levels across a worker pool. The resulting tree is
+// bit-for-bit identical to the serial construction.
+func NewFromHashesParallel(leaves []hashx.Hash, workers int) *Tree {
+	t := &Tree{}
+	if len(leaves) == 0 {
+		return t
+	}
+	level := make([]hashx.Hash, len(leaves))
+	copy(level, leaves)
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		src := level
+		next := make([]hashx.Hash, (len(src)+1)/2)
+		par.For(len(next), workers, parallelThreshold, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				left := src[2*i]
+				right := left // odd node pairs with itself
+				if 2*i+1 < len(src) {
+					right = src[2*i+1]
+				}
+				next[i] = hashNode(left, right)
+			}
+		})
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// NewParallel builds a tree over raw leaf payloads, hashing leaves and
+// interior levels concurrently. Equivalent to New for every input.
+func NewParallel(leaves [][]byte, workers int) *Tree {
+	return NewFromHashesParallel(HashLeavesParallel(leaves, workers), workers)
 }

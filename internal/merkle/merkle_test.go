@@ -244,3 +244,57 @@ func BenchmarkProveVerify1024(b *testing.B) {
 		}
 	}
 }
+
+// The parallel construction must be bit-for-bit identical to the serial
+// one for every shape: empty, single, odd, even, and wide trees.
+func TestParallelParity(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 255, 1000, 4096} {
+		in := leaves(n)
+		serial := New(in)
+		for _, workers := range []int{0, 1, 4} {
+			par := NewParallel(in, workers)
+			if par.Root() != serial.Root() {
+				t.Fatalf("n=%d workers=%d root mismatch", n, workers)
+			}
+			if par.Len() != serial.Len() {
+				t.Fatalf("n=%d workers=%d len mismatch", n, workers)
+			}
+		}
+		digests := HashLeavesParallel(in, 4)
+		for i := range in {
+			if digests[i] != HashLeaf(in[i]) {
+				t.Fatalf("n=%d leaf %d digest mismatch", n, i)
+			}
+		}
+		if n > 0 {
+			if NewFromHashesParallel(digests, 4).Root() != serial.Root() {
+				t.Fatalf("n=%d NewFromHashesParallel root mismatch", n)
+			}
+		}
+	}
+}
+
+// Proofs from a parallel tree verify against the serial root and vice
+// versa — the trees are the same object.
+func TestParallelProofs(t *testing.T) {
+	in := leaves(777)
+	serial, par := New(in), NewParallel(in, 4)
+	rng := rand.New(rand.NewSource(5))
+	for k := 0; k < 32; k++ {
+		i := rng.Intn(len(in))
+		p, err := par.Prove(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyData(serial.Root(), in[i], p) {
+			t.Fatalf("parallel proof %d rejected by serial root", i)
+		}
+		sp, err := serial.Prove(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyData(par.Root(), in[i], sp) {
+			t.Fatalf("serial proof %d rejected by parallel root", i)
+		}
+	}
+}

@@ -265,3 +265,16 @@ func Pct(frac float64) string { return fmt.Sprintf("%.2f%%", 100*frac) }
 
 // Dur renders a duration with millisecond precision.
 func Dur(d time.Duration) string { return d.Round(time.Millisecond).String() }
+
+// X renders a multiplier cell, e.g. "3.42x" — used by the runner's
+// wall-clock/speedup reporting.
+func X(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) + "x" }
+
+// Speedup returns how many times faster cur is than base (base/cur), or 0
+// when cur is not positive.
+func Speedup(base, cur time.Duration) float64 {
+	if cur <= 0 {
+		return 0
+	}
+	return float64(base) / float64(cur)
+}

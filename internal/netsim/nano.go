@@ -41,6 +41,10 @@ type NanoConfig struct {
 	// budgets modeling §VI-B's consumer-hardware limit (zero disables).
 	ProcPerBlock time.Duration
 	ProcPerVote  time.Duration
+	// Workers bounds the parallel validation of the setup replay
+	// (lattice.ProcessBatch): <= 0 means one per CPU core, 1 is fully
+	// serial. Results are identical either way.
+	Workers int
 }
 
 func (c NanoConfig) withDefaults() NanoConfig {
@@ -186,10 +190,17 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("netsim: node %d: %w", i, err)
 		}
-		for _, b := range setupBlocks {
-			if res := lat.Process(b); res.Status != lattice.Accepted {
-				return nil, fmt.Errorf("netsim: node %d replay: %v", i, res.Status)
+		// Replay the canonical distribution through the batch pipeline:
+		// signature and work checks fan out across cores, and opens that
+		// apply before their source send settle through the gap buffers.
+		for _, res := range lat.ProcessBatch(setupBlocks, cfg.Workers) {
+			if res.Status == lattice.Rejected {
+				return nil, fmt.Errorf("netsim: node %d replay: %v (%v)", i, res.Status, res.Err)
 			}
+		}
+		if lat.GapCount() != 0 || lat.BlockCount() != len(setupBlocks)+1 {
+			return nil, fmt.Errorf("netsim: node %d replay incomplete: %d/%d blocks, %d gapped",
+				i, lat.BlockCount(), len(setupBlocks)+1, lat.GapCount())
 		}
 		weights := orv.NewWeights(repWeightTable)
 		node := &nanoNode{

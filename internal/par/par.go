@@ -1,0 +1,92 @@
+// Package par holds the repository's two worker-pool primitives. Every
+// parallel site — the experiment scheduler, batch signature checks,
+// merkle level hashing, lattice batch settlement — distributes the same
+// shape of work ("n independent index tasks on w goroutines") and shares
+// these helpers instead of hand-rolling a pool.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker bound: <= 0 means one per CPU
+// core, and the result never exceeds n (one task per worker at most).
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For splits [0, n) into one contiguous chunk per worker and runs f on
+// each chunk concurrently — the right shape for uniform, cheap
+// per-element work such as hashing, where chunking amortizes scheduling.
+// Runs inline (no goroutines) when n < inlineBelow or only one worker is
+// available.
+func For(n, workers, inlineBelow int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 || n < inlineBelow {
+		f(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Each runs f(i) for every i in [0, n), handing indices to workers
+// dynamically through an atomic counter — the right shape for uneven
+// per-item work (whole experiments, signature checks of varying cost),
+// where static chunks would leave workers idle. Runs inline when
+// n < inlineBelow or only one worker is available.
+func Each(n, workers, inlineBelow int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 || n < inlineBelow {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -202,6 +202,7 @@ type Operator struct {
 	nextNumber uint64
 	allowFraud bool
 	txsTotal   int
+	workers    int
 }
 
 // NewOperator creates a sidechain operator bound to a root chain.
@@ -218,6 +219,10 @@ func NewOperator(kp *keys.KeyPair, rc *RootChain) *Operator {
 // AllowFraud disables the operator's own overdraft check, modeling a
 // Byzantine operator.
 func (o *Operator) AllowFraud() { o.allowFraud = true }
+
+// SetWorkers bounds the parallel leaf hashing of Seal (<= 0 means one
+// per CPU core, 1 is fully serial). Roots are identical either way.
+func (o *Operator) SetWorkers(workers int) { o.workers = workers }
 
 // Deposit credits a user on the sidechain (the on-chain deposit leg is
 // out of scope; experiments fund accounts directly).
@@ -252,7 +257,7 @@ func (o *Operator) Seal() (*Block, error) {
 	for i, tx := range o.pending {
 		leaves[i] = tx.Encode()
 	}
-	b := &Block{Number: o.nextNumber, Txs: o.pending, tree: merkle.New(leaves)}
+	b := &Block{Number: o.nextNumber, Txs: o.pending, tree: merkle.NewParallel(leaves, o.workers)}
 	if err := o.rc.Commit(b.Number, b.Root()); err != nil {
 		return nil, err
 	}
