@@ -13,9 +13,10 @@ test:
 	$(GO) test ./...
 
 # Guards the worker-pool concurrency: experiment scheduler, lattice batch
-# settlement, signature batching, parallel merkle hashing.
+# settlement, signature batching, parallel merkle hashing, and the
+# batched live-gossip path in netsim.
 race:
-	$(GO) test -race -timeout 40m ./internal/core/... ./internal/lattice/... ./internal/keys/... ./internal/merkle/...
+	$(GO) test -race -timeout 40m ./internal/core/... ./internal/lattice/... ./internal/keys/... ./internal/merkle/... ./internal/netsim/...
 
 # One pass over every benchmark; bench_output.txt is the perf source of
 # truth uploaded by CI. Redirect-then-cat (not tee) so a bench failure

@@ -7,6 +7,7 @@ package dlt
 // out in DESIGN.md §4.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -29,7 +30,7 @@ func benchCfg(seed int64) Config { return Config{Seed: seed, Scale: 0.15} }
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if err := RunExperiment(id, benchCfg(int64(i+1)), io.Discard); err != nil {
+		if err := RunExperiment(context.Background(), id, benchCfg(int64(i+1)), io.Discard); err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
 	}

@@ -11,6 +11,7 @@
 //	dltbench -workers 1          # serial sweep (same tables, slower)
 //	dltbench -experiment E9      # one experiment
 //	dltbench -scale 0.25 -seed 7 # smaller/faster, different randomness
+//	dltbench -nano-batch 32      # add batched Nano sweep rows to E9/E12
 //	dltbench -list               # show the registry
 //	dltbench -timing             # append the wall-clock/speedup table
 package main
@@ -35,9 +36,13 @@ func run() int {
 		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
 		scale      = flag.Float64("scale", 1.0, "duration/workload scale factor")
 		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU core)")
-		timing     = flag.Bool("timing", false, "print the sweep wall-clock/speedup table")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		summary    = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
+		nanoBatch  = flag.Int("nano-batch", 0,
+			"add batched Nano sweep rows to E9/E12 with this gossip ingest batch size (<= 1 = serial tables only)")
+		nanoWindow = flag.Duration("nano-batch-window", 0,
+			"accumulation window for Nano gossip batches (0 = 5ms default)")
+		timing  = flag.Bool("timing", false, "print the sweep wall-clock/speedup table")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		summary = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
 	)
 	flag.Parse()
 
@@ -58,7 +63,10 @@ func run() int {
 	// -workers bounds both levels of parallelism: the sweep pool and the
 	// fan-out of sweep points inside E9/E10/E12. -workers 1 is the fully
 	// serial schedule; the tables are identical either way.
-	cfg := core.Config{Seed: *seed, Scale: *scale, Workers: *workers}
+	cfg := core.Config{
+		Seed: *seed, Scale: *scale, Workers: *workers,
+		NanoBatch: *nanoBatch, NanoBatchWindow: *nanoWindow,
+	}
 	selected := core.Experiments()
 	if *experiment != "all" {
 		e, err := core.ByID(*experiment)
@@ -69,8 +77,9 @@ func run() int {
 		selected = []core.Experiment{e}
 	}
 
-	// Ctrl-C stops scheduling new experiments; in-flight ones finish and
-	// the report marks the rest as not started.
+	// Ctrl-C cancels the sweep context, which stops scheduling new
+	// experiments AND interrupts in-flight ones at their next sweep
+	// point; the report marks unfinished work with the context error.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 

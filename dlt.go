@@ -12,7 +12,7 @@
 //
 //	cfg := dlt.Config{Seed: 42, Scale: 1}
 //	for _, e := range dlt.Experiments() {
-//	    table, err := e.Run(cfg)
+//	    table, err := e.Run(context.Background(), cfg)
 //	    ...
 //	    table.Render(os.Stdout)
 //	}
@@ -109,13 +109,14 @@ func Experiments() []Experiment { return core.Experiments() }
 // ExperimentByID looks up one experiment.
 func ExperimentByID(id string) (Experiment, error) { return core.ByID(id) }
 
-// RunExperiment executes an experiment and renders its table to w.
-func RunExperiment(id string, cfg Config, w io.Writer) error {
+// RunExperiment executes an experiment under ctx and renders its table
+// to w. Cancelling ctx interrupts the experiment between sweep points.
+func RunExperiment(ctx context.Context, id string, cfg Config, w io.Writer) error {
 	e, err := core.ByID(id)
 	if err != nil {
 		return err
 	}
-	table, err := e.Run(cfg)
+	table, err := e.Run(ctx, cfg)
 	if err != nil {
 		return fmt.Errorf("dlt: %s: %w", id, err)
 	}

@@ -1,6 +1,7 @@
 package dlt
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -24,14 +25,14 @@ func TestFacadeRegistry(t *testing.T) {
 
 func TestRunExperimentRenders(t *testing.T) {
 	var sb strings.Builder
-	if err := RunExperiment("E1", Config{Seed: 3, Scale: 0.2}, &sb); err != nil {
+	if err := RunExperiment(context.Background(), "E1", Config{Seed: 3, Scale: 0.2}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	if !strings.Contains(out, "Fig. 1") || !strings.Contains(out, "genesis") {
 		t.Fatalf("render missing content:\n%s", out)
 	}
-	if err := RunExperiment("E99", Config{}, &sb); err == nil {
+	if err := RunExperiment(context.Background(), "E99", Config{}, &sb); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,6 +50,15 @@ type Config struct {
 	// out across this many goroutines (<= 0 means one per CPU core).
 	// Results are identical for every value.
 	Workers int
+	// NanoBatch adds batched Nano sweep rows to E9/E12 when > 1: each
+	// batched row reruns the serial row's network with that live-gossip
+	// ingest batch size (netsim.NanoConfig.BatchSize). Unset (or 1)
+	// keeps the serial-only tables, byte-identical to their historical
+	// output.
+	NanoBatch int
+	// NanoBatchWindow is the accumulation window for those rows; 0 keeps
+	// netsim's 5ms default.
+	NanoBatchWindow time.Duration
 }
 
 // withDefaults fills zero values.
@@ -84,8 +94,10 @@ type Experiment struct {
 	Title string
 	// Section is the paper section the artifact appears in.
 	Section string
-	// Run executes the experiment and renders its table.
-	Run func(cfg Config) (*metrics.Table, error)
+	// Run executes the experiment and renders its table. Cancelling ctx
+	// interrupts the experiment between sweep points — mid-flight, not
+	// just between experiments.
+	Run func(ctx context.Context, cfg Config) (*metrics.Table, error)
 }
 
 // Experiments returns the full registry in paper order.

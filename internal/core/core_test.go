@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -69,7 +70,7 @@ func TestExperimentsProduceTables(t *testing.T) {
 			if e.ID == "E9" || e.ID == "E10" {
 				t.Skip("covered by dedicated tests at smaller scale")
 			}
-			tbl, err := e.Run(smallCfg())
+			tbl, err := e.Run(context.Background(), smallCfg())
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -93,7 +94,7 @@ func TestE9ThroughputShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	tbl, err := RunE9Throughput(Config{Seed: 11, Scale: 0.25})
+	tbl, err := RunE9Throughput(context.Background(), Config{Seed: 11, Scale: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestE10BlockSizeShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	tbl, err := RunE10BlockSize(Config{Seed: 13, Scale: 0.25})
+	tbl, err := RunE10BlockSize(context.Background(), Config{Seed: 13, Scale: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestE10BlockSizeShape(t *testing.T) {
 // Equal seeds must reproduce identical tables (deterministic simulation).
 func TestExperimentDeterminism(t *testing.T) {
 	render := func() string {
-		tbl, err := RunE4Forks(Config{Seed: 99, Scale: 0.2})
+		tbl, err := RunE4Forks(context.Background(), Config{Seed: 99, Scale: 0.2})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -16,12 +17,15 @@ import (
 // delay, and resolve when one branch outgrows the other. The sweep shows
 // orphan rate falling as the block interval grows — the quantitative
 // reason Bitcoin tolerates 10-minute blocks.
-func RunE4Forks(cfg Config) (*metrics.Table, error) {
+func RunE4Forks(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E4 (Fig. 4): temporary forks vs block interval",
 		"interval", "blocks", "orphaned", "orphan-rate", "analytic", "reorgs", "max-depth")
 	intervals := []time.Duration{2 * time.Second, 5 * time.Second, 15 * time.Second, 60 * time.Second, 10 * time.Minute}
 	for _, interval := range intervals {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
 			Net: netsim.NetParams{
 				Nodes: 12, PeerDegree: 3, Seed: cfg.Seed,
@@ -54,7 +58,7 @@ func RunE4Forks(cfg Config) (*metrics.Table, error) {
 // simulated attacker races. The classic rules fall out: ~6 blocks at
 // q=10% for <0.1% risk (Bitcoin), and a 5–11 window for Ethereum's
 // operating range.
-func RunE5Confirmation(cfg Config) (*metrics.Table, error) {
+func RunE5Confirmation(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	depths := []int{1, 2, 4, 6, 8, 11}
@@ -62,6 +66,9 @@ func RunE5Confirmation(cfg Config) (*metrics.Table, error) {
 		"attacker-q", "z=1", "z=2", "z=4", "z=6", "z=8", "z=11", "sim z=6", "z for <0.1% risk")
 	trials := cfg.count(4000)
 	for _, q := range []float64{0.05, 0.10, 0.20, 0.30, 0.45} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := []string{metrics.Pct(q)}
 		for _, z := range depths {
 			row = append(row, metrics.F4(pow.CatchUpProbability(q, z)))
@@ -80,12 +87,15 @@ func RunE5Confirmation(cfg Config) (*metrics.Table, error) {
 // representatives" — no blocks to wait for, just vote latency, measured
 // here against quorum thresholds and representative counts, with
 // cementing as the finality marker.
-func RunE6VoteConfirmation(cfg Config) (*metrics.Table, error) {
+func RunE6VoteConfirmation(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E6 (§IV-B): Nano confirmation by representative vote",
 		"quorum", "reps", "confirmed", "cemented", "p50-latency", "p95-latency")
 	for _, quorum := range []float64{0.5, 0.67} {
 		for _, reps := range []int{4, 8} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			net, err := netsim.NewNano(netsim.NanoConfig{
 				Net: netsim.NetParams{
 					Nodes: 10, PeerDegree: 3, Seed: cfg.Seed,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,7 +18,10 @@ import (
 // lottery proportionally to stake (with slashing burning a cheater's
 // deposit), and Nano's ORV resolves conflicts by balance-weighted
 // representative votes with no leader election at all.
-func RunE13Consensus(cfg Config) (*metrics.Table, error) {
+func RunE13Consensus(ctx context.Context, cfg Config) (*metrics.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E13 (§III): leader election and conflict resolution",
 		"mechanism", "participant", "resource-share", "observed-share/outcome")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -16,6 +17,43 @@ import (
 	"repro/internal/workload"
 )
 
+// e9SysResult is one E9 sweep point: its rendered row and the value the
+// cross-system shape check compares (TPS, or BPS for Nano).
+type e9SysResult struct {
+	row []string
+	tps float64
+}
+
+// e9NanoSystem builds an E9 Nano sweep point. Every batch setting runs
+// the identical network, seed and workload, so the batched row isolates
+// the live-gossip settlement pipeline (§VI-B: throughput bounded by
+// hardware, not protocol).
+func e9NanoSystem(cfg Config, label, capacity string, batch int, window time.Duration) func() (e9SysResult, error) {
+	return func() (e9SysResult, error) {
+		nanoDur := cfg.dur(40 * time.Second)
+		nano, err := netsim.NewNano(netsim.NanoConfig{
+			Net: netsim.NetParams{
+				Nodes: 8, PeerDegree: 3, Seed: cfg.Seed + 3,
+				MinLatency: 10 * time.Millisecond, MaxLatency: 80 * time.Millisecond,
+			},
+			Accounts: 64, Reps: 4, Workers: cfg.Workers,
+			BatchSize: batch, BatchWindow: window,
+			ProcPerBlock: 4 * time.Millisecond, // consumer-grade validation
+			ProcPerVote:  500 * time.Microsecond,
+		})
+		if err != nil {
+			return e9SysResult{}, err
+		}
+		load := workload.Payments(rand.New(rand.NewSource(cfg.Seed+103)), workload.Config{
+			Accounts: 64, Rate: 120, Duration: nanoDur * 3 / 4, MaxAmount: 5,
+		})
+		m := nano.RunWithTransfers(nanoDur, load)
+		return e9SysResult{tps: m.BPS, row: []string{
+			label, "none (per-account)", capacity,
+			metrics.F(m.BPS), "306 peak / 105.75 avg", metrics.I(m.UnsettledAtEnd)}}, nil
+	}
+}
+
 // RunE9Throughput reproduces §VI's throughput comparison: Bitcoin 3–7
 // TPS (1 MB blocks every ~10 min), Ethereum 7–15 TPS (gas-limited ~15 s
 // blocks), PoS at ~4 s blocks, Nano protocol-uncapped but bounded by
@@ -23,7 +61,7 @@ import (
 // Visa's 56,000 TPS as the yardstick. Each system runs under a
 // saturating workload; the pending backlog mirrors the paper's
 // 186,951/22,473 queue observations.
-func RunE9Throughput(cfg Config) (*metrics.Table, error) {
+func RunE9Throughput(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E9 (§VI): throughput under saturation",
 		"system", "block-interval", "capacity-limit", "measured-tps", "paper-range", "pending-at-end")
@@ -35,22 +73,18 @@ func RunE9Throughput(cfg Config) (*metrics.Table, error) {
 		}
 	}
 
-	// The four systems are independent simulations with disjoint seeds
+	// The five systems are independent simulations with disjoint seeds
 	// (each workload rng derives from cfg.Seed and the system index), so
 	// they fan out across cfg.Workers and report in fixed order.
 	dur := cfg.dur(12 * time.Minute)
-	type sysResult struct {
-		row []string
-		tps float64 // cross-system shape-check value (TPS, or BPS for Nano)
-	}
-	systems := []func() (sysResult, error){
+	systems := []func() (e9SysResult, error){
 		// Bitcoin: ~1900 transactions per 1 MB block every 10 min. The
 		// interval is shortened 20× for simulation; the byte budget
 		// shrinks with it and is expressed in *our* ~198 B transfer
 		// encoding so the per-block transaction count — what the paper's
 		// 3–7 TPS reflects — matches mainnet's (1900 × 198 B ÷ 20 ≈ 19 KB
 		// per 30 s).
-		func() (sysResult, error) {
+		func() (e9SysResult, error) {
 			btcParams := utxo.DefaultParams()
 			btcParams.MaxBlockBytes = 19_000
 			btcParams.RetargetWindow = 1 << 30
@@ -60,13 +94,13 @@ func RunE9Throughput(cfg Config) (*metrics.Table, error) {
 				Accounts: 128, InitialBalance: 1 << 32,
 			})
 			if err != nil {
-				return sysResult{}, err
+				return e9SysResult{}, err
 			}
 			load := workload.Payments(rand.New(rand.NewSource(cfg.Seed)), workload.Config{
 				Accounts: 128, Rate: 30, Duration: dur, MaxAmount: 50,
 			})
 			m := btc.RunWithPayments(dur, load, 10)
-			return sysResult{tps: m.TPS, row: []string{
+			return e9SysResult{tps: m.TPS, row: []string{
 				"bitcoin (PoW)", "10 min (scaled 30 s)", "1 MB blocks",
 				metrics.F(m.TPS), "3–7", metrics.I(m.PendingAtEnd)}}, nil
 		},
@@ -74,7 +108,7 @@ func RunE9Throughput(cfg Config) (*metrics.Table, error) {
 		// 8M gas limit with an average transaction of ~50k gas (contract
 		// mix); our workload is pure 21k-gas transfers, so the equivalent
 		// per-block budget is 8M × 21/50 ≈ 3.4M.
-		func() (sysResult, error) {
+		func() (e9SysResult, error) {
 			ethParams := account.DefaultParams()
 			ethParams.InitialGasLimit = 3_400_000
 			ethParams.TargetGasLimit = 3_400_000
@@ -83,59 +117,47 @@ func RunE9Throughput(cfg Config) (*metrics.Table, error) {
 				BlockInterval: 15 * time.Second, Accounts: 128,
 			})
 			if err != nil {
-				return sysResult{}, err
+				return e9SysResult{}, err
 			}
 			load := workload.Payments(rand.New(rand.NewSource(cfg.Seed+101)), workload.Config{
 				Accounts: 128, Rate: 40, Duration: dur, MaxAmount: 50,
 			})
 			m := eth.RunWithPayments(dur, load, 1)
-			return sysResult{tps: m.TPS, row: []string{
+			return e9SysResult{tps: m.TPS, row: []string{
 				"ethereum (PoW)", "15 s", "8M gas (≈3.4M at transfer gas)",
 				metrics.F(m.TPS), "7–15", metrics.I(m.PendingAtEnd)}}, nil
 		},
 		// Ethereum PoS: 4 s slots ("the transition to PoS should decrease
 		// Ethereum's block generation time to 4 seconds or lower").
-		func() (sysResult, error) {
+		func() (e9SysResult, error) {
 			pos, err := netsim.NewEthereum(netsim.EthereumConfig{
 				Net: net8(cfg.Seed + 2), Consensus: netsim.PoS,
 				BlockInterval: 4 * time.Second, Accounts: 128,
 			})
 			if err != nil {
-				return sysResult{}, err
+				return e9SysResult{}, err
 			}
 			load := workload.Payments(rand.New(rand.NewSource(cfg.Seed+102)), workload.Config{
 				Accounts: 128, Rate: 60, Duration: dur, MaxAmount: 50,
 			})
 			m := pos.RunWithPayments(dur, load, 1)
-			return sysResult{tps: m.TPS, row: []string{
+			return e9SysResult{tps: m.TPS, row: []string{
 				"ethereum (PoS)", "4 s", "8M gas blocks",
 				metrics.F(m.TPS), "> PoW", metrics.I(m.PendingAtEnd)}}, nil
 		},
 		// Nano: no protocol cap; consumer hardware budget caps it instead.
-		func() (sysResult, error) {
-			nanoDur := cfg.dur(40 * time.Second)
-			nano, err := netsim.NewNano(netsim.NanoConfig{
-				Net: netsim.NetParams{
-					Nodes: 8, PeerDegree: 3, Seed: cfg.Seed + 3,
-					MinLatency: 10 * time.Millisecond, MaxLatency: 80 * time.Millisecond,
-				},
-				Accounts: 64, Reps: 4, Workers: cfg.Workers,
-				ProcPerBlock: 4 * time.Millisecond, // consumer-grade validation
-				ProcPerVote:  500 * time.Microsecond,
-			})
-			if err != nil {
-				return sysResult{}, err
-			}
-			load := workload.Payments(rand.New(rand.NewSource(cfg.Seed+103)), workload.Config{
-				Accounts: 64, Rate: 120, Duration: nanoDur * 3 / 4, MaxAmount: 5,
-			})
-			m := nano.RunWithTransfers(nanoDur, load)
-			return sysResult{tps: m.BPS, row: []string{
-				"nano (ORV)", "none (per-account)", "node hardware",
-				metrics.F(m.BPS), "306 peak / 105.75 avg", metrics.I(m.UnsettledAtEnd)}}, nil
-		},
+		e9NanoSystem(cfg, "nano (ORV)", "node hardware", 1, 0),
 	}
-	results, err := fanOut(cfg, len(systems), func(i int) (sysResult, error) { return systems[i]() })
+	// Nano with batched live-gossip settlement: the identical network and
+	// workload, with the ingest queue flushing arrivals through
+	// lattice.ProcessBatch — the serial-vs-batched sweep column. Opt-in
+	// via -nano-batch > 1; unset keeps the historical serial-only table.
+	if cfg.NanoBatch > 1 {
+		systems = append(systems, e9NanoSystem(cfg,
+			fmt.Sprintf("nano (ORV, batch=%d)", cfg.NanoBatch),
+			"node hardware + gossip batch", cfg.NanoBatch, cfg.NanoBatchWindow))
+	}
+	results, err := fanOut(ctx, cfg, len(systems), func(i int) (e9SysResult, error) { return systems[i]() })
 	if err != nil {
 		return nil, err
 	}
@@ -146,6 +168,9 @@ func RunE9Throughput(cfg Config) (*metrics.Table, error) {
 	t.AddRow("visa (reference)", "—", "central infrastructure", "56000.00", "56,000", "—")
 	t.AddNote("blockchains are capped by block size/gas × interval; Nano has 'no inherent cap in the protocol itself' (§VI-B)")
 	t.AddNote("pending backlogs mirror §VI's queues: 186,951 (Bitcoin) vs 22,473 (Ethereum) pending on 05.01.2018")
+	if cfg.NanoBatch > 1 {
+		t.AddNote("the batched nano row settles gossip through lattice.ProcessBatch ingest batches (-nano-batch); batch=1 reproduces the serial row")
+	}
 	btcTPS, ethTPS, nanoBPS := results[0].tps, results[1].tps, results[3].tps
 	if btcTPS >= ethTPS {
 		return nil, fmt.Errorf("core: e9 shape violated: bitcoin %.2f >= ethereum %.2f TPS", btcTPS, ethTPS)
@@ -160,7 +185,7 @@ func RunE9Throughput(cfg Config) (*metrics.Table, error) {
 // raise TPS but slow propagation until "consumer hardware would become
 // unable to process blocks", centralizing the network. Propagation time
 // as a fraction of the block interval is the centralization proxy.
-func RunE10BlockSize(cfg Config) (*metrics.Table, error) {
+func RunE10BlockSize(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E10 (§VI-A): block-size increase (Segwit2x debate)",
 		"block-size", "measured-tps", "p95-propagation", "propagation/interval", "orphan-rate")
@@ -169,7 +194,7 @@ func RunE10BlockSize(cfg Config) (*metrics.Table, error) {
 	// seed; the five sweep points fan out across cfg.Workers and the rows
 	// are emitted in size order regardless of completion order.
 	sizes := []int{1, 2, 4, 8, 16}
-	rows, err := fanOut(cfg, len(sizes), func(i int) ([]string, error) {
+	rows, err := fanOut(ctx, cfg, len(sizes), func(i int) ([]string, error) {
 		mb := sizes[i]
 		params := utxo.DefaultParams()
 		params.MaxBlockBytes = mb * 19_000 // mainnet-equivalent MB, scaled as in E9
@@ -214,7 +239,10 @@ func RunE10BlockSize(cfg Config) (*metrics.Table, error) {
 // (Lightning/Raiden) run micro-transactions with two on-chain operations
 // total, and Plasma commits thousands of sidechain transactions under one
 // 40-byte Merkle root, with fraud proofs punishing a Byzantine operator.
-func RunE11OffChain(cfg Config) (*metrics.Table, error) {
+func RunE11OffChain(ctx context.Context, cfg Config) (*metrics.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E11 (§VI-A): off-chain scaling",
 		"approach", "logical-txs", "on-chain-cost", "amplification")
@@ -299,7 +327,7 @@ func RunE11OffChain(cfg Config) (*metrics.Table, error) {
 // incoming transactions") and Nano's hardware-bound throughput (§VI-B:
 // protocol-uncapped, limited by "consumer grade hardware and network
 // conditions").
-func RunE12Sharding(cfg Config) (*metrics.Table, error) {
+func RunE12Sharding(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E12 (§VI-A/B): sharding and DAG hardware limits",
 		"configuration", "throughput", "load-factor", "per-tx-work")
@@ -309,7 +337,7 @@ func RunE12Sharding(cfg Config) (*metrics.Table, error) {
 	ring := keys.NewRing("e12", 256)
 	rounds := cfg.count(20)
 	shardCounts := []int{1, 2, 4, 8, 16}
-	shardRows, err := fanOut(cfg, len(shardCounts), func(idx int) ([]string, error) {
+	shardRows, err := fanOut(ctx, cfg, len(shardCounts), func(idx int) ([]string, error) {
 		k := shardCounts[idx]
 		net, err := sharding.NewNetwork(k)
 		if err != nil {
@@ -346,17 +374,36 @@ func RunE12Sharding(cfg Config) (*metrics.Table, error) {
 		t.AddRow(row...)
 	}
 
-	// Nano under increasing hardware budgets.
+	// Nano under increasing hardware budgets, serial and batched: the
+	// serial points reproduce the historical rows byte for byte; the
+	// batched points rerun the identical network with the live-gossip
+	// ingest queue enabled (Config.NanoBatch) — the batched-vs-serial
+	// sweep column of §VI-B. Opt-in via -nano-batch > 1; unset keeps the
+	// historical serial-only table.
 	procs := []time.Duration{20 * time.Millisecond, 5 * time.Millisecond, 1 * time.Millisecond}
-	nanoRows, err := fanOut(cfg, len(procs), func(idx int) ([]string, error) {
-		proc := procs[idx]
+	type nanoPoint struct {
+		proc  time.Duration
+		batch int
+	}
+	points := make([]nanoPoint, 0, 2*len(procs))
+	for _, proc := range procs {
+		points = append(points, nanoPoint{proc: proc, batch: 1})
+	}
+	if cfg.NanoBatch > 1 {
+		for _, proc := range procs {
+			points = append(points, nanoPoint{proc: proc, batch: cfg.NanoBatch})
+		}
+	}
+	nanoRows, err := fanOut(ctx, cfg, len(points), func(idx int) ([]string, error) {
+		pt := points[idx]
 		net, err := netsim.NewNano(netsim.NanoConfig{
 			Net: netsim.NetParams{
 				Nodes: 8, PeerDegree: 3, Seed: cfg.Seed,
 				MinLatency: 10 * time.Millisecond, MaxLatency: 60 * time.Millisecond,
 			},
 			Accounts: 64, Reps: 4, Workers: cfg.Workers,
-			ProcPerBlock: proc, ProcPerVote: proc / 10,
+			BatchSize: pt.batch, BatchWindow: cfg.NanoBatchWindow,
+			ProcPerBlock: pt.proc, ProcPerVote: pt.proc / 10,
 		})
 		if err != nil {
 			return nil, err
@@ -367,8 +414,12 @@ func RunE12Sharding(cfg Config) (*metrics.Table, error) {
 			Accounts: 64, Rate: 150, Duration: dur * 3 / 4, MaxAmount: 5,
 		})
 		m := net.RunWithTransfers(dur, load)
+		label := fmt.Sprintf("nano, %v/block hardware", pt.proc)
+		if pt.batch > 1 {
+			label = fmt.Sprintf("nano, %v/block hardware, batch=%d", pt.proc, pt.batch)
+		}
 		return []string{
-			fmt.Sprintf("nano, %v/block hardware", proc),
+			label,
 			fmt.Sprintf("%.1f blocks/s", m.BPS),
 			"1 (every node processes all)", "2.00",
 		}, nil
@@ -381,5 +432,8 @@ func RunE12Sharding(cfg Config) (*metrics.Table, error) {
 	}
 	t.AddNote("sharding: load factor ≈ 1/K — the §VII definition of a scalable DLT")
 	t.AddNote("nano: protocol-uncapped; faster hardware raises the ceiling (306 TPS peak vs 105.75 avg in the 2018 stress test)")
+	if cfg.NanoBatch > 1 {
+		t.AddNote("batch rows: gossip settles through lattice.ProcessBatch ingest batches, amortizing the per-block budget across modeled cores")
+	}
 	return t, nil
 }

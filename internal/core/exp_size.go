@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,7 +22,10 @@ const (
 // Ethereum 39.62 GB, Nano 3.42 GB with ~6,700,078 blocks. The growth
 // models are driven by per-record wire costs matching the ledgers built
 // in this repository, projected over each system's operating age.
-func RunE7LedgerSize(cfg Config) (*metrics.Table, error) {
+func RunE7LedgerSize(ctx context.Context, cfg Config) (*metrics.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E7 (§V): ledger size at the paper's snapshot dates",
 		"system", "age", "blocks", "projected-size", "paper-reports", "rel-err")
@@ -60,7 +64,10 @@ func RunE7LedgerSize(cfg Config) (*metrics.Table, error) {
 // Bitcoin block-file pruning, Ethereum state-delta discarding via fast
 // sync, and Nano's head-only ledger, plus a live measurement of the
 // Ethereum mechanism on this repository's persistent state trie.
-func RunE8Pruning(cfg Config) (*metrics.Table, error) {
+func RunE8Pruning(ctx context.Context, cfg Config) (*metrics.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E8 (§V): pruning strategies",
 		"strategy", "keeps", "full", "pruned", "savings")

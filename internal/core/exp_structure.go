@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -17,7 +18,10 @@ import (
 // headers reference the predecessor's hash, transactions committed under
 // a Merkle root, and the genesis block with no predecessor. The table
 // lists the built chain and verifies both invariants on every block.
-func RunE1BlockchainStructure(cfg Config) (*metrics.Table, error) {
+func RunE1BlockchainStructure(ctx context.Context, cfg Config) (*metrics.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	ring := keys.NewRing("e1", 8)
 	alloc := map[keys.Address]uint64{ring.Addr(0): 1_000_000}
@@ -72,7 +76,10 @@ func RunE1BlockchainStructure(cfg Config) (*metrics.Table, error) {
 // RunE2BlockLattice reproduces Fig. 2: the block-lattice where "every
 // account is linked to its own account-chain", each block holding a
 // single transaction.
-func RunE2BlockLattice(cfg Config) (*metrics.Table, error) {
+func RunE2BlockLattice(ctx context.Context, cfg Config) (*metrics.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	ring := keys.NewRing("e2", 6)
 	lat, _, err := lattice.New(ring.Pair(0), 1_000_000, 0)
@@ -130,7 +137,7 @@ func RunE2BlockLattice(cfg Config) (*metrics.Table, error) {
 // matching receive; until the receive, funds are pending/unsettled, and
 // offline receivers never settle ("a node has to be online in order to
 // receive a transaction").
-func RunE3Settlement(cfg Config) (*metrics.Table, error) {
+func RunE3Settlement(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	run := func(offline map[int]bool) (netsim.NanoMetrics, error) {
 		net, err := netsim.NewNano(netsim.NanoConfig{
@@ -156,8 +163,16 @@ func RunE3Settlement(cfg Config) (*metrics.Table, error) {
 		}
 		return net.RunWithTransfers(cfg.dur(30*time.Second), transfers), nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	online, err := run(nil)
 	if err != nil {
+		return nil, err
+	}
+	// Each receiver population is its own simulation; honor cancellation
+	// between the two sweep points.
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	offline, err := run(map[int]bool{8: true, 9: true, 10: true, 11: true})

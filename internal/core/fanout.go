@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"repro/internal/par"
 )
 
@@ -8,17 +12,26 @@ import (
 // and returns their results in index order — the building block that lets
 // an experiment's sweep points (one simulated network each) run
 // concurrently without perturbing table order or determinism. Every task
-// runs even if an earlier one fails; the lowest-index error is returned.
-func fanOut[T any](cfg Config, n int, task func(i int) (T, error)) ([]T, error) {
+// runs even if an earlier one fails, and every failure is reported: the
+// returned error joins all of them (errors.Join) tagged with their sweep
+// index, so a multi-point failure is diagnosed in one pass. A context
+// cancelled mid-sweep skips the tasks that have not started yet, marking
+// them with the context error.
+func fanOut[T any](ctx context.Context, cfg Config, n int, task func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	par.Each(n, cfg.Workers, 1, func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("not started: %w", err)
+			return
+		}
 		out[i], errs[i] = task(i)
 	})
-	for _, err := range errs {
+	var failures []error
+	for i, err := range errs {
 		if err != nil {
-			return out, err
+			failures = append(failures, fmt.Errorf("sweep point %d: %w", i, err))
 		}
 	}
-	return out, nil
+	return out, errors.Join(failures...)
 }

@@ -156,7 +156,7 @@ func runOne(ctx context.Context, cfg Config, e Experiment) (run Run) {
 	ecfg := cfg
 	ecfg.Seed = run.Seed
 	start := time.Now()
-	run.Table, run.Err = e.Run(ecfg)
+	run.Table, run.Err = e.Run(ctx, ecfg)
 	run.Elapsed = time.Since(start)
 	return run
 }

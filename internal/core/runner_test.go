@@ -69,7 +69,10 @@ func TestDeriveSeedStableAndDistinct(t *testing.T) {
 }
 
 func fakeExperiment(id string, run func(Config) (*metrics.Table, error)) Experiment {
-	return Experiment{ID: id, Title: "fake " + id, Section: "test", Run: run}
+	return Experiment{
+		ID: id, Title: "fake " + id, Section: "test",
+		Run: func(_ context.Context, cfg Config) (*metrics.Table, error) { return run(cfg) },
+	}
 }
 
 func TestRunSelectedErrorPropagation(t *testing.T) {
@@ -141,6 +144,74 @@ func TestRunSelectedCancellation(t *testing.T) {
 		if !errors.Is(run.Err, context.Canceled) {
 			t.Fatalf("%s: err = %v, want context.Canceled", run.Experiment.ID, run.Err)
 		}
+	}
+}
+
+// fanOut must report every failing sweep point, not just the lowest
+// index: a multi-point failure is diagnosed in one pass.
+func TestFanOutJoinsAllErrors(t *testing.T) {
+	errA, errB := errors.New("point-two-broke"), errors.New("point-five-broke")
+	out, err := fanOut(context.Background(), Config{Workers: 2}, 6, func(i int) (int, error) {
+		switch i {
+		case 2:
+			return 0, errA
+		case 5:
+			return 0, errB
+		default:
+			return i * 10, nil
+		}
+	})
+	if err == nil {
+		t.Fatal("fanOut swallowed the failures")
+	}
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error missing a failure: %v", err)
+	}
+	for _, want := range []string{"sweep point 2", "sweep point 5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error lacks index context %q: %v", want, err)
+		}
+	}
+	// Healthy points still ran and returned results.
+	if out[0] != 0 || out[1] != 10 || out[3] != 30 || out[4] != 40 {
+		t.Fatalf("healthy results clobbered: %v", out)
+	}
+}
+
+// Cancelling the context mid-experiment must stop the sweep points that
+// have not started — interruption mid-flight, not just between
+// experiments.
+func TestFanOutCancellationMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	_, err := fanOut(ctx, Config{Workers: 1}, 5, func(i int) (int, error) {
+		started.Add(1)
+		if i == 1 {
+			cancel()
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("cancelled fan-out reported no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got != 2 {
+		t.Fatalf("%d sweep points ran after cancellation, want 2", got)
+	}
+}
+
+// And end to end: a context cancelled while an experiment is inside its
+// sweep interrupts that experiment, whose error records the cancellation.
+func TestExperimentCancelledMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunE9Throughput(ctx, Config{Seed: 5, Scale: 0.05}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("E9 under a cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := RunE4Forks(ctx, Config{Seed: 5, Scale: 0.05}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("E4 under a cancelled ctx = %v, want context.Canceled", err)
 	}
 }
 

@@ -41,10 +41,29 @@ type NanoConfig struct {
 	// budgets modeling §VI-B's consumer-hardware limit (zero disables).
 	ProcPerBlock time.Duration
 	ProcPerVote  time.Duration
-	// Workers bounds the parallel validation of the setup replay
-	// (lattice.ProcessBatch): <= 0 means one per CPU core, 1 is fully
-	// serial. Results are identical either way.
+	// Workers bounds the parallel validation of the setup replay and of
+	// live gossip batches (lattice.ProcessBatch): <= 0 means one per CPU
+	// core, 1 is fully serial. Results are identical either way.
 	Workers int
+	// BatchSize enables batched live-gossip settlement: blocks arriving
+	// from gossip accumulate in a per-node ingest queue and settle
+	// together through lattice.ProcessBatch once BatchSize blocks are
+	// waiting or BatchWindow elapses, whichever is first — how real
+	// block-lattice nodes keep up with gossip floods (§VI-B). <= 1 (the
+	// default) settles one block per arrival, byte-identical to the
+	// historical serial path.
+	BatchSize int
+	// BatchWindow bounds how long a partial ingest batch may wait before
+	// it is flushed (default 5ms when BatchSize > 1).
+	BatchWindow time.Duration
+	// BatchCores models how many consumer-CPU cores a batching node puts
+	// behind one flush: a batch of k blocks occupies the node for
+	// ceil(k/BatchCores) × ProcPerBlock instead of k × ProcPerBlock —
+	// §VI-B's hardware ceiling, lifted by pipelined validation. Default 4
+	// when batching is enabled; only meaningful with ProcPerBlock > 0.
+	// Fixed (never derived from the host CPU count) so tables stay
+	// deterministic across machines and worker counts.
+	BatchCores int
 }
 
 func (c NanoConfig) withDefaults() NanoConfig {
@@ -67,8 +86,30 @@ func (c NanoConfig) withDefaults() NanoConfig {
 	if c.ReceiveDelay <= 0 {
 		c.ReceiveDelay = 50 * time.Millisecond
 	}
+	if c.BatchSize > 1 && c.BatchWindow <= 0 {
+		c.BatchWindow = 5 * time.Millisecond
+	}
+	if c.BatchSize > 1 && c.BatchCores <= 0 {
+		c.BatchCores = 4
+	}
 	return c
 }
+
+// Bounds on the per-node vote bookkeeping. Votes buffered for candidates
+// that never materialize (e.g. rejected rivals) and the seen-vote dedup
+// set must not grow without limit under a vote flood.
+const (
+	// maxPendingVoteCandidates caps how many unknown candidates may hold
+	// buffered votes; the oldest buffered candidate is evicted first.
+	maxPendingVoteCandidates = 4096
+	// maxPendingVotesPerCandidate caps the buffer of any one candidate.
+	maxPendingVotesPerCandidate = 64
+	// maxSeenVotes bounds the dedup set per generation; the set rotates
+	// through two generations, so at most 2×maxSeenVotes ids are held.
+	// A vote forgotten after two rotations re-applies harmlessly: the
+	// tracker discards stale sequence numbers.
+	maxSeenVotes = 1 << 16
+)
 
 // nanoNode is one full node: lattice replica, vote tracker, dedup state.
 type nanoNode struct {
@@ -79,11 +120,25 @@ type nanoNode struct {
 	// repAccounts are representative indices whose owner is this node.
 	repAccounts []int
 	seenBlocks  map[hashx.Hash]bool
-	seenVotes   map[hashx.Hash]bool
+	// seenVotes and prevSeenVotes are the two generations of the bounded
+	// vote dedup set: when seenVotes fills past maxSeenVotes it becomes
+	// prevSeenVotes and a fresh generation starts.
+	seenVotes     map[hashx.Hash]bool
+	prevSeenVotes map[hashx.Hash]bool
 	// rootOf maps election candidates to their election roots.
 	rootOf map[hashx.Hash]hashx.Hash
-	// pendingVotes buffers votes whose candidate block is unknown.
+	// pendingVotes buffers votes whose candidate block is unknown, capped
+	// at maxPendingVoteCandidates candidates of maxPendingVotesPerCandidate
+	// votes each; pendingOrder records buffering order for FIFO eviction
+	// (entries may be stale once a candidate's votes replay).
 	pendingVotes map[hashx.Hash][]*orv.Vote
+	pendingOrder []hashx.Hash
+	// ingest accumulates gossip blocks awaiting a batched ProcessBatch
+	// flush (BatchSize > 1 only); flushTimer is the armed BatchWindow
+	// flush event.
+	ingest     []*lattice.Block
+	flushTimer sim.EventID
+	flushArmed bool
 	// myVote tracks this node's reps' current choice and switch count.
 	myVote   map[hashx.Hash]hashx.Hash
 	mySeq    map[hashx.Hash]uint64
@@ -123,6 +178,11 @@ type NanoMetrics struct {
 	VotesSent    int
 	MessagesSent int
 	BytesSent    int64
+	// GossipBatches and GossipBatchedBlocks count ingest-queue flushes
+	// through lattice.ProcessBatch and the blocks they settled (zero when
+	// BatchSize <= 1, the serial path).
+	GossipBatches       int
+	GossipBatchedBlocks int
 	// LedgerBytes and HeadBytes give the §V-B size comparison.
 	LedgerBytes int
 	HeadBytes   int
@@ -232,6 +292,12 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 		net.SetProcessing(func(_ sim.NodeID, payload any, _ int) time.Duration {
 			switch payload.(type) {
 			case *lattice.Block:
+				if cfg.BatchSize > 1 {
+					// Batched nodes enqueue arrivals for free; the
+					// validation budget is charged per flush (Occupy in
+					// flushIngest), amortized across BatchCores.
+					return 0
+				}
 				return cfg.ProcPerBlock
 			case *orv.Vote:
 				return cfg.ProcPerVote
@@ -270,14 +336,31 @@ func (n *NanoNet) handlerFor(node *nanoNode) sim.Handler {
 	}
 }
 
-// onBlock processes a received lattice block.
+// onBlock processes a received lattice block: serially per arrival when
+// BatchSize <= 1 (the historical path, reproduced exactly), or through
+// the per-node ingest queue when batching is enabled.
 func (n *NanoNet) onBlock(node *nanoNode, b *lattice.Block) {
 	h := b.Hash()
 	if node.seenBlocks[h] {
 		return
 	}
 	node.seenBlocks[h] = true
-	res := node.lat.Process(b)
+	if n.cfg.BatchSize > 1 {
+		n.enqueueIngest(node, b)
+		return
+	}
+	if n.reactToResult(node, b, h, node.lat.Process(b)) {
+		n.net.SendToPeers(node.id, b, b.EncodedSize())
+	}
+}
+
+// reactToResult applies the post-attach handling for one processed
+// block — election start, receive scheduling and observer settlement
+// counting for the block and every gap it drained, fork-election starts
+// for rivals — and reports whether the block may be relayed. It is the
+// shared reaction of the serial path and of every block in a flushed
+// batch.
+func (n *NanoNet) reactToResult(node *nanoNode, b *lattice.Block, h hashx.Hash, res lattice.Result) bool {
 	switch res.Status {
 	case lattice.Accepted:
 		n.onAttached(node, b, h)
@@ -292,9 +375,57 @@ func (n *NanoNet) onBlock(node *nanoNode, b *lattice.Block) {
 	case lattice.GapPrevious, lattice.GapSource:
 		// Buffered inside the lattice; still relay so peers catch up.
 	case lattice.Rejected:
-		return // do not relay invalid blocks
+		return false // do not relay invalid blocks
 	}
-	n.net.SendToPeers(node.id, b, b.EncodedSize())
+	return true
+}
+
+// enqueueIngest queues a gossip block for batched settlement, flushing
+// when the batch fills and arming the BatchWindow timer otherwise.
+func (n *NanoNet) enqueueIngest(node *nanoNode, b *lattice.Block) {
+	node.ingest = append(node.ingest, b)
+	if len(node.ingest) >= n.cfg.BatchSize {
+		n.flushIngest(node)
+		return
+	}
+	if !node.flushArmed {
+		node.flushArmed = true
+		node.flushTimer = n.sim.After(n.cfg.BatchWindow, func() { n.flushIngest(node) })
+	}
+}
+
+// flushIngest settles the node's queued gossip blocks in one
+// lattice.ProcessBatch call — signature and work checks fan out across
+// cfg.Workers — then runs the per-block reactions in arrival order:
+// elections open (replaying any votes buffered against the in-flight
+// candidates), receives get scheduled, fork elections start, and every
+// non-rejected block is relayed exactly once (arrival already dedups via
+// seenBlocks).
+func (n *NanoNet) flushIngest(node *nanoNode) {
+	if node.flushArmed {
+		n.sim.Cancel(node.flushTimer)
+		node.flushArmed = false
+	}
+	blocks := node.ingest
+	node.ingest = nil
+	if len(blocks) == 0 {
+		return
+	}
+	n.metrics.GossipBatches++
+	n.metrics.GossipBatchedBlocks += len(blocks)
+	if n.cfg.ProcPerBlock > 0 {
+		// The §VI-B hardware budget, batch-pipelined: validating k blocks
+		// across BatchCores modeled cores occupies the node for
+		// ceil(k/cores) serial block costs instead of k.
+		rounds := (len(blocks) + n.cfg.BatchCores - 1) / n.cfg.BatchCores
+		n.net.Occupy(node.id, time.Duration(rounds)*n.cfg.ProcPerBlock)
+	}
+	for i, res := range node.lat.ProcessBatch(blocks, n.cfg.Workers) {
+		b := blocks[i]
+		if n.reactToResult(node, b, b.Hash(), res) {
+			n.net.SendToPeers(node.id, b, b.EncodedSize())
+		}
+	}
 }
 
 // onAttached reacts to a block joining the node's lattice: open its
@@ -360,14 +491,34 @@ func (n *NanoNet) castVotes(node *nanoNode, root, candidate hashx.Hash, seq uint
 	}
 }
 
-// onVote processes a received vote.
+// onVote processes a received vote. Only votes that were applied or
+// buffered are recorded as seen: a vote the caps dropped stays unseen,
+// so a later rebroadcast can land once the election exists.
 func (n *NanoNet) onVote(node *nanoNode, v *orv.Vote) {
 	id := voteID(v)
-	if node.seenVotes[id] {
+	if node.seenVotes[id] || node.prevSeenVotes[id] {
 		return
 	}
+	if n.applyVote(node, v) {
+		markVoteSeen(node, id)
+	}
+}
+
+// markVoteSeen records a vote id in the bounded two-generation dedup
+// set, rotating generations when the live one fills.
+func markVoteSeen(node *nanoNode, id hashx.Hash) {
+	if len(node.seenVotes) >= maxSeenVotes {
+		node.prevSeenVotes = node.seenVotes
+		node.seenVotes = make(map[hashx.Hash]bool, len(node.seenVotes)/2)
+	}
 	node.seenVotes[id] = true
-	n.applyVote(node, v)
+}
+
+// unmarkVoteSeen forgets a vote id so a rebroadcast is accepted again —
+// used when a buffered vote is evicted before its candidate appeared.
+func unmarkVoteSeen(node *nanoNode, id hashx.Hash) {
+	delete(node.seenVotes, id)
+	delete(node.prevSeenVotes, id)
 }
 
 func voteID(v *orv.Vote) hashx.Hash {
@@ -382,31 +533,32 @@ func voteID(v *orv.Vote) hashx.Hash {
 
 // applyVote tallies a vote and reacts to the outcome: confirmation,
 // cementing, fork resolution, and §III-B leader-following vote switches.
-func (n *NanoNet) applyVote(node *nanoNode, v *orv.Vote) {
+// It reports whether the vote was consumed (applied or buffered); false
+// means the pending-buffer caps dropped it.
+func (n *NanoNet) applyVote(node *nanoNode, v *orv.Vote) bool {
 	root, ok := node.rootOf[v.Block]
 	if !ok {
-		node.pendingVotes[v.Block] = append(node.pendingVotes[v.Block], v)
-		return
+		return bufferPendingVote(node, v)
 	}
 	out, err := node.tracker.ProcessVote(root, v)
 	if err != nil {
-		return
+		return true
 	}
 	if out.Confirmed {
 		n.onConfirmed(node, root, out.Winner)
-		return
+		return true
 	}
 	// Vote switching: follow the leader once it out-tallies our choice.
 	if len(node.repAccounts) == 0 || node.switches[root] >= 3 {
-		return
+		return true
 	}
 	mine, voted := node.myVote[root]
 	if !voted || mine == hashx.Zero {
-		return
+		return true
 	}
 	leader, tally, err := node.tracker.Leader(root)
 	if err != nil || leader == hashx.Zero || leader == mine {
-		return
+		return true
 	}
 	myWeight := uint64(0)
 	for _, rep := range node.repAccounts {
@@ -416,6 +568,61 @@ func (n *NanoNet) applyVote(node *nanoNode, v *orv.Vote) {
 		node.switches[root]++
 		n.castVotes(node, root, leader, node.mySeq[root]+1)
 	}
+	return true
+}
+
+// bufferPendingVote stores a vote whose candidate block is still unknown,
+// within the pending-buffer caps: a full candidate buffer drops the vote
+// (reported as false, so it is never marked seen and a later rebroadcast
+// lands once the election exists), and a full candidate table evicts the
+// oldest buffered candidate — votes for blocks that never materialize
+// (rejected rivals, spam) cannot pin memory.
+func bufferPendingVote(node *nanoNode, v *orv.Vote) bool {
+	waiting := node.pendingVotes[v.Block]
+	if len(waiting) >= maxPendingVotesPerCandidate {
+		return false
+	}
+	if len(waiting) == 0 {
+		if len(node.pendingVotes) >= maxPendingVoteCandidates {
+			evictOldestPendingCandidate(node)
+		}
+		node.pendingOrder = append(node.pendingOrder, v.Block)
+		if len(node.pendingOrder) > 2*maxPendingVoteCandidates {
+			compactPendingOrder(node)
+		}
+	}
+	node.pendingVotes[v.Block] = append(waiting, v)
+	return true
+}
+
+// evictOldestPendingCandidate drops the oldest candidate that still holds
+// buffered votes, skipping order entries already replayed or evicted. The
+// dropped votes are forgotten from the seen set so rebroadcasts of them
+// are not silently ignored.
+func evictOldestPendingCandidate(node *nanoNode) {
+	for len(node.pendingOrder) > 0 {
+		c := node.pendingOrder[0]
+		node.pendingOrder = node.pendingOrder[1:]
+		if waiting, live := node.pendingVotes[c]; live {
+			for _, v := range waiting {
+				unmarkVoteSeen(node, voteID(v))
+			}
+			delete(node.pendingVotes, c)
+			return
+		}
+	}
+}
+
+// compactPendingOrder rebuilds the eviction queue keeping only candidates
+// that still hold buffered votes, bounding the queue itself.
+func compactPendingOrder(node *nanoNode) {
+	kept := node.pendingOrder[:0]
+	for _, c := range node.pendingOrder {
+		if _, live := node.pendingVotes[c]; live {
+			kept = append(kept, c)
+		}
+	}
+	node.pendingOrder = kept
 }
 
 // replayPendingVotes re-applies buffered votes once their candidate's

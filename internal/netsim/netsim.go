@@ -33,7 +33,10 @@ type NetParams struct {
 	Seed int64
 }
 
-// withDefaults fills unset values.
+// withDefaults fills unset values. Only fields that are actually zero
+// are defaulted: a user-set MinLatency survives an unset MaxLatency
+// (the default MaxLatency is raised to meet it if needed), and inverted
+// bounds are normalized by swapping.
 func (p NetParams) withDefaults() NetParams {
 	if p.Nodes <= 0 {
 		p.Nodes = 16
@@ -44,9 +47,23 @@ func (p NetParams) withDefaults() NetParams {
 	if p.PeerDegree >= p.Nodes {
 		p.PeerDegree = p.Nodes - 1
 	}
-	if p.MaxLatency <= 0 {
+	if p.MinLatency < 0 {
+		p.MinLatency = 0
+	}
+	if p.MaxLatency < 0 {
+		p.MaxLatency = 0
+	}
+	switch {
+	case p.MinLatency == 0 && p.MaxLatency == 0:
 		p.MinLatency = 20 * time.Millisecond
 		p.MaxLatency = 200 * time.Millisecond
+	case p.MaxLatency == 0:
+		p.MaxLatency = 200 * time.Millisecond
+		if p.MaxLatency < p.MinLatency {
+			p.MaxLatency = p.MinLatency
+		}
+	case p.MinLatency > p.MaxLatency:
+		p.MinLatency, p.MaxLatency = p.MaxLatency, p.MinLatency
 	}
 	return p
 }

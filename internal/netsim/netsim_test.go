@@ -393,6 +393,48 @@ func TestNanoSpamThrottle(t *testing.T) {
 	}
 }
 
+// withDefaults must only default fields that are actually zero: a
+// user-set MinLatency survives an unset MaxLatency, and inverted bounds
+// normalize instead of producing a negative sampling span.
+func TestNetParamsWithDefaultsPartialLatency(t *testing.T) {
+	both := NetParams{}.withDefaults()
+	if both.MinLatency != 20*time.Millisecond || both.MaxLatency != 200*time.Millisecond {
+		t.Fatalf("unset latencies defaulted to %v/%v", both.MinLatency, both.MaxLatency)
+	}
+	minOnly := NetParams{MinLatency: 50 * time.Millisecond}.withDefaults()
+	if minOnly.MinLatency != 50*time.Millisecond {
+		t.Fatalf("user MinLatency overwritten: %v", minOnly.MinLatency)
+	}
+	if minOnly.MaxLatency != 200*time.Millisecond {
+		t.Fatalf("unset MaxLatency = %v, want 200ms default", minOnly.MaxLatency)
+	}
+	bigMin := NetParams{MinLatency: 500 * time.Millisecond}.withDefaults()
+	if bigMin.MinLatency != 500*time.Millisecond || bigMin.MaxLatency != 500*time.Millisecond {
+		t.Fatalf("default MaxLatency not raised to meet MinLatency: %v/%v",
+			bigMin.MinLatency, bigMin.MaxLatency)
+	}
+	maxOnly := NetParams{MaxLatency: 80 * time.Millisecond}.withDefaults()
+	if maxOnly.MinLatency != 0 || maxOnly.MaxLatency != 80*time.Millisecond {
+		t.Fatalf("max-only config perturbed: %v/%v", maxOnly.MinLatency, maxOnly.MaxLatency)
+	}
+	inverted := NetParams{MinLatency: 300 * time.Millisecond, MaxLatency: 100 * time.Millisecond}.withDefaults()
+	if inverted.MinLatency != 100*time.Millisecond || inverted.MaxLatency != 300*time.Millisecond {
+		t.Fatalf("inverted bounds not normalized: %v/%v", inverted.MinLatency, inverted.MaxLatency)
+	}
+	// And a network built from an inverted config must actually run.
+	net, err := NewNano(NanoConfig{
+		Net: NetParams{
+			Nodes: 4, PeerDegree: 2, Seed: 99,
+			MinLatency: 300 * time.Millisecond, MaxLatency: 100 * time.Millisecond,
+		},
+		Accounts: 8, Reps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(2 * time.Second)
+}
+
 func TestConsensusString(t *testing.T) {
 	if PoW.String() != "pow" || PoS.String() != "pos" || Consensus(9).String() != "unknown" {
 		t.Fatal("Consensus names wrong")

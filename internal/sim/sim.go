@@ -174,9 +174,14 @@ func Exp(rng *rand.Rand, mean time.Duration) time.Duration {
 	return time.Duration(rng.ExpFloat64() * float64(mean))
 }
 
-// Uniform samples a duration uniformly from [lo, hi].
+// Uniform samples a duration uniformly from [lo, hi]. Inverted bounds
+// are normalized by swapping, so Uniform(rng, 300ms, 100ms) samples
+// [100ms, 300ms] instead of feeding rng.Int63n a negative span.
 func Uniform(rng *rand.Rand, lo, hi time.Duration) time.Duration {
-	if hi <= lo {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if hi == lo {
 		return lo
 	}
 	return lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
@@ -206,7 +211,8 @@ type UniformLinks struct {
 	DropRate float64
 }
 
-// Delay implements LinkModel.
+// Delay implements LinkModel. Misconfigured bounds (MinLatency above
+// MaxLatency) are normalized by Uniform to the intended [min, max] range.
 func (u UniformLinks) Delay(rng *rand.Rand, _, _ NodeID, size int) (time.Duration, bool) {
 	if u.DropRate > 0 && rng.Float64() < u.DropRate {
 		return 0, false
@@ -299,6 +305,22 @@ func (n *Network) NumNodes() int { return len(n.handlers) }
 // the node is free, and occupies it for the returned cost.
 func (n *Network) SetProcessing(cost func(to NodeID, payload any, size int) time.Duration) {
 	n.procCost = cost
+}
+
+// Occupy consumes d of a node's processing budget starting now (or when
+// its current work finishes): later message handlers queue behind it.
+// Nodes that aggregate work outside per-message delivery — e.g. batched
+// block validation — use it to charge the aggregate cost. A no-op unless
+// a processing model is installed.
+func (n *Network) Occupy(id NodeID, d time.Duration) {
+	if n.procCost == nil || d <= 0 || int(id) >= len(n.busyUntil) {
+		return
+	}
+	start := n.sim.Now()
+	if b := n.busyUntil[id]; b > start {
+		start = b
+	}
+	n.busyUntil[id] = start + d
 }
 
 // Partition assigns nodes to connectivity groups; messages across groups

@@ -156,8 +156,37 @@ func TestUniform(t *testing.T) {
 			t.Fatalf("Uniform out of range: %v", d)
 		}
 	}
-	if Uniform(rng, hi, lo) != hi {
-		t.Fatal("inverted range should return lo")
+	if got := Uniform(rng, lo, lo); got != lo {
+		t.Fatalf("degenerate range = %v, want %v", got, lo)
+	}
+}
+
+// Inverted bounds must sample the intended range instead of panicking
+// (rng.Int63n of a negative span) or collapsing to a constant.
+func TestUniformInvertedBoundsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lo, hi := 100*time.Millisecond, 300*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := Uniform(rng, hi, lo) // deliberately inverted
+		if d < lo || d > hi {
+			t.Fatalf("Uniform(hi, lo) out of [%v, %v]: %v", lo, hi, d)
+		}
+	}
+}
+
+// A link model whose MinLatency exceeds MaxLatency must still deliver
+// with delays in the normalized range.
+func TestUniformLinksInvertedLatencyNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	links := UniformLinks{MinLatency: 300 * time.Millisecond, MaxLatency: 100 * time.Millisecond}
+	for i := 0; i < 500; i++ {
+		d, ok := links.Delay(rng, 0, 1, 100)
+		if !ok {
+			t.Fatal("lossless link dropped a message")
+		}
+		if d < 100*time.Millisecond || d > 300*time.Millisecond {
+			t.Fatalf("delay %v outside normalized [100ms, 300ms]", d)
+		}
 	}
 }
 
@@ -264,6 +293,36 @@ func TestProcessingBudgetSerializes(t *testing.T) {
 		if handled[i] != want[i] {
 			t.Fatalf("message %d handled at %v, want %v", i, handled[i], want[i])
 		}
+	}
+}
+
+// Occupy must push a node's processing budget forward so later arrivals
+// queue behind the aggregate work, and stay a no-op without a model.
+func TestOccupyDelaysLaterDeliveries(t *testing.T) {
+	s := New(6)
+	n := NewNetwork(s, UniformLinks{MinLatency: 0, MaxLatency: 0})
+	var handledAt time.Duration
+	a := n.AddNode(func(NodeID, any, int) {})
+	b := n.AddNode(func(NodeID, any, int) { handledAt = s.Now() })
+	n.SetProcessing(func(NodeID, any, int) time.Duration { return 0 })
+	n.Occupy(b, 250*time.Millisecond)
+	n.Send(a, b, "x", 1)
+	s.Run(0)
+	if handledAt != 250*time.Millisecond {
+		t.Fatalf("delivery at %v, want 250ms behind the occupied budget", handledAt)
+	}
+
+	// Without a processing model, Occupy is inert.
+	s2 := New(7)
+	n2 := NewNetwork(s2, UniformLinks{MinLatency: 0, MaxLatency: 0})
+	var at2 time.Duration
+	c := n2.AddNode(func(NodeID, any, int) {})
+	d := n2.AddNode(func(NodeID, any, int) { at2 = s2.Now() })
+	n2.Occupy(d, time.Hour)
+	n2.Send(c, d, "x", 1)
+	s2.Run(0)
+	if at2 != 0 {
+		t.Fatalf("Occupy without a model delayed delivery to %v", at2)
 	}
 }
 
