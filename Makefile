@@ -2,7 +2,7 @@
 # agree on what "green" means.
 GO ?= go
 
-.PHONY: build test race bench lint all
+.PHONY: build test race fuzz cover bench lint all
 
 all: lint build test
 
@@ -12,11 +12,22 @@ build:
 test:
 	$(GO) test ./...
 
-# Guards the worker-pool concurrency: experiment scheduler, lattice batch
-# settlement, signature batching, parallel merkle hashing, and the
-# batched live-gossip path in netsim.
+# Guards the worker-pool concurrency: event engine, experiment scheduler,
+# lattice batch settlement, signature batching, parallel merkle hashing,
+# and the batched live-gossip + adversary paths in netsim.
 race:
-	$(GO) test -race -timeout 40m ./internal/core/... ./internal/lattice/... ./internal/keys/... ./internal/merkle/... ./internal/netsim/...
+	$(GO) test -race -timeout 60m ./internal/sim/... ./internal/core/... ./internal/lattice/... ./internal/keys/... ./internal/merkle/... ./internal/netsim/...
+
+# Short fuzz smoke mirroring CI: batch settlement vs serial apply under
+# hostile block streams, and link-model delay sanity for any bounds.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzLatticeProcessBatch$$' -fuzztime 30s ./internal/lattice
+	$(GO) test -run '^$$' -fuzz '^FuzzLinkModelDelay$$' -fuzztime 15s ./internal/sim
+
+# Coverage profile, the artifact CI uploads.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # One pass over every benchmark; bench_output.txt is the perf source of
 # truth uploaded by CI. Redirect-then-cat (not tee) so a bench failure

@@ -1,6 +1,6 @@
 package dlt
 
-// One benchmark per experiment (E1…E13): each regenerates its paper
+// One benchmark per experiment (E1…E15): each regenerates its paper
 // table at reduced scale, so `go test -bench=.` exercises the entire
 // reproduction end to end and bench_output.txt records the cost of every
 // figure. The Ablation* benchmarks quantify the design choices called
@@ -49,6 +49,8 @@ func BenchmarkE10BlockSize(b *testing.B)       { benchExperiment(b, "E10") }
 func BenchmarkE11OffChain(b *testing.B)        { benchExperiment(b, "E11") }
 func BenchmarkE12Sharding(b *testing.B)        { benchExperiment(b, "E12") }
 func BenchmarkE13Consensus(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14Resilience(b *testing.B)      { benchExperiment(b, "E14") }
+func BenchmarkE15DoubleSpend(b *testing.B)     { benchExperiment(b, "E15") }
 
 // BenchmarkAblationForkChoice compares the two fork-choice rules on an
 // identical block stream containing side branches (DESIGN.md §4: longest
@@ -205,7 +207,7 @@ func BenchmarkFullComparison(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelSpeedup compares the full E1–E13 sweep at workers=1
+// BenchmarkParallelSpeedup compares the full E1–E15 sweep at workers=1
 // against one worker per core: the measured form of the paper's §IV/§VI
 // claim that independent work (DAG settlement, here whole experiments)
 // need not be serialized. Compare the two sub-benchmark wall clocks in
@@ -218,8 +220,8 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if got := len(report.Runs); got != 13 {
-					b.Fatalf("sweep ran %d/13 experiments", got)
+				if got := len(report.Runs); got != 15 {
+					b.Fatalf("sweep ran %d/15 experiments", got)
 				}
 			}
 		})

@@ -12,6 +12,8 @@
 //	dltbench -experiment E9      # one experiment
 //	dltbench -scale 0.25 -seed 7 # smaller/faster, different randomness
 //	dltbench -nano-batch 32      # add batched Nano sweep rows to E9/E12
+//	dltbench -experiment E14 -fault-partition-frac 0.25   # milder split
+//	dltbench -experiment E15 -double-spend-trials 10      # tighter rates
 //	dltbench -list               # show the registry
 //	dltbench -timing             # append the wall-clock/speedup table
 package main
@@ -32,7 +34,7 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (E1…E13) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (E1…E15) or 'all'")
 		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
 		scale      = flag.Float64("scale", 1.0, "duration/workload scale factor")
 		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU core)")
@@ -40,6 +42,12 @@ func run() int {
 			"add batched Nano sweep rows to E9/E12 with this gossip ingest batch size (<= 1 = serial tables only)")
 		nanoWindow = flag.Duration("nano-batch-window", 0,
 			"accumulation window for Nano gossip batches (0 = 5ms default)")
+		partitionFrac = flag.Float64("fault-partition-frac", 0,
+			"minority share of nodes split away in E14's partition scenarios (0 = default 0.5)")
+		churnNodes = flag.Int("fault-churn-nodes", 0,
+			"nodes that leave and rejoin in E14's churn scenarios (0 = default 2)")
+		dsTrials = flag.Int("double-spend-trials", 0,
+			"contested double-spend trials per E15 attacker-weight sweep point (0 = default 3)")
 		timing  = flag.Bool("timing", false, "print the sweep wall-clock/speedup table")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		summary = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
@@ -66,6 +74,8 @@ func run() int {
 	cfg := core.Config{
 		Seed: *seed, Scale: *scale, Workers: *workers,
 		NanoBatch: *nanoBatch, NanoBatchWindow: *nanoWindow,
+		FaultPartitionFrac: *partitionFrac, FaultChurnNodes: *churnNodes,
+		DoubleSpendTrials: *dsTrials,
 	}
 	selected := core.Experiments()
 	if *experiment != "all" {

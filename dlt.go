@@ -53,6 +53,19 @@ const (
 type (
 	// NetParams bundles node count, gossip topology and link model.
 	NetParams = netsim.NetParams
+	// FaultSchedule scripts partitions, churn and lossy periods onto a
+	// running network simulation (ApplyToBitcoin/ApplyToEthereum/
+	// ApplyToNano). The zero value injects nothing.
+	FaultSchedule = netsim.FaultSchedule
+	// PartitionWindow, ChurnWindow and LossWindow are FaultSchedule
+	// entries.
+	PartitionWindow = netsim.PartitionWindow
+	ChurnWindow     = netsim.ChurnWindow
+	LossWindow      = netsim.LossWindow
+	// DoubleSpendPlan schedules a contested double spend on a NanoNet;
+	// DoubleSpendOutcome is the observer's verdict after the run.
+	DoubleSpendPlan    = netsim.DoubleSpendPlan
+	DoubleSpendOutcome = netsim.DoubleSpendOutcome
 	// BitcoinConfig parameterizes a Bitcoin-like PoW network.
 	BitcoinConfig = netsim.BitcoinConfig
 	// EthereumConfig parameterizes an Ethereum-like network (PoW/PoS).
@@ -103,7 +116,7 @@ func RunAllContext(ctx context.Context, cfg Config, workers int) (*Report, error
 	return core.RunAllContext(ctx, cfg, workers)
 }
 
-// Experiments returns the full registry (E1…E13) in paper order.
+// Experiments returns the full registry (E1…E15) in paper order.
 func Experiments() []Experiment { return core.Experiments() }
 
 // ExperimentByID looks up one experiment.

@@ -1,4 +1,4 @@
-// Parallelsweep runs the full E1–E13 registry twice — serial, then one
+// Parallelsweep runs the full E1–E15 registry twice — serial, then one
 // worker per core — and prints the scheduler's wall-clock/speedup tables.
 // It is the paper's §IV/§VI concurrency argument measured on the
 // reproduction itself: a blockchain-style serial schedule versus a

@@ -59,6 +59,21 @@ type Config struct {
 	// NanoBatchWindow is the accumulation window for those rows; 0 keeps
 	// netsim's 5ms default.
 	NanoBatchWindow time.Duration
+	// FaultPartitionFrac is the share of nodes split away into group 1
+	// during E14's partition scenarios (default 0.5; values outside
+	// (0,1) fall back to it). Node 0, the observer, always stays in
+	// group 0 — the minority side only while the fraction is <= 0.5.
+	// The baseline rows always run unfaulted regardless.
+	FaultPartitionFrac float64
+	// FaultChurnNodes is how many nodes leave and rejoin during E14's
+	// churn scenarios (default 2; the experiment clamps it to its 8-node
+	// networks, observer excluded, and labels rows with the clamped
+	// count).
+	FaultChurnNodes int
+	// DoubleSpendTrials is the number of independent contested
+	// double-spend networks E15 runs per attacker-weight sweep point
+	// (default 3). Each trial uses its own derived seed.
+	DoubleSpendTrials int
 }
 
 // withDefaults fills zero values.
@@ -68,6 +83,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
+	}
+	if c.FaultPartitionFrac <= 0 || c.FaultPartitionFrac >= 1 {
+		c.FaultPartitionFrac = 0.5
+	}
+	if c.FaultChurnNodes <= 0 {
+		c.FaultChurnNodes = 2
+	}
+	if c.DoubleSpendTrials <= 0 {
+		c.DoubleSpendTrials = 3
 	}
 	return c
 }
@@ -88,7 +112,7 @@ func (c Config) count(base int) int {
 
 // Experiment reproduces one figure or quantitative claim of the paper.
 type Experiment struct {
-	// ID is the experiment key (E1…E13).
+	// ID is the experiment key (E1…E15).
 	ID string
 	// Title names the reproduced artifact.
 	Title string
@@ -116,6 +140,8 @@ func Experiments() []Experiment {
 		{ID: "E11", Title: "off-chain scaling: channels and Plasma", Section: "VI-A", Run: RunE11OffChain},
 		{ID: "E12", Title: "sharding and DAG hardware limits", Section: "VI-A/B", Run: RunE12Sharding},
 		{ID: "E13", Title: "consensus properties: PoW, PoS, ORV", Section: "III", Run: RunE13Consensus},
+		{ID: "E14", Title: "partition & churn resilience: reorg depth vs re-election", Section: "IV", Run: RunE14Resilience},
+		{ID: "E15", Title: "double-spend success vs attacker weight/hashrate", Section: "IV", Run: RunE15DoubleSpend},
 	}
 }
 

@@ -12,8 +12,8 @@ func smallCfg() Config { return Config{Seed: 7, Scale: 0.25} }
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -67,7 +67,7 @@ func TestExperimentsProduceTables(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			if e.ID == "E9" || e.ID == "E10" {
+			if e.ID == "E9" || e.ID == "E10" || e.ID == "E14" {
 				t.Skip("covered by dedicated tests at smaller scale")
 			}
 			tbl, err := e.Run(context.Background(), smallCfg())

@@ -1,0 +1,139 @@
+package core
+
+// Golden tests for the adversarial experiments: E14's baseline rows must
+// reproduce E9's unfaulted pipeline byte for byte, and E15's zero-power
+// rows are the unfaulted baselines on both sides.
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// The acceptance invariant: with zero attackers and no injected faults,
+// E14's baseline rows carry exactly the cells the unfaulted E9 pipeline
+// produces — same simulation, same seed, same formatting, byte for byte.
+func TestE14BaselineMatchesE9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the E9 networks four times")
+	}
+	cfg := Config{Seed: 17, Scale: 0.1}
+	e9, err := RunE9Throughput(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e14, err := RunE14Resilience(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r9, r14 := e9.Rows(), e14.Rows()
+	// E9: row 0 bitcoin, row 3 nano; columns measured-tps=3, pending=5.
+	// E14: row 0 bitcoin baseline, row 1 nano baseline; columns
+	// throughput=2, pending/unsettled=6.
+	for _, cmp := range []struct {
+		name          string
+		e9Row, e14Row int
+		e9Col, e14Col int
+		what          string
+	}{
+		{"bitcoin", 0, 0, 3, 2, "throughput"},
+		{"bitcoin", 0, 0, 5, 6, "backlog"},
+		{"nano", 3, 1, 3, 2, "throughput"},
+		{"nano", 3, 1, 5, 6, "backlog"},
+	} {
+		got, want := r14[cmp.e14Row][cmp.e14Col], r9[cmp.e9Row][cmp.e9Col]
+		if got != want {
+			t.Errorf("%s %s: E14 baseline %q != E9 %q", cmp.name, cmp.what, got, want)
+		}
+	}
+	if !strings.HasPrefix(r14[0][0], "baseline") || !strings.HasPrefix(r14[1][0], "baseline") {
+		t.Fatalf("E14 baseline rows moved: %q / %q", r14[0][0], r14[1][0])
+	}
+}
+
+// E15's zero-power rows: a 0%-hashrate attacker never wins the catch-up
+// race, and the zero-byzantine lattice point reports zero attacker share.
+func TestE15ZeroPowerBaselines(t *testing.T) {
+	tbl, err := RunE15DoubleSpend(context.Background(), Config{Seed: 23, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Rows()
+	if len(rows) != 10 {
+		t.Fatalf("E15 rows = %d, want 6 chain + 4 nano sweep points", len(rows))
+	}
+	// Row 0: q=0 chain point — simulated and analytic success are zero.
+	if rows[0][1] != "0.00%" || rows[0][3] != "0.0000" || rows[0][4] != "0.0000" {
+		t.Fatalf("chain zero-power row wrong: %v", rows[0])
+	}
+	// Row 6: k=0 nano point — no byzantine weight.
+	if rows[6][1] != "0.00%" {
+		t.Fatalf("nano zero-power row wrong: %v", rows[6])
+	}
+	// Every nano point injected at least one double spend.
+	for _, row := range rows[6:] {
+		if row[2] == "0" {
+			t.Fatalf("nano sweep point with zero injected trials: %v", row)
+		}
+	}
+}
+
+// E15 must be deterministic for any worker count: the sweep points own
+// derived rngs, so the fan-out schedule cannot leak into the table.
+func TestE15DeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		tbl, err := RunE15DoubleSpend(context.Background(), Config{Seed: 29, Scale: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	for _, workers := range []int{4, DefaultWorkers()} {
+		if got := render(workers); got != serial {
+			t.Fatalf("E15 diverged at workers=%d:\n--- got ---\n%s\n--- want ---\n%s", workers, got, serial)
+		}
+	}
+}
+
+// E14 must also be worker-count independent, faults included.
+func TestE14DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the E9 networks repeatedly")
+	}
+	render := func(workers int) string {
+		tbl, err := RunE14Resilience(context.Background(), Config{Seed: 31, Scale: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	if got := render(6); got != serial {
+		t.Fatalf("E14 diverged at workers=6:\n--- got ---\n%s\n--- want ---\n%s", got, serial)
+	}
+}
+
+// The fault knobs default sensibly and thread through withDefaults.
+func TestAdversaryConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.FaultPartitionFrac != 0.5 || c.FaultChurnNodes != 2 || c.DoubleSpendTrials != 3 {
+		t.Fatalf("adversary defaults wrong: %+v", c)
+	}
+	c = Config{FaultPartitionFrac: 1.5, FaultChurnNodes: -1, DoubleSpendTrials: 0}.withDefaults()
+	if c.FaultPartitionFrac != 0.5 || c.FaultChurnNodes != 2 || c.DoubleSpendTrials != 3 {
+		t.Fatalf("adversary clamps wrong: %+v", c)
+	}
+	c = Config{FaultPartitionFrac: 0.25, FaultChurnNodes: 3, DoubleSpendTrials: 5}.withDefaults()
+	if c.FaultPartitionFrac != 0.25 || c.FaultChurnNodes != 3 || c.DoubleSpendTrials != 5 {
+		t.Fatalf("explicit adversary config overwritten: %+v", c)
+	}
+}

@@ -36,9 +36,14 @@ func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := renderAll(t, base)
-	// workers=13 (one per experiment) plus inner fan-out is the most
-	// adversarial schedule; one variant keeps the suite affordable.
-	for _, workers := range []int{13} {
+	// workers=4 stresses queueing, workers=15 (one per experiment) plus
+	// inner fan-out is the most adversarial schedule; NumCPU is whatever
+	// this host would default to. Tables must be byte-identical for all.
+	variants := []int{4, 15}
+	if n := DefaultWorkers(); n != 1 && n != 4 && n != 15 {
+		variants = append(variants, n)
+	}
+	for _, workers := range variants {
 		rep, err := RunAll(Config{Seed: 7, Scale: 0.05, Workers: workers}, workers)
 		if err != nil {
 			t.Fatal(err)

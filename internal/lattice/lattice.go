@@ -13,11 +13,12 @@
 package lattice
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
+	"sort"
 
 	"repro/internal/hashx"
 	"repro/internal/keys"
@@ -239,12 +240,6 @@ type Lattice struct {
 	gapSource map[hashx.Hash][]*Block
 	supply    uint64
 	genesis   hashx.Hash
-
-	// mu guards all shared state during ProcessBatch application; the
-	// single-goroutine entry points (Process, accessors) do not take it.
-	mu sync.Mutex
-	// locks serializes per-account application across batch workers.
-	locks *lockTable
 }
 
 // New creates a lattice whose genesis open block grants the entire supply
@@ -263,7 +258,6 @@ func New(genesisOwner *keys.KeyPair, supply uint64, workBits int) (*Lattice, *Bl
 		gapPrev:   make(map[hashx.Hash][]*Block),
 		gapSource: make(map[hashx.Hash][]*Block),
 		supply:    supply,
-		locks:     newLockTable(64),
 	}
 	genesis := &Block{
 		Type:           Open,
@@ -356,6 +350,28 @@ func (l *Lattice) Chain(addr keys.Address) []*Block {
 
 // Accounts returns the number of opened accounts.
 func (l *Lattice) Accounts() int { return len(l.chains) }
+
+// AllBlocks returns every attached block in a deterministic order:
+// accounts sorted by address, each account's chain oldest-first. Churn
+// recovery uses it as the catch-up stream a live peer replays to a
+// rejoining node — per-chain order minimizes gap buffering at the
+// receiver (in-order delivery attaches directly; reordered delivery
+// settles through the gap buffers), and the fixed account order keeps
+// replay byte-reproducible across runs.
+func (l *Lattice) AllBlocks() []*Block {
+	addrs := make([]keys.Address, 0, len(l.chains))
+	for a := range l.chains {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return bytes.Compare(addrs[i][:], addrs[j][:]) < 0
+	})
+	out := make([]*Block, 0, l.BlockCount())
+	for _, a := range addrs {
+		out = append(out, l.chains[a].blocks...)
+	}
+	return out
+}
 
 // BlockCount returns the number of attached blocks (rivals and buffered
 // blocks excluded).

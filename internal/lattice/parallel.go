@@ -2,37 +2,22 @@
 // independent chains by construction (§II-B: "every account is linked to
 // its own account-chain"), which is the defining throughput lever of DAG
 // ledgers: validation work for different accounts never conflicts. The
-// batch pipeline below exploits that in two stages — an embarrassingly
-// parallel crypto stage (hashing, ed25519 signatures via keys.VerifyBatch,
-// anti-spam work stamps), followed by sharded per-account application
-// guarded by a striped per-account lock table plus a short state mutex for
-// the cross-account maps (pending sends, gap buffers, fork records).
+// batch pipeline below exploits that where the cycles actually go — an
+// embarrassingly parallel crypto stage (hashing, ed25519 signatures via
+// keys.VerifyBatch, anti-spam work stamps) — and then applies the
+// pre-verified blocks serially in input order. Application is pure map
+// and slice bookkeeping, orders of magnitude cheaper than the signature
+// checks; doing it in input order makes the batch bit-identical to serial
+// Process calls even for adversarial streams (deliberate forks, where
+// WHICH of two conflicting blocks attaches first decides the incumbent
+// the network votes on).
 package lattice
 
 import (
-	"sync"
-
 	"repro/internal/hashx"
 	"repro/internal/keys"
 	"repro/internal/par"
 )
-
-// lockTable stripes per-account mutexes so batch workers serialize blocks
-// of the same account (chain order matters) without one global bottleneck.
-type lockTable struct {
-	stripes []sync.Mutex
-}
-
-func newLockTable(n int) *lockTable {
-	return &lockTable{stripes: make([]sync.Mutex, n)}
-}
-
-// of maps an account address onto its stripe. Two accounts may share a
-// stripe; that only costs concurrency, never correctness.
-func (t *lockTable) of(addr keys.Address) *sync.Mutex {
-	i := (uint(addr[0]) | uint(addr[1])<<8) % uint(len(t.stripes))
-	return &t.stripes[i]
-}
 
 // prechecked carries stage-1 verification results into stage 2.
 type prechecked struct {
@@ -41,18 +26,16 @@ type prechecked struct {
 	workOK bool
 }
 
-// ProcessBatch validates and attaches a batch of blocks using a bounded
-// worker pool (workers <= 0 means runtime.NumCPU()). Results are returned
-// in input order, one per block.
+// ProcessBatch validates and attaches a batch of blocks, fanning the
+// expensive crypto checks across a bounded worker pool (workers <= 0
+// means runtime.NumCPU()). Results are returned in input order, one per
+// block.
 //
-// Guarantees: blocks of the same account are applied in input order, and
-// the final lattice state (attached blocks, balances, pending set) is
-// identical to serial Process calls regardless of the worker count —
-// cross-account dependencies that apply out of order settle through the
-// same gap buffers that absorb out-of-order network arrival. Individual
-// statuses may differ from the serial schedule only in how a dependent
-// block attaches (directly, or buffered as GapSource/GapPrevious and then
-// drained by its dependency's Result).
+// Guarantees: the resulting lattice state AND the per-block results are
+// byte-identical to calling Process serially on the same stream, for any
+// worker count — including streams containing duplicates, malformed
+// blocks and deliberate forks, where attachment order decides which
+// rival becomes the incumbent (fuzzed by FuzzLatticeProcessBatch).
 //
 // ProcessBatch must not run concurrently with other Lattice calls; the
 // lattice is otherwise a single-goroutine structure.
@@ -82,31 +65,15 @@ func (l *Lattice) ProcessBatch(blocks []*Block, workers int) []Result {
 		pre[i].sigOK = pre[i].sigOK && ok
 	}
 
-	// Stage 2: shard application by account. Each group holds the blocks
-	// of one account in input order; a worker takes the account's stripe
-	// lock for the whole group and the state mutex per block.
-	groups := make(map[keys.Address][]int, len(blocks))
-	var order []keys.Address
+	// Stage 2: apply in input order. Fork incumbency, gap draining and
+	// pending settlement all depend on attachment order, so the serial
+	// schedule is the specification — and it is already the cheap part.
 	for i, b := range blocks {
-		if _, seen := groups[b.Account]; !seen {
-			order = append(order, b.Account)
+		res := l.processVerified(b, pre[i].h, pre[i].sigOK, pre[i].workOK)
+		if res.Status == Accepted {
+			res.Drained = l.drainGaps(b, nil)
 		}
-		groups[b.Account] = append(groups[b.Account], i)
+		results[i] = res
 	}
-	par.Each(len(order), workers, 1, func(g int) {
-		acct := order[g]
-		stripe := l.locks.of(acct)
-		stripe.Lock()
-		for _, i := range groups[acct] {
-			l.mu.Lock()
-			res := l.processVerified(blocks[i], pre[i].h, pre[i].sigOK, pre[i].workOK)
-			if res.Status == Accepted {
-				res.Drained = l.drainGaps(blocks[i], nil)
-			}
-			l.mu.Unlock()
-			results[i] = res
-		}
-		stripe.Unlock()
-	})
 	return results
 }

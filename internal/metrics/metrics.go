@@ -32,6 +32,15 @@ func (h *Histogram) Add(v float64) {
 // AddDuration records a duration sample in seconds.
 func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
 
+// Merge folds another histogram's samples into h — pooling per-trial
+// distributions so quantiles and means are computed over every sample,
+// not averaged over summaries.
+func (h *Histogram) Merge(other *Histogram) {
+	h.samples = append(h.samples, other.samples...)
+	h.sorted = false
+	h.sum += other.sum
+}
+
 // N returns the number of samples.
 func (h *Histogram) N() int { return len(h.samples) }
 
@@ -150,6 +159,16 @@ func (t *Table) AddNote(format string, args ...any) {
 
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a deep copy of the data rows — cross-experiment checks
+// (e.g. "E14's baseline cells equal E9's") compare cells through it.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
 
 // Render writes the table to w.
 func (t *Table) Render(w io.Writer) error {

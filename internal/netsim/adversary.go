@@ -1,0 +1,513 @@
+// The fault-injection scenario driver: scripted partitions, node churn
+// and lossy periods applied to any of the three network simulations, plus
+// the contested double-spend attack on the block-lattice. The paper's
+// central §IV claim — blockchain forks resolve by depth while Nano
+// settles by vote quorum — is exactly a claim about behavior under these
+// faults, so the E14/E15 experiments build on this file.
+//
+// All injection is scheduled on the network's own deterministic
+// simulator: a given schedule and seed reproduce the same adversity
+// byte for byte, and an empty schedule is a strict no-op (the unfaulted
+// pipeline is untouched).
+package netsim
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"repro/internal/hashx"
+	"repro/internal/lattice"
+	"repro/internal/orv"
+	"repro/internal/sim"
+)
+
+// PartitionWindow splits the network into connectivity groups at At and
+// heals it at HealAt (no heal if HealAt <= At). On heal the driver also
+// replays a catch-up sync between the former groups, standing in for the
+// bootstrap/IBD real nodes run after reconnecting.
+type PartitionWindow struct {
+	At     time.Duration
+	HealAt time.Duration
+	// Groups assigns nodes to sides; unlisted nodes form group 0.
+	Groups map[sim.NodeID]int
+}
+
+// ChurnWindow takes one node offline at LeaveAt and rejoins it at
+// RejoinAt (no rejoin if RejoinAt <= LeaveAt). On rejoin the driver
+// replays a catch-up exchange with a live peer.
+type ChurnWindow struct {
+	Node    int
+	LeaveAt time.Duration
+	// RejoinAt returns the node with its stale state plus a catch-up.
+	RejoinAt time.Duration
+}
+
+// LossWindow raises the network's extra loss rate to Rate during
+// [At, Until).
+type LossWindow struct {
+	Rate      float64
+	At, Until time.Duration
+}
+
+// FaultSchedule scripts adversity for one simulation run. The zero value
+// schedules nothing.
+type FaultSchedule struct {
+	Partitions []PartitionWindow
+	Churn      []ChurnWindow
+	Loss       []LossWindow
+}
+
+// SplitGroups builds a two-sided partition map: the LAST frac×nodes
+// nodes (rounded to nearest) are split away into group 1, clamped to
+// [1, nodes-1] so both sides are nonempty. Node 0, the observer, always
+// stays in group 0 — the minority side only while frac <= 0.5.
+func SplitGroups(nodes int, frac float64) map[sim.NodeID]int {
+	if nodes < 2 {
+		return map[sim.NodeID]int{}
+	}
+	minority := int(frac*float64(nodes) + 0.5)
+	if minority < 1 {
+		minority = 1
+	}
+	if minority > nodes-1 {
+		minority = nodes - 1
+	}
+	groups := make(map[sim.NodeID]int, minority)
+	for i := nodes - minority; i < nodes; i++ {
+		groups[sim.NodeID(i)] = 1
+	}
+	return groups
+}
+
+// groupReps returns one representative node per connectivity group of a
+// partition map (the lowest node id of each side, group 0 included), in
+// group order — the deterministic sync endpoints for post-heal catch-up.
+func groupReps(groups map[sim.NodeID]int, nodes int) []int {
+	rep := map[int]int{}
+	for i := 0; i < nodes; i++ {
+		g := groups[sim.NodeID(i)]
+		if cur, ok := rep[g]; !ok || i < cur {
+			rep[g] = i
+		}
+	}
+	gs := make([]int, 0, len(rep))
+	for g := range rep {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	out := make([]int, 0, len(gs))
+	for _, g := range gs {
+		out = append(out, rep[g])
+	}
+	return out
+}
+
+// scheduleLoss arms the loss windows on a network.
+func scheduleLoss(s *sim.Simulator, net *sim.Network, windows []LossWindow) {
+	for _, lw := range windows {
+		lw := lw
+		s.At(lw.At, func() { net.SetLossRate(lw.Rate) })
+		if lw.Until > lw.At {
+			s.At(lw.Until, func() { net.SetLossRate(0) })
+		}
+	}
+}
+
+// chainFaultTarget is the surface the two chain networks share for fault
+// application: Bitcoin and Ethereum differ only in ledger type, and the
+// catch-up semantics (main-chain exchange, the IBD stand-in) are
+// identical.
+type chainFaultTarget interface {
+	faultSurface() (*sim.Simulator, *sim.Network, int)
+	// broadcastMainChain floods a node's main chain to everyone — dedup
+	// at the receivers keeps the cost one delivery per missing block.
+	broadcastMainChain(idx int)
+	// sendMainChain serves one node's main chain directly to another.
+	sendMainChain(from, to int)
+}
+
+// applyToChain schedules the fault script on a chain network. Healed
+// partitions and rejoining nodes catch up by exchanging main chains.
+func applyToChain(fs FaultSchedule, c chainFaultTarget) {
+	s, net, nodes := c.faultSurface()
+	for _, pw := range fs.Partitions {
+		pw := pw
+		s.At(pw.At, func() { net.Partition(pw.Groups) })
+		if pw.HealAt > pw.At {
+			s.At(pw.HealAt, func() {
+				net.Heal()
+				for _, idx := range groupReps(pw.Groups, nodes) {
+					c.broadcastMainChain(idx)
+				}
+			})
+		}
+	}
+	for _, cw := range fs.Churn {
+		cw := cw
+		if cw.Node < 0 || cw.Node >= nodes {
+			continue
+		}
+		s.At(cw.LeaveAt, func() { net.Detach(sim.NodeID(cw.Node)) })
+		if cw.RejoinAt > cw.LeaveAt {
+			s.At(cw.RejoinAt, func() {
+				net.Attach(sim.NodeID(cw.Node))
+				// Bidirectional catch-up: the rejoined node re-floods its
+				// stale view (its partition-era blocks may still win), and
+				// a live peer serves it the canonical history.
+				c.broadcastMainChain(cw.Node)
+				if live := firstAttachedNode(net, nodes, cw.Node); live >= 0 {
+					c.sendMainChain(live, cw.Node)
+				}
+			})
+		}
+	}
+	scheduleLoss(s, net, fs.Loss)
+}
+
+// ApplyToBitcoin schedules the fault script on a Bitcoin network.
+func (fs FaultSchedule) ApplyToBitcoin(b *BitcoinNet) { applyToChain(fs, b) }
+
+// ApplyToEthereum schedules the fault script on an Ethereum network.
+func (fs FaultSchedule) ApplyToEthereum(e *EthereumNet) { applyToChain(fs, e) }
+
+func (b *BitcoinNet) faultSurface() (*sim.Simulator, *sim.Network, int) {
+	return b.sim, b.net, len(b.nodes)
+}
+
+func (b *BitcoinNet) broadcastMainChain(idx int) {
+	n := b.nodes[idx]
+	for _, h := range n.ledger.Store().MainChain() {
+		if blk, ok := n.ledger.Store().Get(h); ok {
+			b.net.BroadcastAll(n.id, blk, blk.Size())
+		}
+	}
+}
+
+func (b *BitcoinNet) sendMainChain(from, to int) {
+	src, dst := b.nodes[from], b.nodes[to]
+	for _, h := range src.ledger.Store().MainChain() {
+		if blk, ok := src.ledger.Store().Get(h); ok {
+			b.net.Send(src.id, dst.id, blk, blk.Size())
+		}
+	}
+}
+
+func (e *EthereumNet) faultSurface() (*sim.Simulator, *sim.Network, int) {
+	return e.sim, e.net, len(e.nodes)
+}
+
+func (e *EthereumNet) broadcastMainChain(idx int) {
+	n := e.nodes[idx]
+	for _, h := range n.ledger.Store().MainChain() {
+		if blk, ok := n.ledger.Store().Get(h); ok {
+			e.net.BroadcastAll(n.id, blk, blk.Size())
+		}
+	}
+}
+
+func (e *EthereumNet) sendMainChain(from, to int) {
+	src, dst := e.nodes[from], e.nodes[to]
+	for _, h := range src.ledger.Store().MainChain() {
+		if blk, ok := src.ledger.Store().Get(h); ok {
+			e.net.Send(src.id, dst.id, blk, blk.Size())
+		}
+	}
+}
+
+// firstAttachedNode returns the lowest-index attached node other than
+// skip, or -1 when every other node is detached.
+func firstAttachedNode(net *sim.Network, nodes, skip int) int {
+	for i := 0; i < nodes; i++ {
+		if i != skip && !net.IsDetached(sim.NodeID(i)) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Empty reports whether the schedule injects nothing.
+func (fs FaultSchedule) Empty() bool {
+	return len(fs.Partitions) == 0 && len(fs.Churn) == 0 && len(fs.Loss) == 0
+}
+
+// ApplyToNano schedules the fault script on a Nano network. A non-empty
+// schedule arms the gap-repair pull (bootstrapping); on heal or rejoin,
+// nodes exchange their full lattices and re-broadcast representative
+// votes for still-open elections — the re-election that lets stalled
+// accounts recover. The exchange is SENT in per-chain order, but link
+// jitter reorders delivery, so recovery leans on the lattice gap buffers
+// and on gap repair — which also pulls blocks that were still queued
+// behind processing budgets at the exchange instant.
+func (fs FaultSchedule) ApplyToNano(n *NanoNet) {
+	if fs.Empty() {
+		return
+	}
+	n.EnableGapRepair()
+	for _, pw := range fs.Partitions {
+		pw := pw
+		n.sim.At(pw.At, func() { n.net.Partition(pw.Groups) })
+		if pw.HealAt > pw.At {
+			n.sim.At(pw.HealAt, func() {
+				n.net.Heal()
+				reps := groupReps(pw.Groups, len(n.nodes))
+				// Every node serves its lattice to the other sides' reps
+				// (a node whose gossip peers all sat across the split may
+				// hold blocks nobody else has); first-seen relay floods
+				// the novelty from the reps.
+				for i := range n.nodes {
+					gi := pw.Groups[sim.NodeID(i)]
+					for _, r := range reps {
+						if i != r && pw.Groups[sim.NodeID(r)] != gi {
+							n.sendLattice(i, r)
+						}
+					}
+				}
+				for _, node := range n.nodes {
+					n.resendOpenVotes(node)
+				}
+			})
+		}
+	}
+	for _, cw := range fs.Churn {
+		cw := cw
+		if cw.Node < 0 || cw.Node >= len(n.nodes) {
+			continue
+		}
+		n.sim.At(cw.LeaveAt, func() { n.net.Detach(sim.NodeID(cw.Node)) })
+		if cw.RejoinAt > cw.LeaveAt {
+			n.sim.At(cw.RejoinAt, func() {
+				n.net.Attach(sim.NodeID(cw.Node))
+				if live := firstAttachedNode(n.net, len(n.nodes), cw.Node); live >= 0 {
+					n.sendLattice(live, cw.Node)
+					n.sendLattice(cw.Node, live)
+				}
+				for _, node := range n.nodes {
+					n.resendOpenVotes(node)
+				}
+			})
+		}
+	}
+	scheduleLoss(n.sim, n.net, fs.Loss)
+}
+
+// sendLattice serves node from's entire lattice to node to; receivers
+// dedup seen blocks and relay only novelty.
+func (n *NanoNet) sendLattice(from, to int) {
+	src, dst := n.nodes[from], n.nodes[to]
+	for _, b := range src.lat.AllBlocks() {
+		n.net.Send(src.id, dst.id, b, b.EncodedSize())
+	}
+}
+
+// resendOpenVotes re-broadcasts a node's current representative votes for
+// every election it has not yet seen confirmed, in deterministic root
+// order. Re-votes carry their original sequence numbers, so nodes that
+// already tallied them discard the duplicates and only the other side of
+// a former split learns anything new.
+func (n *NanoNet) resendOpenVotes(node *nanoNode) {
+	if len(node.repAccounts) == 0 || len(node.myVote) == 0 {
+		return
+	}
+	roots := make([]hashx.Hash, 0, len(node.myVote))
+	for root, cand := range node.myVote {
+		if cand == hashx.Zero || node.tracker.Confirmed(cand) {
+			continue
+		}
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return bytes.Compare(roots[i][:], roots[j][:]) < 0 })
+	for _, root := range roots {
+		cand, seq := node.myVote[root], node.mySeq[root]
+		for _, rep := range node.repAccounts {
+			v := orv.NewVote(n.ring.Pair(rep), cand, seq)
+			n.metrics.VotesSent++
+			for _, other := range n.nodes {
+				if other != node {
+					n.net.Send(node.id, other.id, v, v.EncodedSize())
+				}
+			}
+		}
+	}
+}
+
+// DoubleSpendPlan schedules a contested double spend: the attacker
+// account signs two conflicting sends from the same predecessor — the
+// honest one published at its owner node, the rival injected at a node
+// halfway across the network (§IV-B: "forks in Nano are only possible as
+// a result of a malicious attack").
+type DoubleSpendPlan struct {
+	Attacker, VictimA, VictimB int
+	Amount                     uint64
+	At                         time.Duration
+	// Entry is the node index the rival send enters at; 0 (the zero
+	// value) places it halfway across the network from the attacker's
+	// owner node.
+	Entry int
+}
+
+// DoubleSpendHandle reports what a scheduled double spend actually
+// injected; fields fill when the event fires.
+type DoubleSpendHandle struct {
+	// Injected is false if the attacker lacked funds at At.
+	Injected bool
+	// Honest and Rival are the conflicting send hashes; Root is their
+	// shared predecessor, the fork election's root.
+	Honest, Rival, Root hashx.Hash
+}
+
+// DoubleSpendOutcome summarizes the observer's final verdict on an
+// injected double spend.
+type DoubleSpendOutcome struct {
+	Injected bool
+	// RivalWon reports that the attacker's rival send is attached at the
+	// observer — the double spend SUCCEEDED against the honest payment.
+	RivalWon bool
+	// HonestAttached reports the honest send on the observer's lattice.
+	HonestAttached bool
+	// RivalCemented reports the rival irreversibly cemented.
+	RivalCemented bool
+	// Resolved reports the fork election completed at the observer.
+	Resolved bool
+}
+
+// InjectContestedDoubleSpend schedules the conflicting sends and registers
+// the rival as the adversary's preferred candidate, so byzantine nodes
+// (NanoConfig.ByzantineNodes) contest the election with their weight.
+// With zero byzantine nodes this is exactly the legacy InjectDoubleSpend
+// fault: honest representatives resolve it by first-seen + leader-follow
+// voting.
+func (n *NanoNet) InjectContestedDoubleSpend(p DoubleSpendPlan) *DoubleSpendHandle {
+	h := &DoubleSpendHandle{}
+	n.sim.At(p.At, func() {
+		ownerIdx := n.ownerOf(p.Attacker)
+		owner := n.nodes[ownerIdx]
+		head, ok := owner.lat.HeadBlock(n.ring.Addr(p.Attacker))
+		if !ok || head.Balance < p.Amount {
+			return
+		}
+		prev := head.Hash()
+		honest, err := owner.lat.NewSend(n.ring.Pair(p.Attacker), n.ring.Addr(p.VictimA), p.Amount)
+		if err != nil {
+			return
+		}
+		rival, err := lattice.NewForkSend(
+			n.ring.Pair(p.Attacker), prev, head.Balance,
+			n.ring.Addr(p.VictimB), p.Amount, head.Representative, n.cfg.WorkBits)
+		if err != nil {
+			return
+		}
+		h.Injected = true
+		h.Honest, h.Rival, h.Root = honest.Hash(), rival.Hash(), prev
+		// Register the attack before publishing: byzantine nodes must
+		// already know which candidate to back when the blocks arrive.
+		n.advContested[h.Honest] = true
+		n.advPreferred[h.Rival] = true
+		n.publish(owner, honest)
+		entryIdx := p.Entry
+		if entryIdx <= 0 || entryIdx >= len(n.nodes) {
+			entryIdx = (ownerIdx + len(n.nodes)/2) % len(n.nodes)
+		}
+		n.created[h.Rival] = n.sim.Now()
+		n.net.Send(owner.id, n.nodes[entryIdx].id, rival, rival.EncodedSize())
+	})
+	return h
+}
+
+// Outcome reads the observer's final state for an injected double spend.
+// Call after the run completes.
+func (n *NanoNet) Outcome(h *DoubleSpendHandle) DoubleSpendOutcome {
+	out := DoubleSpendOutcome{Injected: h.Injected}
+	if !h.Injected {
+		return out
+	}
+	obs := n.nodes[0]
+	_, out.RivalWon = obs.lat.Get(h.Rival)
+	_, out.HonestAttached = obs.lat.Get(h.Honest)
+	out.RivalCemented = obs.tracker.IsCemented(h.Rival)
+	out.Resolved = obs.resolvedForks[forkRootOf(h.Root)]
+	return out
+}
+
+// LatticeConverged reports whether every node agrees on every account's
+// chain head — the "recovered" verdict after partitions and churn.
+func (n *NanoNet) LatticeConverged() bool {
+	obs := n.nodes[0]
+	for i := 0; i < n.cfg.Accounts; i++ {
+		addr := n.ring.Addr(i)
+		h0, ok0 := obs.lat.Head(addr)
+		for _, node := range n.nodes[1:] {
+			if h, ok := node.lat.Head(addr); ok != ok0 || h != h0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TipsConverged reports whether every node agrees on the chain tip.
+func (b *BitcoinNet) TipsConverged() bool {
+	tip := b.nodes[0].ledger.Store().Tip()
+	for _, n := range b.nodes[1:] {
+		if n.ledger.Store().Tip() != tip {
+			return false
+		}
+	}
+	return true
+}
+
+// ConvergedWithin reports whether every node agrees with the observer's
+// main chain at depth back below the observer's tip — tip equality with a
+// tolerance for blocks still propagating at the cutoff instant.
+func (b *BitcoinNet) ConvergedWithin(back int) bool {
+	obs := b.nodes[0].ledger
+	target := int(obs.Height()) - back
+	if target < 0 {
+		target = 0
+	}
+	want, ok := obs.Store().HashAtHeight(uint64(target))
+	if !ok {
+		return false
+	}
+	for _, n := range b.nodes[1:] {
+		if got, ok := n.ledger.Store().HashAtHeight(uint64(target)); !ok || got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// TipsConverged reports whether every node agrees on the chain tip.
+func (e *EthereumNet) TipsConverged() bool {
+	tip := e.nodes[0].ledger.Store().Tip()
+	for _, n := range e.nodes[1:] {
+		if n.ledger.Store().Tip() != tip {
+			return false
+		}
+	}
+	return true
+}
+
+// ByzantineWeightFraction reports the share of total voting weight held
+// by representatives hosted on byzantine nodes — the attacker's measured
+// strength in an E15 sweep point.
+func (n *NanoNet) ByzantineWeightFraction() float64 {
+	if n.cfg.ByzantineNodes <= 0 {
+		return 0
+	}
+	weights := n.nodes[0].weights
+	total := weights.Total()
+	if total == 0 {
+		return 0
+	}
+	var byz uint64
+	for _, node := range n.nodes {
+		if !node.byzantine {
+			continue
+		}
+		for _, rep := range node.repAccounts {
+			byz += weights.WeightOf(n.ring.Addr(rep))
+		}
+	}
+	return float64(byz) / float64(total)
+}

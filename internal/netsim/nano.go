@@ -64,6 +64,16 @@ type NanoConfig struct {
 	// Fixed (never derived from the host CPU count) so tables stay
 	// deterministic across machines and worker counts.
 	BatchCores int
+	// ByzantineNodes makes the LAST k nodes vote adversarially: when a
+	// contested double spend is injected (InjectContestedDoubleSpend),
+	// their representatives vote for the attacker's preferred rival,
+	// abstain from the honest block's election, and never follow the
+	// leader — §IV-B's "malicious attack" forks, with the attacker's
+	// voting weight swept by how many representatives those nodes host.
+	// Zero (the default) keeps every node honest and reproduces the
+	// unfaulted pipeline byte for byte. Node 0 (the observer) is always
+	// honest, so the cap is Nodes-1.
+	ByzantineNodes int
 }
 
 func (c NanoConfig) withDefaults() NanoConfig {
@@ -92,6 +102,12 @@ func (c NanoConfig) withDefaults() NanoConfig {
 	if c.BatchSize > 1 && c.BatchCores <= 0 {
 		c.BatchCores = 4
 	}
+	if c.ByzantineNodes < 0 {
+		c.ByzantineNodes = 0
+	}
+	if c.ByzantineNodes >= c.Net.Nodes {
+		c.ByzantineNodes = c.Net.Nodes - 1
+	}
 	return c
 }
 
@@ -111,12 +127,33 @@ const (
 	maxSeenVotes = 1 << 16
 )
 
+// Gap repair (the bootstrapping pull real nodes run): a node that
+// gap-buffers a block asks the sender for the missing ancestor, retrying
+// until it attaches or the attempt budget runs out. Only enabled when a
+// fault schedule is applied — the unfaulted pipeline's event stream (and
+// therefore its tables) stays byte-identical to the historical output.
+const (
+	gapRepairDelay       = 150 * time.Millisecond
+	maxGapRepairAttempts = 64
+)
+
+// blockRequest asks a peer to serve one block by hash.
+type blockRequest struct {
+	Hash hashx.Hash
+}
+
+// blockRequestSize is the modeled wire size of a block request.
+const blockRequestSize = hashx.Size + 8
+
 // nanoNode is one full node: lattice replica, vote tracker, dedup state.
 type nanoNode struct {
 	id      sim.NodeID
 	lat     *lattice.Lattice
 	tracker *orv.Tracker
 	weights *orv.Weights
+	// byzantine nodes vote for adversary-preferred fork candidates and
+	// never switch (NanoConfig.ByzantineNodes).
+	byzantine bool
 	// repAccounts are representative indices whose owner is this node.
 	repAccounts []int
 	seenBlocks  map[hashx.Hash]bool
@@ -127,6 +164,9 @@ type nanoNode struct {
 	prevSeenVotes map[hashx.Hash]bool
 	// rootOf maps election candidates to their election roots.
 	rootOf map[hashx.Hash]hashx.Hash
+	// forkPrev maps a fork election's derived root back to the contested
+	// predecessor block it is about (the ResolveFork argument).
+	forkPrev map[hashx.Hash]hashx.Hash
 	// pendingVotes buffers votes whose candidate block is unknown, capped
 	// at maxPendingVoteCandidates candidates of maxPendingVotesPerCandidate
 	// votes each; pendingOrder records buffering order for FIFO eviction
@@ -135,10 +175,12 @@ type nanoNode struct {
 	pendingOrder []hashx.Hash
 	// ingest accumulates gossip blocks awaiting a batched ProcessBatch
 	// flush (BatchSize > 1 only); flushTimer is the armed BatchWindow
-	// flush event.
-	ingest     []*lattice.Block
+	// flush event. Each entry remembers its sender for gap repair.
+	ingest     []ingestEntry
 	flushTimer sim.EventID
 	flushArmed bool
+	// repairing tracks missing-block hashes with a live gap-repair chain.
+	repairing map[hashx.Hash]bool
 	// myVote tracks this node's reps' current choice and switch count.
 	myVote   map[hashx.Hash]hashx.Hash
 	mySeq    map[hashx.Hash]uint64
@@ -183,6 +225,10 @@ type NanoMetrics struct {
 	// BatchSize <= 1, the serial path).
 	GossipBatches       int
 	GossipBatchedBlocks int
+	// ForkResolveLatency is the distribution of fork-detection→resolution
+	// delays at the observer, in seconds — the re-election time §IV-B's
+	// representative voting needs to settle a contested predecessor.
+	ForkResolveLatency metrics.Histogram
 	// LedgerBytes and HeadBytes give the §V-B size comparison.
 	LedgerBytes int
 	HeadBytes   int
@@ -199,7 +245,28 @@ type NanoNet struct {
 	created     map[hashx.Hash]time.Duration // block hash -> creation time
 	confirmedAt map[hashx.Hash]bool          // observer confirmations seen
 	metrics     NanoMetrics
+
+	// Adversary bookkeeping (InjectContestedDoubleSpend): the attacker's
+	// preferred rival blocks, the honest blocks it contests, and when the
+	// observer first saw each fork root (for re-election latency).
+	advPreferred map[hashx.Hash]bool
+	advContested map[hashx.Hash]bool
+	forkSeenAt   map[hashx.Hash]time.Duration
+	// gapRepair arms the bootstrapping pull; set by FaultSchedule.
+	gapRepair bool
 }
+
+// ingestEntry is one queued gossip block plus the node that sent it.
+type ingestEntry struct {
+	b    *lattice.Block
+	from sim.NodeID
+}
+
+// EnableGapRepair turns on the pull-based bootstrapping that lets nodes
+// recover ancestors they missed (partitions, churn, lossy periods). Off
+// by default: the repair timers would reorder the event sequence of
+// healthy runs and perturb their byte-exact tables.
+func (n *NanoNet) EnableGapRepair() { n.gapRepair = true }
 
 // NewNano builds the network: identical genesis on every node, an even
 // initial distribution processed everywhere at setup, and weight tables
@@ -236,12 +303,15 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 	}
 
 	n := &NanoNet{
-		cfg:         cfg,
-		sim:         s,
-		net:         net,
-		ring:        ring,
-		created:     make(map[hashx.Hash]time.Duration),
-		confirmedAt: make(map[hashx.Hash]bool),
+		cfg:          cfg,
+		sim:          s,
+		net:          net,
+		ring:         ring,
+		created:      make(map[hashx.Hash]time.Duration),
+		confirmedAt:  make(map[hashx.Hash]bool),
+		advPreferred: make(map[hashx.Hash]bool),
+		advContested: make(map[hashx.Hash]bool),
+		forkSeenAt:   make(map[hashx.Hash]time.Duration),
 	}
 
 	repWeightTable := seedLat.RepWeights()
@@ -264,12 +334,15 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 		}
 		weights := orv.NewWeights(repWeightTable)
 		node := &nanoNode{
+			byzantine:     cfg.ByzantineNodes > 0 && i >= cfg.Net.Nodes-cfg.ByzantineNodes,
 			lat:           lat,
 			tracker:       orv.NewTracker(weights, orv.Config{QuorumFraction: cfg.QuorumFraction}),
 			weights:       weights,
 			seenBlocks:    make(map[hashx.Hash]bool),
 			seenVotes:     make(map[hashx.Hash]bool),
 			rootOf:        make(map[hashx.Hash]hashx.Hash),
+			forkPrev:      make(map[hashx.Hash]hashx.Hash),
+			repairing:     make(map[hashx.Hash]bool),
 			pendingVotes:  make(map[hashx.Hash][]*orv.Vote),
 			myVote:        make(map[hashx.Hash]hashx.Hash),
 			mySeq:         make(map[hashx.Hash]uint64),
@@ -329,9 +402,11 @@ func (n *NanoNet) handlerFor(node *nanoNode) sim.Handler {
 	return func(from sim.NodeID, payload any, size int) {
 		switch msg := payload.(type) {
 		case *lattice.Block:
-			n.onBlock(node, msg)
+			n.onBlock(node, from, msg)
 		case *orv.Vote:
 			n.onVote(node, msg)
+		case *blockRequest:
+			n.onBlockRequest(node, from, msg)
 		}
 	}
 }
@@ -339,19 +414,48 @@ func (n *NanoNet) handlerFor(node *nanoNode) sim.Handler {
 // onBlock processes a received lattice block: serially per arrival when
 // BatchSize <= 1 (the historical path, reproduced exactly), or through
 // the per-node ingest queue when batching is enabled.
-func (n *NanoNet) onBlock(node *nanoNode, b *lattice.Block) {
+func (n *NanoNet) onBlock(node *nanoNode, from sim.NodeID, b *lattice.Block) {
 	h := b.Hash()
 	if node.seenBlocks[h] {
 		return
 	}
 	node.seenBlocks[h] = true
 	if n.cfg.BatchSize > 1 {
-		n.enqueueIngest(node, b)
+		n.enqueueIngest(node, b, from)
 		return
 	}
-	if n.reactToResult(node, b, h, node.lat.Process(b)) {
+	if n.reactToResult(node, b, h, node.lat.Process(b), from) {
 		n.net.SendToPeers(node.id, b, b.EncodedSize())
 	}
+}
+
+// onBlockRequest serves a block the requester is missing (gap repair).
+func (n *NanoNet) onBlockRequest(node *nanoNode, from sim.NodeID, req *blockRequest) {
+	if blk, ok := node.lat.Get(req.Hash); ok {
+		n.net.Send(node.id, from, blk, blk.EncodedSize())
+	}
+}
+
+// scheduleGapRepair starts (at most one) repair chain for a missing
+// ancestor: ask the node that sent the gapped block, retry until the
+// ancestor attaches or the attempt budget is spent. The sender processed
+// the block it relayed, so it either holds the ancestor or is repairing
+// it itself — the request walk terminates at the block's creator.
+func (n *NanoNet) scheduleGapRepair(node *nanoNode, missing hashx.Hash, from sim.NodeID) {
+	if !n.gapRepair || from == node.id || node.repairing[missing] {
+		return
+	}
+	node.repairing[missing] = true
+	n.repairTick(node, missing, from, 0)
+}
+
+func (n *NanoNet) repairTick(node *nanoNode, missing hashx.Hash, from sim.NodeID, attempt int) {
+	if _, attached := node.lat.Get(missing); attached || attempt >= maxGapRepairAttempts {
+		delete(node.repairing, missing)
+		return
+	}
+	n.net.Send(node.id, from, &blockRequest{Hash: missing}, blockRequestSize)
+	n.sim.After(gapRepairDelay, func() { n.repairTick(node, missing, from, attempt+1) })
 }
 
 // reactToResult applies the post-attach handling for one processed
@@ -359,8 +463,8 @@ func (n *NanoNet) onBlock(node *nanoNode, b *lattice.Block) {
 // counting for the block and every gap it drained, fork-election starts
 // for rivals — and reports whether the block may be relayed. It is the
 // shared reaction of the serial path and of every block in a flushed
-// batch.
-func (n *NanoNet) reactToResult(node *nanoNode, b *lattice.Block, h hashx.Hash, res lattice.Result) bool {
+// batch. from is the sender, the gap-repair pull target.
+func (n *NanoNet) reactToResult(node *nanoNode, b *lattice.Block, h hashx.Hash, res lattice.Result, from sim.NodeID) bool {
 	switch res.Status {
 	case lattice.Accepted:
 		n.onAttached(node, b, h)
@@ -370,10 +474,17 @@ func (n *NanoNet) reactToResult(node *nanoNode, b *lattice.Block, h hashx.Hash, 
 	case lattice.AcceptedFork:
 		if node == n.nodes[0] {
 			n.metrics.ForksDetected++
+			if _, seen := n.forkSeenAt[b.Prev]; !seen {
+				n.forkSeenAt[b.Prev] = n.sim.Now()
+			}
 		}
 		n.startForkElection(node, b, res.ForkRivals)
-	case lattice.GapPrevious, lattice.GapSource:
-		// Buffered inside the lattice; still relay so peers catch up.
+	case lattice.GapPrevious:
+		// Buffered inside the lattice; still relay so peers catch up,
+		// and pull the missing ancestor when repair is armed.
+		n.scheduleGapRepair(node, b.Prev, from)
+	case lattice.GapSource:
+		n.scheduleGapRepair(node, b.Source, from)
 	case lattice.Rejected:
 		return false // do not relay invalid blocks
 	}
@@ -382,8 +493,8 @@ func (n *NanoNet) reactToResult(node *nanoNode, b *lattice.Block, h hashx.Hash, 
 
 // enqueueIngest queues a gossip block for batched settlement, flushing
 // when the batch fills and arming the BatchWindow timer otherwise.
-func (n *NanoNet) enqueueIngest(node *nanoNode, b *lattice.Block) {
-	node.ingest = append(node.ingest, b)
+func (n *NanoNet) enqueueIngest(node *nanoNode, b *lattice.Block, from sim.NodeID) {
+	node.ingest = append(node.ingest, ingestEntry{b: b, from: from})
 	if len(node.ingest) >= n.cfg.BatchSize {
 		n.flushIngest(node)
 		return
@@ -406,10 +517,14 @@ func (n *NanoNet) flushIngest(node *nanoNode) {
 		n.sim.Cancel(node.flushTimer)
 		node.flushArmed = false
 	}
-	blocks := node.ingest
+	entries := node.ingest
 	node.ingest = nil
-	if len(blocks) == 0 {
+	if len(entries) == 0 {
 		return
+	}
+	blocks := make([]*lattice.Block, len(entries))
+	for i, e := range entries {
+		blocks[i] = e.b
 	}
 	n.metrics.GossipBatches++
 	n.metrics.GossipBatchedBlocks += len(blocks)
@@ -422,7 +537,7 @@ func (n *NanoNet) flushIngest(node *nanoNode) {
 	}
 	for i, res := range node.lat.ProcessBatch(blocks, n.cfg.Workers) {
 		b := blocks[i]
-		if n.reactToResult(node, b, b.Hash(), res) {
+		if n.reactToResult(node, b, b.Hash(), res, entries[i].from) {
 			n.net.SendToPeers(node.id, b, b.EncodedSize())
 		}
 	}
@@ -439,7 +554,9 @@ func (n *NanoNet) onAttached(node *nanoNode, b *lattice.Block, h hashx.Hash) {
 }
 
 // startPlainElection opens the single-candidate election of §IV-B's
-// automatic voting and votes if this node hosts representatives.
+// automatic voting and votes if this node hosts representatives. A
+// byzantine node abstains from elections for the honest blocks its
+// attacker contests — its weight backs only the preferred rival.
 func (n *NanoNet) startPlainElection(node *nanoNode, b *lattice.Block, h hashx.Hash) {
 	if node.tracker.HasElection(h) {
 		return
@@ -448,24 +565,63 @@ func (n *NanoNet) startPlainElection(node *nanoNode, b *lattice.Block, h hashx.H
 	if err := node.tracker.StartElection(h, h); err != nil {
 		return
 	}
-	n.castVotes(node, h, h, 1)
+	if !node.byzantine || !n.advContested[h] {
+		n.castVotes(node, h, h, 1)
+	}
 	n.replayPendingVotes(node, h)
 }
 
-// startForkElection opens (or extends) the contested-predecessor election.
+// forkRootOf derives the fork election's root from the contested
+// predecessor. It must differ from the predecessor's own hash: the
+// predecessor already carries its plain confirmation election (usually
+// decided long before the fork appears), and rooting the contested
+// election there would collide with it.
+func forkRootOf(prev hashx.Hash) hashx.Hash {
+	buf := make([]byte, 0, len("fork/")+hashx.Size)
+	buf = append(buf, "fork/"...)
+	buf = append(buf, prev[:]...)
+	return hashx.Sum(buf)
+}
+
+// startForkElection opens (or extends) the contested-predecessor election
+// under its derived fork root. Votes representatives already cast for the
+// candidates in their plain elections are adopted into the contested
+// election — the vote dedup would otherwise discard their re-broadcasts
+// and starve the election.
 func (n *NanoNet) startForkElection(node *nanoNode, b *lattice.Block, rivals []hashx.Hash) {
-	root := b.Prev
+	root := forkRootOf(b.Prev)
 	if err := node.tracker.StartElection(root, rivals...); err != nil {
 		return
 	}
+	node.forkPrev[root] = b.Prev
 	for _, c := range rivals {
 		node.rootOf[c] = root
+		if node.tracker.HasElection(c) {
+			if out, err := node.tracker.AdoptVotes(root, c, c); err == nil && out.Confirmed {
+				n.onConfirmed(node, root, out.Winner)
+				return
+			}
+		}
 		n.replayPendingVotes(node, c)
 	}
-	// Vote for the incumbent this node's lattice attached (first seen).
+	// Vote for the incumbent this node's lattice attached (first seen) —
+	// unless the node is byzantine and the attacker's preferred rival is
+	// on the ballot, in which case its weight contests the election.
 	if _, voted := node.myVote[root]; !voted && len(node.repAccounts) > 0 {
-		if cands, ok := node.lat.ForkCandidates(root); ok && len(cands) > 0 {
-			n.castVotes(node, root, cands[0], 1)
+		if cands, ok := node.lat.ForkCandidates(b.Prev); ok && len(cands) > 0 {
+			choice := cands[0]
+			if node.byzantine {
+				for _, c := range cands {
+					if n.advPreferred[c] {
+						choice = c
+						break
+					}
+				}
+			}
+			// Seq 2 outruns the seq-1 plain votes: the re-vote's identity
+			// is fresh, so peers that deduped the plain broadcast still
+			// tally it in their contested elections.
+			n.castVotes(node, root, choice, 2)
 		}
 	}
 }
@@ -549,7 +705,8 @@ func (n *NanoNet) applyVote(node *nanoNode, v *orv.Vote) bool {
 		return true
 	}
 	// Vote switching: follow the leader once it out-tallies our choice.
-	if len(node.repAccounts) == 0 || node.switches[root] >= 3 {
+	// Byzantine representatives never budge — their vote IS the attack.
+	if node.byzantine || len(node.repAccounts) == 0 || node.switches[root] >= 3 {
 		return true
 	}
 	mine, voted := node.myVote[root]
@@ -641,10 +798,14 @@ func (n *NanoNet) replayPendingVotes(node *nanoNode, candidate hashx.Hash) {
 // onConfirmed handles a quorum: cement the winner, resolve forks, record
 // observer-side latency.
 func (n *NanoNet) onConfirmed(node *nanoNode, root, winner hashx.Hash) {
-	if root != winner && !node.resolvedForks[root] {
+	if prev, isFork := node.forkPrev[root]; isFork && !node.resolvedForks[root] {
 		node.resolvedForks[root] = true
-		if err := node.lat.ResolveFork(root, winner); err == nil && node == n.nodes[0] {
+		if err := node.lat.ResolveFork(prev, winner); err == nil && node == n.nodes[0] {
 			n.metrics.ForksResolved++
+			if t0, seen := n.forkSeenAt[prev]; seen {
+				n.metrics.ForkResolveLatency.AddDuration(n.sim.Now() - t0)
+				delete(n.forkSeenAt, prev)
+			}
 		}
 	}
 	_ = node.tracker.Cement(winner)
@@ -730,30 +891,14 @@ func (n *NanoNet) SubmitTransfer(p workload.TimedPayment) {
 // InjectDoubleSpend makes the attacker issue two conflicting sends from
 // the same predecessor: the honest one at its owner node, the rival
 // directly at the farthest node — §IV-B's "forks in Nano are only
-// possible as a result of a malicious attack".
+// possible as a result of a malicious attack". It is the legacy form of
+// InjectContestedDoubleSpend (adversary.go), which also reports the
+// outcome and lets byzantine nodes contest the election.
 func (n *NanoNet) InjectDoubleSpend(attacker, victimA, victimB int, amount uint64, at time.Duration) {
-	n.sim.At(at, func() {
-		owner := n.nodes[n.ownerOf(attacker)]
-		head, ok := owner.lat.HeadBlock(n.ring.Addr(attacker))
-		if !ok || head.Balance < amount {
-			return
-		}
-		prev := head.Hash()
-		honest, err := owner.lat.NewSend(n.ring.Pair(attacker), n.ring.Addr(victimA), amount)
-		if err != nil {
-			return
-		}
-		rival, err := lattice.NewForkSend(
-			n.ring.Pair(attacker), prev, head.Balance,
-			n.ring.Addr(victimB), amount, head.Representative, n.cfg.WorkBits)
-		if err != nil {
-			return
-		}
-		n.publish(owner, honest)
-		// The rival enters at the far side of the network.
-		far := n.nodes[len(n.nodes)-1]
-		n.created[rival.Hash()] = n.sim.Now()
-		n.net.Send(owner.id, far.id, rival, rival.EncodedSize())
+	n.InjectContestedDoubleSpend(DoubleSpendPlan{
+		Attacker: attacker, VictimA: victimA, VictimB: victimB,
+		Amount: amount, At: at,
+		Entry: len(n.nodes) - 1, // historical entry point: the far side
 	})
 }
 

@@ -15,10 +15,12 @@
 package orv
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/hashx"
 	"repro/internal/keys"
@@ -261,6 +263,60 @@ func (t *Tracker) HasElection(root hashx.Hash) bool {
 	return ok
 }
 
+// AdoptVotes copies the votes recorded for candidate in the election
+// rooted at fromRoot into the (live) election rooted at toRoot. A fork
+// election opened after representatives already voted in the candidates'
+// plain single-candidate elections inherits that knowledge instead of
+// waiting for re-broadcasts the vote dedup would discard. Votes are
+// adopted in deterministic representative order and obey the same
+// sequence rules as ProcessVote; the returned outcome reflects the target
+// election afterward (it may have been decided by the adoption).
+func (t *Tracker) AdoptVotes(toRoot, fromRoot, candidate hashx.Hash) (Outcome, error) {
+	from, ok := t.elections[fromRoot]
+	if !ok {
+		return Outcome{}, ErrUnknownRoot
+	}
+	to, ok := t.elections[toRoot]
+	if !ok {
+		return Outcome{}, ErrUnknownRoot
+	}
+	if !to.candidates[candidate] {
+		return t.outcomeOf(to), fmt.Errorf("%w: %s", ErrNotCandidate, candidate)
+	}
+	reps := make([]keys.Address, 0, len(from.votes))
+	for rep, rv := range from.votes {
+		if rv.block == candidate {
+			reps = append(reps, rep)
+		}
+	}
+	sort.Slice(reps, func(i, j int) bool { return bytes.Compare(reps[i][:], reps[j][:]) < 0 })
+	for _, rep := range reps {
+		if to.decided {
+			break
+		}
+		rv := from.votes[rep]
+		weight := t.weights.WeightOf(rep)
+		if weight == 0 {
+			continue
+		}
+		if prior, voted := to.votes[rep]; voted {
+			if rv.seq <= prior.seq {
+				continue
+			}
+			to.tallies[prior.block] -= weight
+		}
+		to.votes[rep] = repVote{block: candidate, seq: rv.seq}
+		to.tallies[candidate] += weight
+		if to.tallies[candidate] > t.QuorumWeight() {
+			to.decided = true
+			to.winner = candidate
+			t.confirmed[candidate] = true
+			t.rootOf[candidate] = toRoot
+		}
+	}
+	return t.outcomeOf(to), nil
+}
+
 // ProcessVote verifies and tallies a vote in the election for root.
 // A representative may switch candidates by voting with a higher Seq; the
 // weight moves with it. The outcome reflects the election state after the
@@ -301,6 +357,22 @@ func (t *Tracker) ProcessVote(root hashx.Hash, v *Vote) (Outcome, error) {
 	return t.outcomeOf(e), nil
 }
 
+// leaderOf scans an election's tallies for the heaviest candidate. Ties
+// break on the smaller hash: the map's iteration order must never leak
+// into results (runs are reproducible bit for bit from a seed).
+func leaderOf(e *Election) (hashx.Hash, uint64) {
+	var lead hashx.Hash
+	var best uint64
+	for c, tally := range e.tallies {
+		c := c
+		if tally > best || (tally == best && tally > 0 && bytes.Compare(c[:], lead[:]) < 0) {
+			best = tally
+			lead = c
+		}
+	}
+	return lead, best
+}
+
 // outcomeOf summarizes an election.
 func (t *Tracker) outcomeOf(e *Election) Outcome {
 	o := Outcome{Quorum: t.QuorumWeight()}
@@ -310,32 +382,21 @@ func (t *Tracker) outcomeOf(e *Election) Outcome {
 		o.Tally = e.tallies[e.winner]
 		return o
 	}
-	for c, tally := range e.tallies {
-		if tally > o.Tally {
-			o.Tally = tally
-			o.Winner = c
-		}
-	}
+	_, o.Tally = leaderOf(e)
 	o.Winner = hashx.Zero // no winner until confirmed
 	return o
 }
 
 // Leader returns the current leading candidate and tally for a live
 // election (useful for §III-B's "most votes with regards to the voters
-// weight" conflict view).
+// weight" conflict view). Equal tallies resolve to the smaller hash, so
+// the answer is deterministic.
 func (t *Tracker) Leader(root hashx.Hash) (hashx.Hash, uint64, error) {
 	e, ok := t.elections[root]
 	if !ok {
 		return hashx.Zero, 0, ErrUnknownRoot
 	}
-	var lead hashx.Hash
-	var best uint64
-	for c, tally := range e.tallies {
-		if tally > best {
-			best = tally
-			lead = c
-		}
-	}
+	lead, best := leaderOf(e)
 	return lead, best, nil
 }
 

@@ -1,0 +1,180 @@
+package sim
+
+// Regression tests for the fault-injection hooks: partition replacement
+// semantics, churn detach/attach, and the runtime loss hook.
+
+import (
+	"testing"
+	"time"
+)
+
+func twoNodeNet(seed int64) (*Simulator, *Network, NodeID, NodeID, *int) {
+	s := New(seed)
+	n := NewNetwork(s, UniformLinks{MinLatency: time.Millisecond, MaxLatency: time.Millisecond})
+	delivered := 0
+	a := n.AddNode(func(NodeID, any, int) {})
+	b := n.AddNode(func(NodeID, any, int) { delivered++ })
+	return s, n, a, b, &delivered
+}
+
+// A second Partition call must REPLACE the first grouping, not merge with
+// it: nodes omitted from the new map return to group 0.
+func TestPartitionReplacesPreviousGroups(t *testing.T) {
+	s := New(5)
+	n := NewNetwork(s, UniformLinks{MinLatency: time.Millisecond, MaxLatency: time.Millisecond})
+	got := make([]int, 3)
+	var ids []NodeID
+	for i := 0; i < 3; i++ {
+		i := i
+		ids = append(ids, n.AddNode(func(NodeID, any, int) { got[i]++ }))
+	}
+	a, b, c := ids[0], ids[1], ids[2]
+
+	// First split isolates c.
+	n.Partition(map[NodeID]int{c: 1})
+	n.Send(a, c, "x", 1)
+	s.Run(0)
+	if got[2] != 0 {
+		t.Fatal("first partition did not isolate c")
+	}
+
+	// Second split isolates b only. Under merge semantics c would still be
+	// stranded in group 1; replace semantics must reconnect a<->c.
+	n.Partition(map[NodeID]int{b: 1})
+	n.Send(a, c, "x", 1)
+	n.Send(a, b, "x", 1)
+	s.Run(0)
+	if got[2] != 1 {
+		t.Fatal("second Partition call merged with the first instead of replacing it")
+	}
+	if got[1] != 0 {
+		t.Fatal("second partition did not isolate b")
+	}
+}
+
+// Stats().Partitioned must stay consistent across Partition/Heal cycles:
+// it accumulates exactly one count per cross-group send and never counts
+// sends made while the network is healed.
+func TestPartitionedCounterAcrossCycles(t *testing.T) {
+	s, n, a, b, delivered := twoNodeNet(7)
+
+	for cycle := 0; cycle < 3; cycle++ {
+		n.Partition(map[NodeID]int{b: 1})
+		n.Send(a, b, "blocked", 1)
+		s.Run(0)
+		n.Heal()
+		n.Send(a, b, "open", 1)
+		s.Run(0)
+		if got, want := n.Stats().Partitioned, cycle+1; got != want {
+			t.Fatalf("cycle %d: Partitioned = %d, want %d", cycle, got, want)
+		}
+	}
+	if *delivered != 3 {
+		t.Fatalf("delivered %d healed messages, want 3", *delivered)
+	}
+	// Re-partitioning with the same map again must keep counting.
+	n.Partition(map[NodeID]int{b: 1})
+	n.Send(a, b, "blocked", 1)
+	s.Run(0)
+	if got := n.Stats().Partitioned; got != 4 {
+		t.Fatalf("Partitioned after re-partition = %d, want 4", got)
+	}
+}
+
+// Detached nodes neither receive nor send; attaching restores both
+// directions and the drops are tallied separately from partitions.
+func TestDetachAttachChurn(t *testing.T) {
+	s, n, a, b, delivered := twoNodeNet(11)
+
+	n.Detach(b)
+	if !n.IsDetached(b) {
+		t.Fatal("IsDetached(b) = false after Detach")
+	}
+	n.Send(a, b, "to-detached", 1)
+	n.Send(b, a, "from-detached", 1)
+	s.Run(0)
+	if *delivered != 0 {
+		t.Fatal("detached node exchanged messages")
+	}
+	if got := n.Stats().ChurnDropped; got != 2 {
+		t.Fatalf("ChurnDropped = %d, want 2", got)
+	}
+	if got := n.Stats().Partitioned; got != 0 {
+		t.Fatalf("churn drops leaked into Partitioned: %d", got)
+	}
+
+	n.Attach(b)
+	if n.IsDetached(b) {
+		t.Fatal("IsDetached(b) = true after Attach")
+	}
+	n.Send(a, b, "rejoined", 1)
+	s.Run(0)
+	if *delivered != 1 {
+		t.Fatal("message not delivered after Attach")
+	}
+}
+
+// The runtime loss hook drops the configured fraction and can be turned
+// off mid-run; rate 0 must not consume randomness (determinism of the
+// unfaulted pipeline).
+func TestLossRateHook(t *testing.T) {
+	s, n, a, b, delivered := twoNodeNet(13)
+
+	n.SetLossRate(1.0)
+	for i := 0; i < 5; i++ {
+		n.Send(a, b, i, 1)
+	}
+	s.Run(0)
+	if *delivered != 0 {
+		t.Fatalf("lossRate=1 delivered %d messages", *delivered)
+	}
+	if got := n.Stats().LossDropped; got != 5 {
+		t.Fatalf("LossDropped = %d, want 5", got)
+	}
+
+	n.SetLossRate(0)
+	for i := 0; i < 5; i++ {
+		n.Send(a, b, i, 1)
+	}
+	s.Run(0)
+	if *delivered != 5 {
+		t.Fatalf("lossRate=0 delivered %d/5", *delivered)
+	}
+
+	// Invalid rates (negative, NaN) disable the hook instead of biasing it.
+	n.SetLossRate(-0.5)
+	n.Send(a, b, "x", 1)
+	s.Run(0)
+	if *delivered != 6 {
+		t.Fatal("negative loss rate dropped a message")
+	}
+}
+
+// Two identical networks, one with the hook explicitly disabled: the rng
+// streams must stay aligned, so deliveries land at identical times.
+func TestLossRateZeroPreservesDeterminism(t *testing.T) {
+	run := func(setHook bool) []time.Duration {
+		s := New(99)
+		n := NewNetwork(s, UniformLinks{MinLatency: time.Millisecond, MaxLatency: 50 * time.Millisecond})
+		var times []time.Duration
+		a := n.AddNode(func(NodeID, any, int) {})
+		b := n.AddNode(func(NodeID, any, int) { times = append(times, s.Now()) })
+		if setHook {
+			n.SetLossRate(0)
+		}
+		for i := 0; i < 10; i++ {
+			n.Send(a, b, i, 1)
+		}
+		s.Run(0)
+		return times
+	}
+	base, hooked := run(false), run(true)
+	if len(base) != len(hooked) {
+		t.Fatalf("delivery counts diverged: %d vs %d", len(base), len(hooked))
+	}
+	for i := range base {
+		if base[i] != hooked[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, base[i], hooked[i])
+		}
+	}
+}

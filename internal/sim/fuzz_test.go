@@ -1,0 +1,51 @@
+package sim
+
+// Native fuzz targets for the link models: no parameterization — negative
+// or inverted latency bounds, NaN/Inf bandwidth, out-of-range drop rates,
+// absurd jitter — may ever produce a negative propagation delay. A
+// negative delay would schedule delivery before the send and corrupt the
+// virtual clock's causality.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func FuzzLinkModelDelay(f *testing.F) {
+	f.Add(int64(20_000_000), int64(200_000_000), 1e6, 0.1, 1024, int64(5_000_000), int64(80_000_000), 0.2, int64(1))
+	f.Add(int64(-50), int64(-1), 0.0, 0.0, 0, int64(-7), int64(-9), -3.5, int64(2))
+	f.Add(int64(300), int64(100), math.NaN(), math.Inf(1), -10, int64(0), int64(0), math.NaN(), int64(3))
+	f.Add(int64(math.MinInt64), int64(math.MaxInt64), math.Inf(-1), 2.0, math.MaxInt32, int64(math.MaxInt64), int64(math.MinInt64), 1e9, int64(4))
+
+	f.Fuzz(func(t *testing.T, minNs, maxNs int64, bps, drop float64, size int,
+		intraNs, interNs int64, jitter float64, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+
+		u := UniformLinks{
+			MinLatency:  time.Duration(minNs),
+			MaxLatency:  time.Duration(maxNs),
+			BytesPerSec: bps,
+			DropRate:    drop,
+		}
+		for i := 0; i < 8; i++ {
+			if d, ok := u.Delay(rng, 0, 1, size); ok && d < 0 {
+				t.Fatalf("UniformLinks%+v size=%d produced negative delay %v", u, size, d)
+			}
+		}
+
+		r := RegionLinks{
+			Region:      []int{0, 1, 0},
+			Intra:       time.Duration(intraNs),
+			Inter:       time.Duration(interNs),
+			JitterFrac:  jitter,
+			BytesPerSec: bps,
+		}
+		for _, pair := range [][2]NodeID{{0, 1}, {0, 2}, {2, 5}} {
+			if d, ok := r.Delay(rng, pair[0], pair[1], size); ok && d < 0 {
+				t.Fatalf("RegionLinks%+v %v produced negative delay %v", r, pair, d)
+			}
+		}
+	})
+}

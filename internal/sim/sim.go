@@ -184,7 +184,13 @@ func Uniform(rng *rand.Rand, lo, hi time.Duration) time.Duration {
 	if hi == lo {
 		return lo
 	}
-	return lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
+	span := int64(hi-lo) + 1
+	if span <= 0 {
+		// [lo, hi] spans more than half the int64 range: Int63n would
+		// panic on the overflowed span. Sample the full range via Int63.
+		return lo + time.Duration(rng.Int63())
+	}
+	return lo + time.Duration(rng.Int63n(span))
 }
 
 // NodeID indexes a node within a Network.
@@ -212,7 +218,9 @@ type UniformLinks struct {
 }
 
 // Delay implements LinkModel. Misconfigured bounds (MinLatency above
-// MaxLatency) are normalized by Uniform to the intended [min, max] range.
+// MaxLatency) are normalized by Uniform to the intended [min, max] range,
+// and the result is clamped so no configuration — negative latencies,
+// NaN bandwidth — can ever deliver a message into the past.
 func (u UniformLinks) Delay(rng *rand.Rand, _, _ NodeID, size int) (time.Duration, bool) {
 	if u.DropRate > 0 && rng.Float64() < u.DropRate {
 		return 0, false
@@ -221,7 +229,17 @@ func (u UniformLinks) Delay(rng *rand.Rand, _, _ NodeID, size int) (time.Duratio
 	if u.BytesPerSec > 0 {
 		d += time.Duration(float64(size) / u.BytesPerSec * float64(time.Second))
 	}
-	return d, true
+	return clampDelay(d), true
+}
+
+// clampDelay floors a computed link delay at zero. Pathological link
+// parameters (negative bounds, NaN arithmetic cast to a negative int64)
+// must never schedule delivery before the send.
+func clampDelay(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // RegionLinks models a geo-distributed network: each node belongs to a
@@ -251,7 +269,7 @@ func (r RegionLinks) Delay(rng *rand.Rand, from, to NodeID, size int) (time.Dura
 	if r.BytesPerSec > 0 {
 		d += time.Duration(float64(size) / r.BytesPerSec * float64(time.Second))
 	}
-	return d, true
+	return clampDelay(d), true
 }
 
 // NetStats counts network traffic.
@@ -260,6 +278,12 @@ type NetStats struct {
 	BytesSent    int64
 	Dropped      int
 	Partitioned  int
+	// ChurnDropped counts messages lost because an endpoint was detached
+	// (churn: the node had left the network).
+	ChurnDropped int
+	// LossDropped counts messages lost to the runtime loss hook
+	// (SetLossRate), on top of the link model's own drops.
+	LossDropped int
 }
 
 // Network connects handlers through a link model on a simulator. Optional
@@ -270,7 +294,9 @@ type Network struct {
 	sim       *Simulator
 	handlers  []Handler
 	links     LinkModel
-	group     []int // partition group per node; same group = connected
+	group     []int  // partition group per node; same group = connected
+	detached  []bool // churn: detached nodes neither send nor receive
+	lossRate  float64
 	peers     [][]NodeID
 	procCost  func(to NodeID, payload any, size int) time.Duration
 	busyUntil []time.Duration
@@ -290,6 +316,7 @@ func (n *Network) Sim() *Simulator { return n.sim }
 func (n *Network) AddNode(h Handler) NodeID {
 	n.handlers = append(n.handlers, h)
 	n.group = append(n.group, 0)
+	n.detached = append(n.detached, false)
 	n.busyUntil = append(n.busyUntil, 0)
 	return NodeID(len(n.handlers) - 1)
 }
@@ -324,8 +351,14 @@ func (n *Network) Occupy(id NodeID, d time.Duration) {
 }
 
 // Partition assigns nodes to connectivity groups; messages across groups
-// are dropped until Heal is called. Nodes default to group 0.
+// are dropped (counted in Stats().Partitioned) until Heal is called.
+// Each call REPLACES the previous partition: nodes absent from groups
+// return to group 0, so successive calls describe independent splits
+// rather than accumulating group assignments.
 func (n *Network) Partition(groups map[NodeID]int) {
+	for i := range n.group {
+		n.group[i] = 0
+	}
 	for id, g := range groups {
 		if int(id) < len(n.group) {
 			n.group[id] = g
@@ -338,6 +371,41 @@ func (n *Network) Heal() {
 	for i := range n.group {
 		n.group[i] = 0
 	}
+}
+
+// Detach removes a node from the network (churn: the node left). Messages
+// to or from a detached node are dropped and counted in ChurnDropped; the
+// node's local state is untouched, so it resumes from its stale view when
+// re-attached.
+func (n *Network) Detach(id NodeID) {
+	if int(id) < len(n.detached) {
+		n.detached[id] = true
+	}
+}
+
+// Attach reconnects a detached node (churn: the node rejoined). The node
+// has missed everything sent while it was away — callers model real-world
+// rejoin by replaying a catch-up from a live peer.
+func (n *Network) Attach(id NodeID) {
+	if int(id) < len(n.detached) {
+		n.detached[id] = false
+	}
+}
+
+// IsDetached reports whether a node is currently detached.
+func (n *Network) IsDetached(id NodeID) bool {
+	return int(id) < len(n.detached) && n.detached[id]
+}
+
+// SetLossRate installs a runtime loss hook: every message is additionally
+// dropped with probability p (counted in LossDropped), on top of whatever
+// the link model already loses. p <= 0 disables the hook; fault drivers
+// flip it mid-run to model lossy periods.
+func (n *Network) SetLossRate(p float64) {
+	if p < 0 || p != p {
+		p = 0
+	}
+	n.lossRate = p
 }
 
 // SetPeers installs a gossip topology; SendToPeers fans out along it.
@@ -361,8 +429,16 @@ func (n *Network) Send(from, to NodeID, payload any, size int) {
 	if int(to) >= len(n.handlers) || n.handlers[to] == nil {
 		return
 	}
+	if n.detached[from] || n.detached[to] {
+		n.stats.ChurnDropped++
+		return
+	}
 	if n.group[from] != n.group[to] {
 		n.stats.Partitioned++
+		return
+	}
+	if n.lossRate > 0 && n.sim.rng.Float64() < n.lossRate {
+		n.stats.LossDropped++
 		return
 	}
 	delay, ok := n.links.Delay(n.sim.rng, from, to, size)
