@@ -31,10 +31,12 @@ cover:
 
 # One pass over every benchmark; bench_output.txt is the perf source of
 # truth uploaded by CI. Redirect-then-cat (not tee) so a bench failure
-# fails the target under plain /bin/sh.
+# fails the target under plain /bin/sh. bench_output.json is the
+# machine-readable sweep CI uploads alongside it.
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' ./... > bench_output.txt || (cat bench_output.txt; exit 1)
 	@cat bench_output.txt
+	$(GO) run ./cmd/dltbench -scale 0.05 -format json > bench_output.json
 
 lint:
 	$(GO) vet ./...

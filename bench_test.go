@@ -220,8 +220,8 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if got := len(report.Runs); got != 15 {
-					b.Fatalf("sweep ran %d/15 experiments", got)
+				if got := len(report.Runs); got != 17 {
+					b.Fatalf("sweep ran %d/17 experiments", got)
 				}
 			}
 		})

@@ -11,21 +11,27 @@
 //	dltbench -workers 1          # serial sweep (same tables, slower)
 //	dltbench -experiment E9      # one experiment
 //	dltbench -scale 0.25 -seed 7 # smaller/faster, different randomness
+//	dltbench -format json        # machine-readable tables (also: csv)
 //	dltbench -nano-batch 32      # add batched Nano sweep rows to E9/E12
 //	dltbench -experiment E14 -fault-partition-frac 0.25   # milder split
 //	dltbench -experiment E15 -double-spend-trials 10      # tighter rates
+//	dltbench -experiment E16 -eclipse-frac 0.4            # extra sweep point
+//	dltbench -experiment E17 -selfish-alpha 0.3           # extra sweep point
 //	dltbench -list               # show the registry
 //	dltbench -timing             # append the wall-clock/speedup table
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -34,10 +40,11 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (E1…E15) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (E1…E17) or 'all'")
 		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
 		scale      = flag.Float64("scale", 1.0, "duration/workload scale factor")
 		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU core)")
+		format     = flag.String("format", "text", "table output format: text, csv or json")
 		nanoBatch  = flag.Int("nano-batch", 0,
 			"add batched Nano sweep rows to E9/E12 with this gossip ingest batch size (<= 1 = serial tables only)")
 		nanoWindow = flag.Duration("nano-batch-window", 0,
@@ -48,11 +55,21 @@ func run() int {
 			"nodes that leave and rejoin in E14's churn scenarios (0 = default 2)")
 		dsTrials = flag.Int("double-spend-trials", 0,
 			"contested double-spend trials per E15 attacker-weight sweep point (0 = default 3)")
-		timing  = flag.Bool("timing", false, "print the sweep wall-clock/speedup table")
+		eclipseFrac = flag.Float64("eclipse-frac", 0,
+			"extra captured-peer fraction added to E16's eclipse sweep (0 = default sweep only)")
+		selfishAlpha = flag.Float64("selfish-alpha", 0,
+			"extra adversary hash share added to E17's selfish-mining sweep (0 = default sweep only)")
+		withholdWeight = flag.Float64("withhold-weight", 0,
+			"extra withheld-weight fraction added to E17's vote-withholding sweep (0 = default sweep only)")
+		timing  = flag.Bool("timing", false, "print the sweep wall-clock/speedup table (text format only)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		summary = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
 	)
 	flag.Parse()
+	if *format != "text" && *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown -format %q (want text, csv or json)\n", *format)
+		return 1
+	}
 
 	if *list {
 		for _, e := range core.Experiments() {
@@ -76,6 +93,9 @@ func run() int {
 		NanoBatch: *nanoBatch, NanoBatchWindow: *nanoWindow,
 		FaultPartitionFrac: *partitionFrac, FaultChurnNodes: *churnNodes,
 		DoubleSpendTrials: *dsTrials,
+		EclipseFrac:       *eclipseFrac,
+		SelfishAlpha:      *selfishAlpha,
+		WithholdWeight:    *withholdWeight,
 	}
 	selected := core.Experiments()
 	if *experiment != "all" {
@@ -94,26 +114,82 @@ func run() int {
 	defer stop()
 
 	report, runErr := core.RunSelected(ctx, cfg, *workers, selected)
-	for _, r := range report.Runs {
-		fmt.Printf("=== %s [§%s] %s\n", r.Experiment.ID, r.Experiment.Section, r.Experiment.Title)
-		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Experiment.ID, r.Err)
-			continue
-		}
-		if err := r.Table.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		fmt.Println()
-	}
-	if *timing {
-		if err := report.Table().Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
+	if err := renderReport(os.Stdout, report, *format, *timing); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
 	if runErr != nil {
 		return 1
 	}
 	return 0
+}
+
+// experimentDoc is one experiment's machine-readable result: identity,
+// outcome, and the full table document (headers, rows, notes).
+type experimentDoc struct {
+	ID      string            `json:"id"`
+	Section string            `json:"section"`
+	Title   string            `json:"title"`
+	Error   string            `json:"error,omitempty"`
+	Table   *metrics.TableDoc `json:"table,omitempty"`
+}
+
+// renderReport writes the sweep's tables in the selected format. Text is
+// the human-readable default; csv and json carry every cell of every
+// table, so bench trajectories are diffable and machine-readable.
+func renderReport(w io.Writer, report *core.Report, format string, timing bool) error {
+	switch format {
+	case "json":
+		docs := make([]experimentDoc, 0, len(report.Runs))
+		for _, r := range report.Runs {
+			doc := experimentDoc{ID: r.Experiment.ID, Section: r.Experiment.Section, Title: r.Experiment.Title}
+			if r.Err != nil {
+				doc.Error = r.Err.Error()
+			} else {
+				td := r.Table.Doc()
+				doc.Table = &td
+			}
+			docs = append(docs, doc)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(docs)
+	case "csv":
+		for _, r := range report.Runs {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Experiment.ID, r.Err)
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "# %s [§%s] %s\n", r.Experiment.ID, r.Experiment.Section, r.Experiment.Title); err != nil {
+				return err
+			}
+			if err := r.Table.RenderCSV(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		for _, r := range report.Runs {
+			if _, err := fmt.Fprintf(w, "=== %s [§%s] %s\n", r.Experiment.ID, r.Experiment.Section, r.Experiment.Title); err != nil {
+				return err
+			}
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Experiment.ID, r.Err)
+				continue
+			}
+			if err := r.Table.Render(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if timing {
+			return report.Table().Render(w)
+		}
+		return nil
+	}
 }

@@ -79,6 +79,24 @@ type (
 	// ChainMetrics and NanoMetrics are run results.
 	ChainMetrics = netsim.ChainMetrics
 	NanoMetrics  = netsim.NanoMetrics
+	// Behavior is the per-node strategy seam of the shared node runtime:
+	// interception points for peer filtering, inbound/outbound traffic,
+	// block production and consensus votes. HonestBehavior is the
+	// pass-through default custom behaviors embed.
+	Behavior       = netsim.Behavior
+	HonestBehavior = netsim.HonestBehavior
+	// NodeRuntime is the shared per-node lifecycle layer (reachable via
+	// each network's Runtime method); BehaviorStats counts what installed
+	// behaviors suppressed.
+	NodeRuntime   = netsim.NodeRuntime
+	BehaviorStats = netsim.BehaviorStats
+	// EclipseBehavior, SelfishMiningBehavior and VoteWithholdBehavior are
+	// the scripted adversaries behind E16/E17; EclipseReport summarizes a
+	// victim's divergence after an eclipse run.
+	EclipseBehavior       = netsim.EclipseBehavior
+	SelfishMiningBehavior = netsim.SelfishMiningBehavior
+	VoteWithholdBehavior  = netsim.VoteWithholdBehavior
+	EclipseReport         = netsim.EclipseReport
 )
 
 // Consensus selects PoW or PoS for Ethereum-like networks.
@@ -116,7 +134,7 @@ func RunAllContext(ctx context.Context, cfg Config, workers int) (*Report, error
 	return core.RunAllContext(ctx, cfg, workers)
 }
 
-// Experiments returns the full registry (E1…E15) in paper order.
+// Experiments returns the full registry (E1…E17) in paper order.
 func Experiments() []Experiment { return core.Experiments() }
 
 // ExperimentByID looks up one experiment.

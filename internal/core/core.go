@@ -74,6 +74,18 @@ type Config struct {
 	// double-spend networks E15 runs per attacker-weight sweep point
 	// (default 3). Each trial uses its own derived seed.
 	DoubleSpendTrials int
+	// EclipseFrac adds one extra captured-peer fraction to E16's sweep
+	// (inserted in sorted position, deduplicated). Zero — or a value
+	// outside (0, 1] — keeps the default {0, 25%, 50%, 75%, 100%} sweep.
+	EclipseFrac float64
+	// SelfishAlpha adds one extra adversary hash-share point to E17's
+	// selfish-mining sweep. Zero — or a value outside (0, 1) — keeps the
+	// default {0, 15%, 25%, 35%, 45%} sweep.
+	SelfishAlpha float64
+	// WithholdWeight adds one extra withheld-weight fraction to E17's
+	// vote-withholding sweep. Zero — or a value outside (0, 1] — keeps
+	// the default {0, 25%, 55%} sweep.
+	WithholdWeight float64
 }
 
 // withDefaults fills zero values.
@@ -92,6 +104,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DoubleSpendTrials <= 0 {
 		c.DoubleSpendTrials = 3
+	}
+	if c.EclipseFrac <= 0 || c.EclipseFrac > 1 {
+		c.EclipseFrac = 0
+	}
+	if c.SelfishAlpha <= 0 || c.SelfishAlpha >= 1 {
+		c.SelfishAlpha = 0
+	}
+	if c.WithholdWeight <= 0 || c.WithholdWeight > 1 {
+		c.WithholdWeight = 0
 	}
 	return c
 }
@@ -112,7 +133,7 @@ func (c Config) count(base int) int {
 
 // Experiment reproduces one figure or quantitative claim of the paper.
 type Experiment struct {
-	// ID is the experiment key (E1…E15).
+	// ID is the experiment key (E1…E17).
 	ID string
 	// Title names the reproduced artifact.
 	Title string
@@ -142,6 +163,8 @@ func Experiments() []Experiment {
 		{ID: "E13", Title: "consensus properties: PoW, PoS, ORV", Section: "III", Run: RunE13Consensus},
 		{ID: "E14", Title: "partition & churn resilience: reorg depth vs re-election", Section: "IV", Run: RunE14Resilience},
 		{ID: "E15", Title: "double-spend success vs attacker weight/hashrate", Section: "IV", Run: RunE15DoubleSpend},
+		{ID: "E16", Title: "eclipse attack: victim lag & double-spend exposure vs captured peers", Section: "IV", Run: RunE16Eclipse},
+		{ID: "E17", Title: "selfish mining & vote withholding vs adversary power", Section: "III/IV", Run: RunE17Strategy},
 	}
 }
 

@@ -1,0 +1,143 @@
+package core
+
+// Tests for the behavior-driven experiments: E16/E17 must be
+// deterministic for any worker count (the acceptance invariant of the
+// node-runtime refactor), their zero-power rows must be honest
+// baselines, and the strategy sweeps must show their signature shapes.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// E16 and E17 must render byte-identically for any worker count: every
+// sweep point owns derived seeds, so the fan-out schedule cannot leak
+// into the tables.
+func TestE16E17DeterministicAcrossWorkers(t *testing.T) {
+	for _, exp := range []struct {
+		id  string
+		run func(context.Context, Config) (*metrics.Table, error)
+	}{
+		{"E16", RunE16Eclipse},
+		{"E17", RunE17Strategy},
+	} {
+		exp := exp
+		t.Run(exp.id, func(t *testing.T) {
+			render := func(workers int) string {
+				tbl, err := exp.run(context.Background(), Config{Seed: 37, Scale: 0.05, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sb strings.Builder
+				if err := tbl.Render(&sb); err != nil {
+					t.Fatal(err)
+				}
+				return sb.String()
+			}
+			serial := render(1)
+			for _, workers := range []int{4, DefaultWorkers()} {
+				if got := render(workers); got != serial {
+					t.Fatalf("%s diverged at workers=%d:\n--- got ---\n%s\n--- want ---\n%s",
+						exp.id, workers, got, serial)
+				}
+			}
+		})
+	}
+}
+
+// The eclipse sweep's full-capture row must show the victim behind the
+// network on at least one side of the comparison, and the zero row must
+// report no dropped traffic (the honest pipeline).
+func TestE16EclipseShape(t *testing.T) {
+	tbl, err := RunE16Eclipse(context.Background(), Config{Seed: 41, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Rows()
+	if len(rows) != 10 {
+		t.Fatalf("E16 rows = %d, want 5 fractions x 2 systems", len(rows))
+	}
+	// Zero rows (first two): no link drops.
+	for _, row := range rows[:2] {
+		if row[0] != "0.00%" || row[8] != "0" {
+			t.Fatalf("E16 zero row not honest: %v", row)
+		}
+	}
+	// Full-capture rows (last two): traffic dropped, and at least one
+	// system shows a positive lag.
+	lagSeen := false
+	for _, row := range rows[8:] {
+		if row[0] != "100.00%" {
+			t.Fatalf("E16 row order broken: %v", row)
+		}
+		if row[8] == "0" {
+			t.Fatalf("full eclipse dropped no traffic: %v", row)
+		}
+		if row[4] != "0" && row[4] != "—" {
+			lagSeen = true
+		}
+	}
+	if !lagSeen {
+		t.Fatalf("full eclipse produced no victim lag:\n%v\n%v", rows[8], rows[9])
+	}
+}
+
+// The withholding sweep's majority row must confirm (far) less than the
+// honest baseline, and the selfish-mining zero row must attribute no
+// revenue to the silent adversary.
+func TestE17StrategyShape(t *testing.T) {
+	cfg := Config{Seed: 43, Scale: 0.2}
+	tbl, err := RunE17Strategy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Rows()
+	alphas, withholds := len(e17Alphas(cfg.withDefaults())), len(e17Withholds(cfg.withDefaults()))
+	if len(rows) != alphas+withholds {
+		t.Fatalf("E17 rows = %d, want %d", len(rows), alphas+withholds)
+	}
+	// Chain zero row: no power, no revenue, nothing withheld.
+	if rows[0][1] != "0.00%" || rows[0][2] != "0.00%" || rows[0][8] != "0" {
+		t.Fatalf("selfish zero row not honest: %v", rows[0])
+	}
+	// Lattice rows: baseline confirms, majority withholding stalls.
+	base, stalled := rows[alphas], rows[len(rows)-1]
+	if base[1] != "0.00%" || base[6] == "0" {
+		t.Fatalf("withholding baseline row broken: %v", base)
+	}
+	if stalled[6] != "0" {
+		t.Fatalf("majority withholding still confirmed: %v", stalled)
+	}
+	if stalled[8] == "0" {
+		t.Fatalf("majority withholding withheld no votes: %v", stalled)
+	}
+}
+
+// The flag-added sweep points insert in sorted position without
+// disturbing the defaults, and out-of-range knobs are ignored.
+func TestStrategySweepKnobs(t *testing.T) {
+	c := Config{EclipseFrac: 0.4, SelfishAlpha: 0.3, WithholdWeight: 0.8}.withDefaults()
+	if got := e16Fracs(c); len(got) != 6 || got[2] != 0.4 {
+		t.Fatalf("eclipse sweep = %v", got)
+	}
+	if got := e17Alphas(c); len(got) != 6 || got[3] != 0.3 {
+		t.Fatalf("alpha sweep = %v", got)
+	}
+	if got := e17Withholds(c); len(got) != 4 || got[3] != 0.8 {
+		t.Fatalf("withhold sweep = %v", got)
+	}
+	// Duplicates and out-of-range values change nothing.
+	c = Config{EclipseFrac: 0.5, SelfishAlpha: 1.5, WithholdWeight: -1}.withDefaults()
+	if got := e16Fracs(c); len(got) != 5 {
+		t.Fatalf("duplicate eclipse point added: %v", got)
+	}
+	if got := e17Alphas(c); len(got) != 5 {
+		t.Fatalf("out-of-range alpha accepted: %v", got)
+	}
+	if got := e17Withholds(c); len(got) != 3 {
+		t.Fatalf("out-of-range withhold accepted: %v", got)
+	}
+}

@@ -36,11 +36,11 @@ func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := renderAll(t, base)
-	// workers=4 stresses queueing, workers=15 (one per experiment) plus
+	// workers=4 stresses queueing, workers=17 (one per experiment) plus
 	// inner fan-out is the most adversarial schedule; NumCPU is whatever
 	// this host would default to. Tables must be byte-identical for all.
-	variants := []int{4, 15}
-	if n := DefaultWorkers(); n != 1 && n != 4 && n != 15 {
+	variants := []int{4, 17}
+	if n := DefaultWorkers(); n != 1 && n != 4 && n != 17 {
 		variants = append(variants, n)
 	}
 	for _, workers := range variants {

@@ -26,7 +26,7 @@ func Summary() *metrics.Table {
 		"confirmation (§IV)",
 		"probabilistic: wait 6 (BTC) / 5-11 (ETH) blocks against orphaning; FFG checkpoints for finality",
 		"vote quorum in network-latency time; cementing for finality",
-		"E4, E5, E6",
+		"E4, E5, E6, E14-E17",
 	)
 	t.AddRow(
 		"ledger size (§V)",

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
 // Histogram accumulates float64 samples and answers distribution queries.
@@ -140,8 +142,10 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, headers: headers}
 }
 
-// AddRow appends a row; cells beyond the header count are dropped, missing
-// cells render empty.
+// AddRow appends a row, normalizing its arity to the header count: cells
+// beyond the header count are dropped, missing cells are padded empty.
+// Rows therefore always align with the headers and Render can never index
+// out of range, whatever arity the caller passed.
 func (t *Table) AddRow(cells ...string) {
 	row := make([]string, len(t.headers))
 	for i := range row {
@@ -170,16 +174,27 @@ func (t *Table) Rows() [][]string {
 	return out
 }
 
-// Render writes the table to w.
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string { return append([]string(nil), t.headers...) }
+
+// Notes returns a copy of the footnote lines.
+func (t *Table) Notes() []string { return append([]string(nil), t.notes...) }
+
+// Render writes the table to w. Column widths are measured in runes, not
+// bytes: headers and cells carry multibyte characters (§, –, ≥), and
+// byte-length padding would misalign every column after them.
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if i >= len(widths) {
+				break
+			}
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -190,11 +205,14 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	writeRow := func(cells []string) {
 		for i, c := range cells {
+			if i >= len(widths) {
+				break
+			}
 			if i > 0 {
 				b.WriteString("  ")
 			}
 			b.WriteString(c)
-			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
 		}
 		b.WriteByte('\n')
 	}
@@ -244,6 +262,41 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// TableDoc is the machine-readable form of a Table — what RenderJSON
+// writes and what consumers unmarshal. Round-tripping a table through it
+// loses nothing: FromDoc rebuilds an identical table.
+type TableDoc struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// Doc returns the table's machine-readable form.
+func (t *Table) Doc() TableDoc {
+	return TableDoc{Title: t.Title, Headers: t.Headers(), Rows: t.Rows(), Notes: t.Notes()}
+}
+
+// FromDoc rebuilds a table from its machine-readable form. Row arity is
+// normalized through AddRow, exactly as if the rows were added live.
+func FromDoc(d TableDoc) *Table {
+	t := NewTable(d.Title, d.Headers...)
+	for _, row := range d.Rows {
+		t.AddRow(row...)
+	}
+	for _, n := range d.Notes {
+		t.AddNote("%s", n)
+	}
+	return t
+}
+
+// RenderJSON writes the table as a JSON object (title, headers, rows,
+// notes) so bench trajectories are machine-readable.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.Doc())
 }
 
 // F formats a float with 2 decimal places for table cells.

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -122,6 +124,91 @@ func TestTableRowPadding(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "4") {
 		t.Fatal("cell beyond header count should be dropped")
+	}
+}
+
+// Multibyte headers and cells (§, –, ≥) must align by rune count, not
+// byte length: a column whose widest cell is ASCII pads the multibyte
+// cells to the same visual width.
+func TestTableRenderMultibyteAlignment(t *testing.T) {
+	tb := NewTable("t", "§-section", "range")
+	tb.AddRow("§IV-B", "3–7")
+	tb.AddRow("plain", "wider-cell")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	header, row1, row2 := lines[1], lines[3], lines[4]
+	// The second column must start at the same rune offset on every line;
+	// byte-length padding would shift it left after a multibyte cell.
+	offset := func(line string) int {
+		runes := []rune(line)
+		for i := len(runes) - 1; i > 0; i-- {
+			if runes[i] != ' ' && runes[i-1] == ' ' {
+				return i
+			}
+		}
+		return -1
+	}
+	want := offset(header)
+	for i, line := range []string{row1, row2} {
+		if got := offset(line); got != want {
+			t.Fatalf("row %d second column at rune %d, header at %d:\n%s", i, got, want, sb.String())
+		}
+	}
+}
+
+// Rows longer than the header set — constructible only by hand — must
+// not panic Render; extra cells are ignored.
+func TestTableRenderOverlongRowSafe(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.rows = append(tb.rows, []string{"x", "overflow"})
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "overflow") {
+		t.Fatalf("overflow cell rendered:\n%s", sb.String())
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("E16 (§IV): eclipse", "captured", "confirm-p95")
+	tb.AddRow("50.00%", "320 ms")
+	tb.AddRow("100.00%", "—")
+	tb.AddNote("victim is node 0")
+	var sb strings.Builder
+	if err := tb.RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc TableDoc
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("RenderJSON output not valid JSON: %v", err)
+	}
+	back := FromDoc(doc)
+	if back.Title != tb.Title {
+		t.Fatalf("title lost: %q", back.Title)
+	}
+	if !reflect.DeepEqual(back.Headers(), tb.Headers()) {
+		t.Fatalf("headers lost: %v", back.Headers())
+	}
+	if !reflect.DeepEqual(back.Rows(), tb.Rows()) {
+		t.Fatalf("rows lost: %v", back.Rows())
+	}
+	if !reflect.DeepEqual(back.Notes(), tb.Notes()) {
+		t.Fatalf("notes lost: %v", back.Notes())
+	}
+	// And the round-tripped table renders byte-identically.
+	var a, b strings.Builder
+	if err := tb.Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("round-trip changed rendering:\n%s\nvs\n%s", a.String(), b.String())
 	}
 }
 

@@ -114,22 +114,12 @@ func scheduleLoss(s *sim.Simulator, net *sim.Network, windows []LossWindow) {
 	}
 }
 
-// chainFaultTarget is the surface the two chain networks share for fault
-// application: Bitcoin and Ethereum differ only in ledger type, and the
-// catch-up semantics (main-chain exchange, the IBD stand-in) are
-// identical.
-type chainFaultTarget interface {
-	faultSurface() (*sim.Simulator, *sim.Network, int)
-	// broadcastMainChain floods a node's main chain to everyone — dedup
-	// at the receivers keeps the cost one delivery per missing block.
-	broadcastMainChain(idx int)
-	// sendMainChain serves one node's main chain directly to another.
-	sendMainChain(from, to int)
-}
-
-// applyToChain schedules the fault script on a chain network. Healed
-// partitions and rejoining nodes catch up by exchanging main chains.
-func applyToChain(fs FaultSchedule, c chainFaultTarget) {
+// applyToChain schedules the fault script on a chain network's shared
+// runtime core — Bitcoin and Ethereum differ only in ledger type, and
+// the catch-up semantics (main-chain exchange, the IBD stand-in) live
+// once in chainRuntime. Healed partitions and rejoining nodes catch up
+// by exchanging main chains.
+func applyToChain(fs FaultSchedule, c *chainRuntime) {
 	s, net, nodes := c.faultSurface()
 	for _, pw := range fs.Partitions {
 		pw := pw
@@ -166,54 +156,10 @@ func applyToChain(fs FaultSchedule, c chainFaultTarget) {
 }
 
 // ApplyToBitcoin schedules the fault script on a Bitcoin network.
-func (fs FaultSchedule) ApplyToBitcoin(b *BitcoinNet) { applyToChain(fs, b) }
+func (fs FaultSchedule) ApplyToBitcoin(b *BitcoinNet) { applyToChain(fs, b.chain) }
 
 // ApplyToEthereum schedules the fault script on an Ethereum network.
-func (fs FaultSchedule) ApplyToEthereum(e *EthereumNet) { applyToChain(fs, e) }
-
-func (b *BitcoinNet) faultSurface() (*sim.Simulator, *sim.Network, int) {
-	return b.sim, b.net, len(b.nodes)
-}
-
-func (b *BitcoinNet) broadcastMainChain(idx int) {
-	n := b.nodes[idx]
-	for _, h := range n.ledger.Store().MainChain() {
-		if blk, ok := n.ledger.Store().Get(h); ok {
-			b.net.BroadcastAll(n.id, blk, blk.Size())
-		}
-	}
-}
-
-func (b *BitcoinNet) sendMainChain(from, to int) {
-	src, dst := b.nodes[from], b.nodes[to]
-	for _, h := range src.ledger.Store().MainChain() {
-		if blk, ok := src.ledger.Store().Get(h); ok {
-			b.net.Send(src.id, dst.id, blk, blk.Size())
-		}
-	}
-}
-
-func (e *EthereumNet) faultSurface() (*sim.Simulator, *sim.Network, int) {
-	return e.sim, e.net, len(e.nodes)
-}
-
-func (e *EthereumNet) broadcastMainChain(idx int) {
-	n := e.nodes[idx]
-	for _, h := range n.ledger.Store().MainChain() {
-		if blk, ok := n.ledger.Store().Get(h); ok {
-			e.net.BroadcastAll(n.id, blk, blk.Size())
-		}
-	}
-}
-
-func (e *EthereumNet) sendMainChain(from, to int) {
-	src, dst := e.nodes[from], e.nodes[to]
-	for _, h := range src.ledger.Store().MainChain() {
-		if blk, ok := src.ledger.Store().Get(h); ok {
-			e.net.Send(src.id, dst.id, blk, blk.Size())
-		}
-	}
-}
+func (fs FaultSchedule) ApplyToEthereum(e *EthereumNet) { applyToChain(fs, e.chain) }
 
 // firstAttachedNode returns the lowest-index attached node other than
 // skip, or -1 when every other node is detached.
@@ -246,10 +192,10 @@ func (fs FaultSchedule) ApplyToNano(n *NanoNet) {
 	n.EnableGapRepair()
 	for _, pw := range fs.Partitions {
 		pw := pw
-		n.sim.At(pw.At, func() { n.net.Partition(pw.Groups) })
+		n.rt.sim.At(pw.At, func() { n.rt.net.Partition(pw.Groups) })
 		if pw.HealAt > pw.At {
-			n.sim.At(pw.HealAt, func() {
-				n.net.Heal()
+			n.rt.sim.At(pw.HealAt, func() {
+				n.rt.net.Heal()
 				reps := groupReps(pw.Groups, len(n.nodes))
 				// Every node serves its lattice to the other sides' reps
 				// (a node whose gossip peers all sat across the split may
@@ -274,11 +220,11 @@ func (fs FaultSchedule) ApplyToNano(n *NanoNet) {
 		if cw.Node < 0 || cw.Node >= len(n.nodes) {
 			continue
 		}
-		n.sim.At(cw.LeaveAt, func() { n.net.Detach(sim.NodeID(cw.Node)) })
+		n.rt.sim.At(cw.LeaveAt, func() { n.rt.net.Detach(sim.NodeID(cw.Node)) })
 		if cw.RejoinAt > cw.LeaveAt {
-			n.sim.At(cw.RejoinAt, func() {
-				n.net.Attach(sim.NodeID(cw.Node))
-				if live := firstAttachedNode(n.net, len(n.nodes), cw.Node); live >= 0 {
+			n.rt.sim.At(cw.RejoinAt, func() {
+				n.rt.net.Attach(sim.NodeID(cw.Node))
+				if live := firstAttachedNode(n.rt.net, len(n.nodes), cw.Node); live >= 0 {
 					n.sendLattice(live, cw.Node)
 					n.sendLattice(cw.Node, live)
 				}
@@ -288,7 +234,7 @@ func (fs FaultSchedule) ApplyToNano(n *NanoNet) {
 			})
 		}
 	}
-	scheduleLoss(n.sim, n.net, fs.Loss)
+	scheduleLoss(n.rt.sim, n.rt.net, fs.Loss)
 }
 
 // sendLattice serves node from's entire lattice to node to; receivers
@@ -296,7 +242,7 @@ func (fs FaultSchedule) ApplyToNano(n *NanoNet) {
 func (n *NanoNet) sendLattice(from, to int) {
 	src, dst := n.nodes[from], n.nodes[to]
 	for _, b := range src.lat.AllBlocks() {
-		n.net.Send(src.id, dst.id, b, b.EncodedSize())
+		n.rt.Unicast(src.id, dst.id, b, b.EncodedSize())
 	}
 }
 
@@ -321,12 +267,11 @@ func (n *NanoNet) resendOpenVotes(node *nanoNode) {
 		cand, seq := node.myVote[root], node.mySeq[root]
 		for _, rep := range node.repAccounts {
 			v := orv.NewVote(n.ring.Pair(rep), cand, seq)
-			n.metrics.VotesSent++
-			for _, other := range n.nodes {
-				if other != node {
-					n.net.Send(node.id, other.id, v, v.EncodedSize())
-				}
+			if !n.rt.voteAllowed(node.id, v) {
+				continue
 			}
+			n.metrics.VotesSent++
+			n.rt.Broadcast(node.id, v, v.EncodedSize())
 		}
 	}
 }
@@ -379,7 +324,7 @@ type DoubleSpendOutcome struct {
 // voting.
 func (n *NanoNet) InjectContestedDoubleSpend(p DoubleSpendPlan) *DoubleSpendHandle {
 	h := &DoubleSpendHandle{}
-	n.sim.At(p.At, func() {
+	n.rt.sim.At(p.At, func() {
 		ownerIdx := n.ownerOf(p.Attacker)
 		owner := n.nodes[ownerIdx]
 		head, ok := owner.lat.HeadBlock(n.ring.Addr(p.Attacker))
@@ -408,8 +353,8 @@ func (n *NanoNet) InjectContestedDoubleSpend(p DoubleSpendPlan) *DoubleSpendHand
 		if entryIdx <= 0 || entryIdx >= len(n.nodes) {
 			entryIdx = (ownerIdx + len(n.nodes)/2) % len(n.nodes)
 		}
-		n.created[h.Rival] = n.sim.Now()
-		n.net.Send(owner.id, n.nodes[entryIdx].id, rival, rival.EncodedSize())
+		n.created[h.Rival] = n.rt.sim.Now()
+		n.rt.Unicast(owner.id, n.nodes[entryIdx].id, rival, rival.EncodedSize())
 	})
 	return h
 }
@@ -446,47 +391,19 @@ func (n *NanoNet) LatticeConverged() bool {
 }
 
 // TipsConverged reports whether every node agrees on the chain tip.
-func (b *BitcoinNet) TipsConverged() bool {
-	tip := b.nodes[0].ledger.Store().Tip()
-	for _, n := range b.nodes[1:] {
-		if n.ledger.Store().Tip() != tip {
-			return false
-		}
-	}
-	return true
-}
+func (b *BitcoinNet) TipsConverged() bool { return b.chain.tipsConverged() }
 
 // ConvergedWithin reports whether every node agrees with the observer's
 // main chain at depth back below the observer's tip — tip equality with a
 // tolerance for blocks still propagating at the cutoff instant.
-func (b *BitcoinNet) ConvergedWithin(back int) bool {
-	obs := b.nodes[0].ledger
-	target := int(obs.Height()) - back
-	if target < 0 {
-		target = 0
-	}
-	want, ok := obs.Store().HashAtHeight(uint64(target))
-	if !ok {
-		return false
-	}
-	for _, n := range b.nodes[1:] {
-		if got, ok := n.ledger.Store().HashAtHeight(uint64(target)); !ok || got != want {
-			return false
-		}
-	}
-	return true
-}
+func (b *BitcoinNet) ConvergedWithin(back int) bool { return b.chain.convergedWithin(back) }
 
 // TipsConverged reports whether every node agrees on the chain tip.
-func (e *EthereumNet) TipsConverged() bool {
-	tip := e.nodes[0].ledger.Store().Tip()
-	for _, n := range e.nodes[1:] {
-		if n.ledger.Store().Tip() != tip {
-			return false
-		}
-	}
-	return true
-}
+func (e *EthereumNet) TipsConverged() bool { return e.chain.tipsConverged() }
+
+// ConvergedWithin is the tolerance-based convergence check (see the
+// BitcoinNet variant).
+func (e *EthereumNet) ConvergedWithin(back int) bool { return e.chain.convergedWithin(back) }
 
 // ByzantineWeightFraction reports the share of total voting weight held
 // by representatives hosted on byzantine nodes — the attacker's measured

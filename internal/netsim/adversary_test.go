@@ -51,7 +51,7 @@ func TestNanoPartitionHealRecovers(t *testing.T) {
 	if !net.LatticeConverged() {
 		t.Fatal("lattices did not reconverge after heal catch-up")
 	}
-	if ps := net.net.Stats().Partitioned; ps == 0 {
+	if ps := net.Net().Stats().Partitioned; ps == 0 {
 		t.Fatal("partition window dropped no messages — fault not injected")
 	}
 }
@@ -88,7 +88,7 @@ func TestNanoChurnCatchUp(t *testing.T) {
 	fs.ApplyToNano(net)
 	net.RunWithTransfers(14*time.Second, nanoLoad(32, 6*time.Second))
 
-	if cd := net.net.Stats().ChurnDropped; cd == 0 {
+	if cd := net.Net().Stats().ChurnDropped; cd == 0 {
 		t.Fatal("churn windows dropped no messages — fault not injected")
 	}
 	if !net.LatticeConverged() {
@@ -124,7 +124,7 @@ func TestBitcoinChurnCatchUp(t *testing.T) {
 	if m.BlocksOnMain == 0 {
 		t.Fatal("no blocks mined")
 	}
-	if cd := net.net.Stats().ChurnDropped; cd == 0 {
+	if cd := net.Net().Stats().ChurnDropped; cd == 0 {
 		t.Fatal("churn window dropped no messages")
 	}
 	if !net.TipsConverged() {
@@ -171,10 +171,10 @@ func TestLossWindowBounded(t *testing.T) {
 	fs := FaultSchedule{Loss: []LossWindow{{Rate: 0.5, At: 2 * time.Second, Until: 4 * time.Second}}}
 	fs.ApplyToNano(net)
 	net.RunWithTransfers(8*time.Second, nanoLoad(62, 6*time.Second))
-	if ld := net.net.Stats().LossDropped; ld == 0 {
+	if ld := net.Net().Stats().LossDropped; ld == 0 {
 		t.Fatal("loss window dropped nothing")
 	}
-	if net.net.Stats().LossDropped > net.net.Stats().MessagesSent {
+	if net.Net().Stats().LossDropped > net.Net().Stats().MessagesSent {
 		t.Fatal("loss bookkeeping inconsistent")
 	}
 }

@@ -1,0 +1,274 @@
+// Adversarial per-node behaviors on the NodeRuntime seam: eclipse
+// (peer-table capture of one node), selfish mining (withheld-block
+// strategy on the chain side) and vote withholding (silenced ORV weight
+// on the lattice side). Each is a Behavior installed on individual
+// nodes; the protocol code never branches on them — the interception
+// points in runtime.go are the whole attack surface, exactly how the
+// DAG-security surveys organize adversaries: per-node strategies layered
+// over a common network substrate.
+package netsim
+
+import (
+	"repro/internal/chain"
+	"repro/internal/hashx"
+	"repro/internal/keys"
+	"repro/internal/orv"
+	"repro/internal/sim"
+)
+
+// EclipseBehavior models a victim whose peer table is partially captured
+// by an attacker: the captured links are dead — the victim neither
+// relays through them (its peer view is rewritten via SetPeersOf) nor
+// accepts traffic across them. At fraction 1 the victim is fully
+// isolated from its gossip neighborhood and keeps extending a private,
+// stale view — the double-spend window E16 measures.
+type EclipseBehavior struct {
+	HonestBehavior
+	victim   sim.NodeID
+	captured map[sim.NodeID]bool
+}
+
+// InstallEclipse captures frac of a victim's peer links (rounded to
+// nearest, clamped to [0, degree]): the first captured-count entries of
+// its sorted peer list become attacker-controlled, the victim's peer
+// view shrinks to the survivors, and the behavior drops both directions
+// of captured-link traffic. frac <= 0 installs nothing and returns nil —
+// a strict no-op, so a zero-fraction sweep point reproduces the honest
+// pipeline byte for byte.
+func (r *NodeRuntime) InstallEclipse(victim sim.NodeID, frac float64) *EclipseBehavior {
+	peers := r.net.Peers(victim)
+	if frac <= 0 || len(peers) == 0 {
+		return nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	k := int(frac*float64(len(peers)) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(peers) {
+		k = len(peers)
+	}
+	b := &EclipseBehavior{victim: victim, captured: make(map[sim.NodeID]bool, k)}
+	for _, p := range peers[:k] {
+		b.captured[p] = true
+	}
+	r.net.SetPeersOf(victim, append([]sim.NodeID(nil), peers[k:]...))
+	r.SetBehavior(victim, b)
+	return b
+}
+
+// CapturedPeers returns how many of the victim's links are captured.
+func (b *EclipseBehavior) CapturedPeers() int { return len(b.captured) }
+
+// OnInbound drops deliveries arriving over captured links.
+func (b *EclipseBehavior) OnInbound(_, from sim.NodeID, _ any, _ int) bool {
+	return !b.captured[from]
+}
+
+// OnOutbound drops sends leaving over captured links (direct unicasts
+// and broadcasts included — votes, gap-repair pulls, catch-up serves).
+func (b *EclipseBehavior) OnOutbound(_, to sim.NodeID, _ any, _ int) bool {
+	return !b.captured[to]
+}
+
+// SelfishMiningBehavior implements the withheld-block strategy (§IV-A's
+// attacker, Eyal–Sirer's state machine): blocks the node produces stay
+// on a private chain it keeps mining on. When the honest chain advances,
+// the miner reacts by lead: at lead 1 it publishes the private block and
+// races (opening the 1-1 race state); at lead 2 it publishes everything
+// and wins outright; deeper leads publish one block to keep the honest
+// chain chasing. A block produced while the race is open is published
+// immediately — the race-winning move honest first-seen relay cannot
+// counter.
+type SelfishMiningBehavior struct {
+	HonestBehavior
+	node     sim.NodeID
+	release  func(*chain.Block)
+	seen     map[hashx.Hash]bool
+	withheld []*chain.Block
+	// raceOpen marks the 1-1 race: our lead-1 block was published
+	// against a rival of equal height and the next block decides.
+	raceOpen bool
+	// rivalHeight is the highest rival (non-self) block height seen;
+	// only blocks above it are honest-chain PROGRESS. Same-height fork
+	// siblings — the stale-tip races this simulator deliberately
+	// produces — advance nothing and must not trigger the lead policy.
+	rivalHeight uint64
+	// produced and released count the strategy's footprint.
+	produced, released int
+}
+
+// installSelfishMiner wires the strategy into a chain runtime.
+func (c *chainRuntime) installSelfishMiner(idx int) *SelfishMiningBehavior {
+	b := &SelfishMiningBehavior{
+		node: sim.NodeID(idx),
+		seen: make(map[hashx.Hash]bool),
+	}
+	b.release = func(blk *chain.Block) { c.releaseBlock(idx, blk) }
+	c.rt.SetBehavior(sim.NodeID(idx), b)
+	return b
+}
+
+// InstallSelfishMiner makes node idx mine selfishly (E17). The node's
+// hash share comes from BitcoinConfig.HashRates as usual; only its
+// publication strategy changes.
+func (b *BitcoinNet) InstallSelfishMiner(idx int) *SelfishMiningBehavior {
+	return b.chain.installSelfishMiner(idx)
+}
+
+// InstallSelfishMiner makes node idx produce selfishly (PoW mode, E17).
+func (e *EthereumNet) InstallSelfishMiner(idx int) *SelfishMiningBehavior {
+	return e.chain.installSelfishMiner(idx)
+}
+
+// Withheld reports how many produced blocks are currently private.
+func (b *SelfishMiningBehavior) Withheld() int { return len(b.withheld) }
+
+// Produced and Released report the strategy's lifetime counters.
+func (b *SelfishMiningBehavior) Produced() int { return b.produced }
+func (b *SelfishMiningBehavior) Released() int { return b.released }
+
+// OnProduce withholds the new block — unless the 1-1 race is open, in
+// which case this block settles it: published at once, the private
+// branch is now strictly longer and the whole network reorgs onto it.
+func (b *SelfishMiningBehavior) OnProduce(_ sim.NodeID, block any) bool {
+	blk, ok := block.(*chain.Block)
+	if !ok {
+		return true
+	}
+	b.seen[blk.Hash()] = true
+	b.produced++
+	if b.raceOpen {
+		b.raceOpen = false
+		b.released++
+		return true // publish immediately: the race-winning block
+	}
+	b.withheld = append(b.withheld, blk)
+	return false
+}
+
+// OnInbound reacts to honest-chain progress with the Eyal–Sirer policy:
+// lead 1 publishes the private block and opens the race, lead 2
+// publishes everything (instant win), deeper leads publish one block.
+// Only blocks extending past the highest rival height count as
+// progress; a same-height fork sibling neither resolves an open race
+// nor costs the miner a release.
+func (b *SelfishMiningBehavior) OnInbound(_, _ sim.NodeID, payload any, _ int) bool {
+	blk, ok := payload.(*chain.Block)
+	if !ok {
+		return true
+	}
+	h := blk.Hash()
+	if b.seen[h] {
+		return true
+	}
+	b.seen[h] = true
+	if blk.Header.Height <= b.rivalHeight {
+		return true // stale block or fork sibling: no honest progress
+	}
+	b.rivalHeight = blk.Header.Height
+	b.raceOpen = false // real rival progress resolves the race
+	switch lead := len(b.withheld); {
+	case lead == 1:
+		b.releaseN(1)
+		b.raceOpen = true
+	case lead == 2:
+		b.releaseN(2)
+	case lead > 2:
+		b.releaseN(1)
+	}
+	return true
+}
+
+// releaseN floods the first n withheld blocks in production order.
+func (b *SelfishMiningBehavior) releaseN(n int) {
+	for _, w := range b.withheld[:n] {
+		b.released++
+		b.release(w)
+	}
+	b.withheld = append([]*chain.Block(nil), b.withheld[n:]...)
+}
+
+// VoteWithholdBehavior silences a chosen set of representatives: their
+// ORV votes are withheld entirely — never tallied locally, never
+// broadcast — so their delegated weight simply vanishes from every
+// election (§IV-B's quorum denial). Shared by every node hosting a
+// withheld representative.
+type VoteWithholdBehavior struct {
+	HonestBehavior
+	reps map[keys.Address]bool
+}
+
+// OnVote withholds votes signed by the silenced representatives.
+func (b *VoteWithholdBehavior) OnVote(_ sim.NodeID, vote any) bool {
+	v, ok := vote.(*orv.Vote)
+	if !ok {
+		return true
+	}
+	return !b.reps[v.Rep]
+}
+
+// WithheldReps returns how many representatives are silenced.
+func (b *VoteWithholdBehavior) WithheldReps() int { return len(b.reps) }
+
+// InstallVoteWithholding silences representatives holding at least
+// weightFrac of the total voting weight, chosen greedily from the
+// highest representative index downward (the observer's low-index reps
+// stay honest the longest). It returns the weight fraction actually
+// withheld — the sweep label for E17. weightFrac <= 0 installs nothing
+// and returns 0, a strict no-op.
+func (n *NanoNet) InstallVoteWithholding(weightFrac float64) float64 {
+	if weightFrac <= 0 || n.cfg.Reps <= 0 {
+		return 0
+	}
+	weights := n.nodes[0].weights
+	total := weights.Total()
+	if total == 0 {
+		return 0
+	}
+	target := weightFrac * float64(total)
+	b := &VoteWithholdBehavior{reps: make(map[keys.Address]bool)}
+	var withheld uint64
+	for rep := n.cfg.Reps - 1; rep >= 0 && float64(withheld) < target; rep-- {
+		addr := n.ring.Addr(rep)
+		w := weights.WeightOf(addr)
+		if w == 0 {
+			continue
+		}
+		b.reps[addr] = true
+		withheld += w
+	}
+	if len(b.reps) == 0 {
+		return 0
+	}
+	for _, node := range n.nodes {
+		for _, rep := range node.repAccounts {
+			if b.reps[n.ring.Addr(rep)] {
+				n.rt.SetBehavior(node.id, b)
+				break
+			}
+		}
+	}
+	return float64(withheld) / float64(total)
+}
+
+// Eclipse captures frac of a victim node's peer table (E16).
+func (b *BitcoinNet) Eclipse(victim int, frac float64) *EclipseBehavior {
+	return b.chain.rt.InstallEclipse(sim.NodeID(victim), frac)
+}
+
+// Eclipse captures frac of a victim node's peer table (E16).
+func (e *EthereumNet) Eclipse(victim int, frac float64) *EclipseBehavior {
+	return e.chain.rt.InstallEclipse(sim.NodeID(victim), frac)
+}
+
+// Eclipse captures frac of a victim node's peer table (E16).
+func (n *NanoNet) Eclipse(victim int, frac float64) *EclipseBehavior {
+	return n.rt.InstallEclipse(sim.NodeID(victim), frac)
+}
+
+// BlockCountOf reports a node's lattice block count — E16 compares the
+// victim's against a healthy replica's to size the eclipse gap.
+func (n *NanoNet) BlockCountOf(idx int) int { return n.nodes[idx].lat.BlockCount() }

@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/chain"
-	"repro/internal/hashx"
 	"repro/internal/keys"
 	"repro/internal/pow"
 	"repro/internal/sim"
@@ -57,27 +55,18 @@ func (c BitcoinConfig) withDefaults() BitcoinConfig {
 	return c
 }
 
-// btcNode is one full node: a ledger replica plus gossip dedup state.
-type btcNode struct {
-	id     sim.NodeID
-	ledger *utxo.Ledger
-	seen   map[hashx.Hash]bool
-}
-
-// BitcoinNet is a running Bitcoin-like network simulation.
+// BitcoinNet is a running Bitcoin-like network simulation. All gossip,
+// production and measurement plumbing lives in the shared chainRuntime;
+// this type owns only what is Bitcoin-specific: the UTXO ledgers, the
+// PoW lottery and the payment-construction path.
 type BitcoinNet struct {
 	cfg     BitcoinConfig
-	sim     *sim.Simulator
-	net     *sim.Network
-	nodes   []*btcNode
+	chain   *chainRuntime
+	ledgers []*utxo.Ledger
 	ring    *keys.Ring
 	lottery *pow.Lottery
 
 	difficulty float64
-	created    map[hashx.Hash]time.Duration // block hash -> creation time
-	reach      map[hashx.Hash]int           // block hash -> nodes reached
-	metrics    ChainMetrics
-	blockTimes []time.Duration
 }
 
 // NewBitcoin builds the network: every node holds an identical genesis
@@ -105,13 +94,12 @@ func NewBitcoin(cfg BitcoinConfig) (*BitcoinNet, error) {
 	}
 
 	b := &BitcoinNet{
-		cfg:     cfg,
-		sim:     s,
-		net:     net,
+		cfg: cfg,
+		// Main-chain transactions minus one coinbase per block and minus
+		// the genesis allocation tx.
+		chain:   newChainRuntime(s, net, func(txs, blocks int) int { return txs - blocks - 1 }),
 		ring:    ring,
 		lottery: lottery,
-		created: make(map[hashx.Hash]time.Duration),
-		reach:   make(map[hashx.Hash]int),
 	}
 	b.difficulty = lottery.DifficultyForInterval(cfg.BlockInterval)
 
@@ -120,10 +108,8 @@ func NewBitcoin(cfg BitcoinConfig) (*BitcoinNet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("netsim: node %d: %w", i, err)
 		}
-		node := &btcNode{ledger: ledger, seen: make(map[hashx.Hash]bool)}
-		node.id = net.AddNode(nil)
-		net.SetHandler(node.id, b.handlerFor(node))
-		b.nodes = append(b.nodes, node)
+		b.ledgers = append(b.ledgers, ledger)
+		b.chain.addNode(ledger)
 	}
 	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))
 	return b, nil
@@ -131,96 +117,59 @@ func NewBitcoin(cfg BitcoinConfig) (*BitcoinNet, error) {
 
 // Observer returns the ledger of the observer node (node 0), whose view
 // defines the reported metrics.
-func (b *BitcoinNet) Observer() *utxo.Ledger { return b.nodes[0].ledger }
+func (b *BitcoinNet) Observer() *utxo.Ledger { return b.ledgers[0] }
 
 // Ring returns the funded account identities.
 func (b *BitcoinNet) Ring() *keys.Ring { return b.ring }
 
 // Sim exposes the simulator (for scheduling custom events in tests).
-func (b *BitcoinNet) Sim() *sim.Simulator { return b.sim }
+func (b *BitcoinNet) Sim() *sim.Simulator { return b.chain.rt.sim }
 
-// handlerFor returns the gossip handler of a node: first-seen blocks are
-// processed and re-flooded to peers.
-func (b *BitcoinNet) handlerFor(n *btcNode) sim.Handler {
-	return func(from sim.NodeID, payload any, size int) {
-		blk, ok := payload.(*chain.Block)
-		if !ok {
-			return
-		}
-		h := blk.Hash()
-		if n.seen[h] {
-			return
-		}
-		n.seen[h] = true
-		b.reach[h]++
-		if b.reach[h] == len(b.nodes) {
-			b.metrics.Propagation.AddDuration(b.sim.Now() - b.created[h])
-		}
-		// Processing errors mean a byzantine block; honest sims don't
-		// produce them, and a relay node still floods valid-looking data.
-		_, _ = n.ledger.ProcessBlock(blk)
-		b.net.SendToPeers(n.id, blk, blk.Size())
-	}
-}
+// Net exposes the underlying network (partitions, stats, loss hooks).
+func (b *BitcoinNet) Net() *sim.Network { return b.chain.rt.net }
+
+// Runtime exposes the node runtime, the seam custom Behaviors install
+// through.
+func (b *BitcoinNet) Runtime() *NodeRuntime { return b.chain.rt }
 
 // scheduleMining arms the next global block-discovery event.
 func (b *BitcoinNet) scheduleMining() {
-	interval := b.lottery.SampleInterval(b.sim.Rand(), b.difficulty)
-	b.sim.After(interval, func() {
-		winner := b.lottery.SampleWinner(b.sim.Rand())
-		b.mineAt(winner)
+	s := b.chain.rt.sim
+	interval := b.lottery.SampleInterval(s.Rand(), b.difficulty)
+	s.After(interval, func() {
+		winner := b.lottery.SampleWinner(s.Rand())
+		miner := keys.DeterministicN("btc-miner", winner).Address()
+		b.chain.produce(winner, miner, b.difficulty)
 		b.scheduleMining()
 	})
 }
 
-// mineAt lets the winning node extend its own view — the stale-tip race
-// that produces Fig. 4's soft forks when propagation lags.
-func (b *BitcoinNet) mineAt(nodeIdx int) {
-	node := b.nodes[nodeIdx]
-	miner := keys.DeterministicN("btc-miner", nodeIdx).Address()
-	blk := node.ledger.BuildBlock(miner, b.sim.Now())
-	blk.Header.Difficulty = b.difficulty
-	h := blk.Hash()
-	b.created[h] = b.sim.Now()
-	b.metrics.BlocksTotal++
-	b.blockTimes = append(b.blockTimes, b.sim.Now())
-	node.seen[h] = true
-	b.reach[h] = 1
-	_, _ = node.ledger.ProcessBlock(blk)
-	b.net.SendToPeers(node.id, blk, blk.Size())
-}
-
 // SubmitPayment schedules a payment: the sender's home node builds the
-// transaction from its current view and every node pools it. Returns
-// false if scheduling parameters are invalid.
+// transaction from its current view and every node pools it.
 func (b *BitcoinNet) SubmitPayment(p workload.TimedPayment, fee uint64) {
-	b.sim.At(p.At, func() {
-		b.metrics.SubmittedTxs++
-		home := b.nodes[p.From%len(b.nodes)]
+	b.chain.scheduleSubmit(p.At, func() bool {
+		home := b.ledgers[p.From%len(b.ledgers)]
 		tx, err := utxo.NewPaymentAvoiding(
-			home.ledger.UTXOSet(), home.ledger.Pool().Spends,
+			home.UTXOSet(), home.Pool().Spends,
 			b.ring.Pair(p.From), b.ring.Addr(p.To), p.Amount, fee)
 		if err != nil {
-			b.metrics.RejectedTxs++
-			return
+			return false
 		}
 		accepted := false
-		for _, n := range b.nodes {
-			if err := n.ledger.SubmitTx(tx); err == nil {
+		for _, l := range b.ledgers {
+			if err := l.SubmitTx(tx); err == nil {
 				accepted = true
 			}
 		}
-		if !accepted {
-			b.metrics.RejectedTxs++
-		}
+		return accepted
 	})
 }
 
 // Run drives the simulation for the given span and returns the metrics.
 func (b *BitcoinNet) Run(duration time.Duration) ChainMetrics {
 	b.scheduleMining()
-	b.sim.RunUntil(duration)
-	return b.collect(duration)
+	b.chain.rt.sim.RunUntil(duration)
+	return b.chain.collect(duration)
 }
 
 // RunWithPayments submits the payment stream before running.
@@ -231,38 +180,14 @@ func (b *BitcoinNet) RunWithPayments(duration time.Duration, payments []workload
 	return b.Run(duration)
 }
 
-func (b *BitcoinNet) collect(duration time.Duration) ChainMetrics {
-	obs := b.nodes[0].ledger
-	st := obs.Store().Stats()
-	m := &b.metrics
-	m.Duration = duration
-	m.BlocksOnMain = int(obs.Height())
-	m.Orphaned = st.OrphanedTotal
-	if m.BlocksTotal > 0 {
-		m.OrphanRate = float64(m.Orphaned) / float64(m.BlocksTotal)
-	}
-	m.Reorgs = st.Reorgs
-	m.MaxReorgDepth = st.MaxReorgDepth
-	// Main-chain transactions minus one coinbase per block and minus the
-	// genesis allocation tx.
-	m.ConfirmedTxs = st.TxsOnMain - m.BlocksOnMain - 1
-	if m.ConfirmedTxs < 0 {
-		m.ConfirmedTxs = 0
-	}
-	if duration > 0 {
-		m.TPS = float64(m.ConfirmedTxs) / duration.Seconds()
-	}
-	m.PendingAtEnd = obs.Pool().Len()
-	m.LedgerBytes = obs.LedgerBytes()
-	if len(b.blockTimes) > 1 {
-		span := b.blockTimes[len(b.blockTimes)-1] - b.blockTimes[0]
-		m.MeanBlockInterval = span / time.Duration(len(b.blockTimes)-1)
-	}
-	ns := b.net.Stats()
-	m.MessagesSent = ns.MessagesSent
-	m.BytesSent = ns.BytesSent
-	return *m
-}
+// MinerShare reports how many observer main-chain blocks node idx mined,
+// against all attributed main-chain blocks — the selfish miner's revenue
+// accounting (E17).
+func (b *BitcoinNet) MinerShare(idx int) (mined, total int) { return b.chain.minerShare(idx) }
+
+// EclipseReport compares a victim node's chain against the network
+// consensus after a run (E16).
+func (b *BitcoinNet) EclipseReport(victim int) EclipseReport { return b.chain.eclipseReport(victim) }
 
 // ErrNoMiners mirrors §III-A1: with no hash rate there is no throughput.
 var ErrNoMiners = errors.New("netsim: no mining power configured")

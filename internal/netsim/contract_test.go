@@ -41,8 +41,8 @@ func TestEthereumContractConvergesAcrossNetwork(t *testing.T) {
 
 	// Submit the deployment to every node at t=1s, then three calls.
 	net.Sim().At(time.Second, func() {
-		for _, n := range net.nodes {
-			if err := n.ledger.SubmitTx(deploy); err != nil {
+		for _, l := range net.ledgers {
+			if err := l.SubmitTx(deploy); err != nil {
 				t.Errorf("deploy submit: %v", err)
 			}
 		}
@@ -55,27 +55,27 @@ func TestEthereumContractConvergesAcrossNetwork(t *testing.T) {
 				Data: account.Asm(7), GasLimit: 100_000, GasPrice: 1,
 			}
 			call.Sign(deployer)
-			for _, n := range net.nodes {
-				_ = n.ledger.SubmitTx(call) // later nonces queue
+			for _, l := range net.ledgers {
+				_ = l.SubmitTx(call) // later nonces queue
 			}
 		})
 	}
 	net.Run(60 * time.Second)
 
 	// Every replica holds the same code and the same counter value.
-	want := net.nodes[0].ledger.State().GetStorage(contractAddr, 0)
+	want := net.ledgers[0].State().GetStorage(contractAddr, 0)
 	if want != 21 {
 		t.Fatalf("counter = %d, want 21 (3 calls x 7)", want)
 	}
-	for i, n := range net.nodes {
-		st := n.ledger.State()
+	for i, l := range net.ledgers {
+		st := l.State()
 		if !st.GetAccount(contractAddr).IsContract() {
 			t.Fatalf("node %d lost the contract code", i)
 		}
 		if got := st.GetStorage(contractAddr, 0); got != want {
 			t.Fatalf("node %d storage = %d, want %d", i, got, want)
 		}
-		if st.Root() != net.nodes[0].ledger.State().Root() {
+		if st.Root() != net.ledgers[0].State().Root() {
 			t.Fatalf("node %d state root diverged", i)
 		}
 	}

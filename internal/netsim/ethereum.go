@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/account"
-	"repro/internal/chain"
 	"repro/internal/hashx"
 	"repro/internal/keys"
 	"repro/internal/pos"
@@ -98,13 +97,6 @@ func (c EthereumConfig) withDefaults() EthereumConfig {
 	return c
 }
 
-// ethNode is one full node.
-type ethNode struct {
-	id     sim.NodeID
-	ledger *account.Ledger
-	seen   map[hashx.Hash]bool
-}
-
 // FinalityMetrics reports the FFG gadget's progress (PoS mode).
 type FinalityMetrics struct {
 	JustifiedCheckpoints int
@@ -115,12 +107,14 @@ type FinalityMetrics struct {
 	MeanFinalityLag    time.Duration
 }
 
-// EthereumNet is a running Ethereum-like network simulation.
+// EthereumNet is a running Ethereum-like network simulation. Gossip,
+// production and measurement plumbing live in the shared chainRuntime;
+// this type owns the account ledgers, the consensus mode (PoW lottery or
+// PoS slots + FFG) and the payment-construction path.
 type EthereumNet struct {
 	cfg     EthereumConfig
-	sim     *sim.Simulator
-	net     *sim.Network
-	nodes   []*ethNode
+	chain   *chainRuntime
+	ledgers []*account.Ledger
 	ring    *keys.Ring
 	lottery *pow.Lottery // PoW mode
 
@@ -135,10 +129,6 @@ type EthereumNet struct {
 
 	difficulty float64
 	nonces     map[int]uint64
-	created    map[hashx.Hash]time.Duration
-	reach      map[hashx.Hash]int
-	metrics    ChainMetrics
-	blockTimes []time.Duration
 }
 
 // NewEthereum builds the network.
@@ -154,12 +144,9 @@ func NewEthereum(cfg EthereumConfig) (*EthereumNet, error) {
 
 	e := &EthereumNet{
 		cfg:       cfg,
-		sim:       s,
-		net:       net,
+		chain:     newChainRuntime(s, net, func(txs, _ int) int { return txs }),
 		ring:      ring,
 		nonces:    make(map[int]uint64),
-		created:   make(map[hashx.Hash]time.Duration),
-		reach:     make(map[hashx.Hash]int),
 		cpCreated: make(map[hashx.Hash]time.Duration),
 	}
 
@@ -168,10 +155,8 @@ func NewEthereum(cfg EthereumConfig) (*EthereumNet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("netsim: node %d: %w", i, err)
 		}
-		node := &ethNode{ledger: ledger, seen: make(map[hashx.Hash]bool)}
-		node.id = net.AddNode(nil)
-		net.SetHandler(node.id, e.handlerFor(node))
-		e.nodes = append(e.nodes, node)
+		e.ledgers = append(e.ledgers, ledger)
+		e.chain.addNode(ledger)
 	}
 	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))
 
@@ -201,7 +186,7 @@ func NewEthereum(cfg EthereumConfig) (*EthereumNet, error) {
 			}
 			e.validators = append(e.validators, kp)
 		}
-		genesisCp := pos.Checkpoint{Hash: e.nodes[0].ledger.Genesis().Hash(), Epoch: 0}
+		genesisCp := pos.Checkpoint{Hash: e.ledgers[0].Genesis().Hash(), Epoch: 0}
 		e.ffg = pos.NewFFG(e.registry, genesisCp)
 		e.lastJust = genesisCp
 	default:
@@ -211,10 +196,17 @@ func NewEthereum(cfg EthereumConfig) (*EthereumNet, error) {
 }
 
 // Observer returns the node-0 ledger.
-func (e *EthereumNet) Observer() *account.Ledger { return e.nodes[0].ledger }
+func (e *EthereumNet) Observer() *account.Ledger { return e.ledgers[0] }
 
 // Sim exposes the simulator (for scheduling custom events in tests).
-func (e *EthereumNet) Sim() *sim.Simulator { return e.sim }
+func (e *EthereumNet) Sim() *sim.Simulator { return e.chain.rt.sim }
+
+// Net exposes the underlying network (partitions, stats, loss hooks).
+func (e *EthereumNet) Net() *sim.Network { return e.chain.rt.net }
+
+// Runtime exposes the node runtime, the seam custom Behaviors install
+// through.
+func (e *EthereumNet) Runtime() *NodeRuntime { return e.chain.rt }
 
 // Ring returns the funded identities.
 func (e *EthereumNet) Ring() *keys.Ring { return e.ring }
@@ -225,50 +217,21 @@ func (e *EthereumNet) Registry() *pos.Registry { return e.registry }
 // FFG returns the finality gadget (nil in PoW mode).
 func (e *EthereumNet) FFG() *pos.FFG { return e.ffg }
 
-func (e *EthereumNet) handlerFor(n *ethNode) sim.Handler {
-	return func(from sim.NodeID, payload any, size int) {
-		blk, ok := payload.(*chain.Block)
-		if !ok {
-			return
-		}
-		h := blk.Hash()
-		if n.seen[h] {
-			return
-		}
-		n.seen[h] = true
-		e.reach[h]++
-		if e.reach[h] == len(e.nodes) {
-			e.metrics.Propagation.AddDuration(e.sim.Now() - e.created[h])
-		}
-		_, _ = n.ledger.ProcessBlock(blk)
-		e.net.SendToPeers(n.id, blk, blk.Size())
-	}
-}
-
 // produceAt lets a node extend its view and flood the block.
 func (e *EthereumNet) produceAt(nodeIdx int, proposer keys.Address) {
-	node := e.nodes[nodeIdx]
-	blk := node.ledger.BuildBlock(proposer, e.sim.Now())
-	if e.cfg.Consensus == PoW {
-		blk.Header.Difficulty = e.difficulty
-	} else {
-		blk.Header.Difficulty = 1 // PoS blocks carry uniform weight
+	difficulty := e.difficulty
+	if e.cfg.Consensus != PoW {
+		difficulty = 1 // PoS blocks carry uniform weight
 	}
-	h := blk.Hash()
-	e.created[h] = e.sim.Now()
-	e.metrics.BlocksTotal++
-	e.blockTimes = append(e.blockTimes, e.sim.Now())
-	node.seen[h] = true
-	e.reach[h] = 1
-	_, _ = node.ledger.ProcessBlock(blk)
-	e.net.SendToPeers(node.id, blk, blk.Size())
+	e.chain.produce(nodeIdx, proposer, difficulty)
 }
 
 // scheduleMining arms PoW block discovery.
 func (e *EthereumNet) scheduleMining() {
-	interval := e.lottery.SampleInterval(e.sim.Rand(), e.difficulty)
-	e.sim.After(interval, func() {
-		winner := e.lottery.SampleWinner(e.sim.Rand())
+	s := e.chain.rt.sim
+	interval := e.lottery.SampleInterval(s.Rand(), e.difficulty)
+	s.After(interval, func() {
+		winner := e.lottery.SampleWinner(s.Rand())
 		miner := keys.DeterministicN("eth-miner", winner).Address()
 		e.produceAt(winner, miner)
 		e.scheduleMining()
@@ -278,7 +241,7 @@ func (e *EthereumNet) scheduleMining() {
 // schedulePoS arms the slot clock: one proposer per slot, FFG votes every
 // epoch boundary.
 func (e *EthereumNet) schedulePoS(slot uint64) {
-	e.sim.After(e.cfg.BlockInterval, func() {
+	e.chain.rt.sim.After(e.cfg.BlockInterval, func() {
 		seed := e.ffg.LastFinalized().Hash
 		proposerAddr, err := e.registry.Proposer(slot, seed)
 		if err == nil {
@@ -296,7 +259,7 @@ func (e *EthereumNet) schedulePoS(slot uint64) {
 func (e *EthereumNet) validatorNode(addr keys.Address) int {
 	for i, kp := range e.validators {
 		if kp.Address() == addr {
-			return i % len(e.nodes)
+			return i % len(e.ledgers)
 		}
 	}
 	return 0
@@ -306,7 +269,7 @@ func (e *EthereumNet) validatorNode(addr keys.Address) int {
 // the current epoch boundary, using the observer's chain.
 func (e *EthereumNet) runFFGRound(slot uint64) {
 	epoch := slot / e.cfg.EpochLength
-	obs := e.nodes[0].ledger
+	obs := e.ledgers[0]
 	cpHeight := slot // one block per slot in the honest schedule
 	if cpHeight > obs.Height() {
 		cpHeight = obs.Height()
@@ -320,7 +283,7 @@ func (e *EthereumNet) runFFGRound(slot uint64) {
 		if blk, ok := obs.Store().Get(h); ok {
 			e.cpCreated[h] = blk.Header.Time
 		} else {
-			e.cpCreated[h] = e.sim.Now()
+			e.cpCreated[h] = e.chain.rt.sim.Now()
 		}
 	}
 	source := e.lastJust
@@ -338,7 +301,7 @@ func (e *EthereumNet) runFFGRound(slot uint64) {
 			e.finality.FinalizedCheckpoints++
 			e.finality.LastFinalizedEpoch = source.Epoch
 			if created, ok := e.cpCreated[source.Hash]; ok {
-				e.lagSamples = append(e.lagSamples, e.sim.Now()-created)
+				e.lagSamples = append(e.lagSamples, e.chain.rt.sim.Now()-created)
 			}
 		}
 	}
@@ -347,8 +310,7 @@ func (e *EthereumNet) runFFGRound(slot uint64) {
 // SubmitPayment schedules a plain transfer; nonces are issued centrally
 // per sender so the stream stays executable.
 func (e *EthereumNet) SubmitPayment(p workload.TimedPayment, gasPrice uint64) {
-	e.sim.At(p.At, func() {
-		e.metrics.SubmittedTxs++
+	e.chain.scheduleSubmit(p.At, func() bool {
 		nonce := e.nonces[p.From]
 		e.nonces[p.From]++
 		to := e.ring.Addr(p.To)
@@ -361,14 +323,12 @@ func (e *EthereumNet) SubmitPayment(p workload.TimedPayment, gasPrice uint64) {
 		}
 		tx.Sign(e.ring.Pair(p.From))
 		accepted := false
-		for _, n := range e.nodes {
-			if err := n.ledger.SubmitTx(tx); err == nil {
+		for _, l := range e.ledgers {
+			if err := l.SubmitTx(tx); err == nil {
 				accepted = true
 			}
 		}
-		if !accepted {
-			e.metrics.RejectedTxs++
-		}
+		return accepted
 	})
 }
 
@@ -380,8 +340,8 @@ func (e *EthereumNet) Run(duration time.Duration) ChainMetrics {
 	case PoS:
 		e.schedulePoS(1)
 	}
-	e.sim.RunUntil(duration)
-	return e.collect(duration)
+	e.chain.rt.sim.RunUntil(duration)
+	return e.chain.collect(duration)
 }
 
 // RunWithPayments submits the stream then runs.
@@ -404,30 +364,10 @@ func (e *EthereumNet) Finality() FinalityMetrics {
 	return e.finality
 }
 
-func (e *EthereumNet) collect(duration time.Duration) ChainMetrics {
-	obs := e.nodes[0].ledger
-	st := obs.Store().Stats()
-	m := &e.metrics
-	m.Duration = duration
-	m.BlocksOnMain = int(obs.Height())
-	m.Orphaned = st.OrphanedTotal
-	if m.BlocksTotal > 0 {
-		m.OrphanRate = float64(m.Orphaned) / float64(m.BlocksTotal)
-	}
-	m.Reorgs = st.Reorgs
-	m.MaxReorgDepth = st.MaxReorgDepth
-	m.ConfirmedTxs = st.TxsOnMain
-	if duration > 0 {
-		m.TPS = float64(m.ConfirmedTxs) / duration.Seconds()
-	}
-	m.PendingAtEnd = obs.Pool().Len()
-	m.LedgerBytes = obs.LedgerBytes()
-	if len(e.blockTimes) > 1 {
-		span := e.blockTimes[len(e.blockTimes)-1] - e.blockTimes[0]
-		m.MeanBlockInterval = span / time.Duration(len(e.blockTimes)-1)
-	}
-	ns := e.net.Stats()
-	m.MessagesSent = ns.MessagesSent
-	m.BytesSent = ns.BytesSent
-	return *m
-}
+// MinerShare reports how many observer main-chain blocks node idx
+// produced, against all attributed main-chain blocks (E17).
+func (e *EthereumNet) MinerShare(idx int) (mined, total int) { return e.chain.minerShare(idx) }
+
+// EclipseReport compares a victim node's chain against the network
+// consensus after a run (E16).
+func (e *EthereumNet) EclipseReport(victim int) EclipseReport { return e.chain.eclipseReport(victim) }

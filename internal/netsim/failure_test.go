@@ -41,18 +41,14 @@ func TestBitcoinPartitionHealReorg(t *testing.T) {
 		groups[sim.NodeID(i)] = g
 	}
 
-	net.Sim().At(30*time.Second, func() { net.net.Partition(groups) })
+	net.Sim().At(30*time.Second, func() { net.Net().Partition(groups) })
 	healAt := 4 * time.Minute
 	net.Sim().At(healAt, func() {
-		net.net.Heal()
+		net.Net().Heal()
 		// Cross-gossip both sides' full main chains: a stand-in for the
 		// initial-block-download sync real nodes run after reconnecting.
 		for _, idx := range []int{0, 7} {
-			n := net.nodes[idx]
-			for _, h := range n.ledger.Store().MainChain() {
-				blk, _ := n.ledger.Store().Get(h)
-				net.net.BroadcastAll(n.id, blk, blk.Size())
-			}
+			net.chain.broadcastMainChain(idx)
 		}
 	})
 	m := net.Run(8 * time.Minute)
@@ -60,22 +56,22 @@ func TestBitcoinPartitionHealReorg(t *testing.T) {
 	// Someone must have been reorganized: the minority side lost blocks.
 	if m.Reorgs == 0 && m.Orphaned == 0 {
 		// The observer sits on the majority side; check a minority node.
-		minority := net.nodes[5].ledger.Store().Stats()
+		minority := net.ledgers[5].Store().Stats()
 		if minority.Reorgs == 0 {
 			t.Fatal("partition+heal produced no reorg anywhere")
 		}
 	}
 	// All nodes converge after healing.
-	tip := net.nodes[0].ledger.Store().Tip()
-	for i, n := range net.nodes[1:] {
-		if n.ledger.Store().Tip() != tip {
+	tip := net.ledgers[0].Store().Tip()
+	for i, l := range net.ledgers[1:] {
+		if l.Store().Tip() != tip {
 			t.Fatalf("node %d still diverged after heal", i+1)
 		}
 	}
 	// The majority side's history should dominate: the winning chain's
 	// cumulative work at the tip must exceed any stale minority branch.
-	if net.nodes[0].ledger.Store().Stats().OrphanedTotal == 0 &&
-		net.nodes[7].ledger.Store().Stats().OrphanedTotal == 0 {
+	if net.ledgers[0].Store().Stats().OrphanedTotal == 0 &&
+		net.ledgers[7].Store().Stats().OrphanedTotal == 0 {
 		t.Fatal("no orphaned branch recorded after partition merge")
 	}
 }
@@ -101,9 +97,9 @@ func TestBitcoinSkewedMinerStillConverges(t *testing.T) {
 	if m.BlocksOnMain == 0 {
 		t.Fatal("no blocks")
 	}
-	tip := net.nodes[0].ledger.Store().Tip()
-	for i, n := range net.nodes[1:] {
-		if n.ledger.Store().Tip() != tip {
+	tip := net.ledgers[0].Store().Tip()
+	for i, l := range net.ledgers[1:] {
+		if l.Store().Tip() != tip {
 			t.Fatalf("node %d diverged", i+1)
 		}
 	}
@@ -191,9 +187,9 @@ func TestBitcoinLossyLinksStillConverge(t *testing.T) {
 	if m.BlocksOnMain < 20 {
 		t.Fatalf("too few blocks: %d", m.BlocksOnMain)
 	}
-	tip := net.nodes[0].ledger.Store().Tip()
-	for i, n := range net.nodes[1:] {
-		if n.ledger.Store().Tip() != tip {
+	tip := net.ledgers[0].Store().Tip()
+	for i, l := range net.ledgers[1:] {
+		if l.Store().Tip() != tip {
 			t.Fatalf("node %d diverged", i+1)
 		}
 	}

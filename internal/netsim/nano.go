@@ -234,11 +234,12 @@ type NanoMetrics struct {
 	HeadBytes   int
 }
 
-// NanoNet is a running block-lattice network simulation.
+// NanoNet is a running block-lattice network simulation. Node lifecycle,
+// relay and vote dissemination run through the shared NodeRuntime, so
+// per-node Behaviors (eclipse, vote withholding) intercept them.
 type NanoNet struct {
 	cfg   NanoConfig
-	sim   *sim.Simulator
-	net   *sim.Network
+	rt    *NodeRuntime
 	nodes []*nanoNode
 	ring  *keys.Ring
 
@@ -304,8 +305,7 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 
 	n := &NanoNet{
 		cfg:          cfg,
-		sim:          s,
-		net:          net,
+		rt:           newNodeRuntime(s, net),
 		ring:         ring,
 		created:      make(map[hashx.Hash]time.Duration),
 		confirmedAt:  make(map[hashx.Hash]bool),
@@ -355,8 +355,7 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 				node.repAccounts = append(node.repAccounts, rep)
 			}
 		}
-		node.id = net.AddNode(nil)
-		net.SetHandler(node.id, n.handlerFor(node))
+		node.id = n.rt.AddNode(n.handlerFor(node))
 		n.nodes = append(n.nodes, node)
 	}
 	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))
@@ -395,7 +394,14 @@ func (n *NanoNet) ObserverTracker() *orv.Tracker { return n.nodes[0].tracker }
 func (n *NanoNet) Ring() *keys.Ring { return n.ring }
 
 // Sim exposes the simulator.
-func (n *NanoNet) Sim() *sim.Simulator { return n.sim }
+func (n *NanoNet) Sim() *sim.Simulator { return n.rt.sim }
+
+// Net exposes the underlying network (partitions, stats, loss hooks).
+func (n *NanoNet) Net() *sim.Network { return n.rt.net }
+
+// Runtime exposes the node runtime, the seam custom Behaviors install
+// through.
+func (n *NanoNet) Runtime() *NodeRuntime { return n.rt }
 
 // handlerFor dispatches gossip messages.
 func (n *NanoNet) handlerFor(node *nanoNode) sim.Handler {
@@ -425,14 +431,14 @@ func (n *NanoNet) onBlock(node *nanoNode, from sim.NodeID, b *lattice.Block) {
 		return
 	}
 	if n.reactToResult(node, b, h, node.lat.Process(b), from) {
-		n.net.SendToPeers(node.id, b, b.EncodedSize())
+		n.rt.Relay(node.id, b, b.EncodedSize())
 	}
 }
 
 // onBlockRequest serves a block the requester is missing (gap repair).
 func (n *NanoNet) onBlockRequest(node *nanoNode, from sim.NodeID, req *blockRequest) {
 	if blk, ok := node.lat.Get(req.Hash); ok {
-		n.net.Send(node.id, from, blk, blk.EncodedSize())
+		n.rt.Unicast(node.id, from, blk, blk.EncodedSize())
 	}
 }
 
@@ -454,8 +460,8 @@ func (n *NanoNet) repairTick(node *nanoNode, missing hashx.Hash, from sim.NodeID
 		delete(node.repairing, missing)
 		return
 	}
-	n.net.Send(node.id, from, &blockRequest{Hash: missing}, blockRequestSize)
-	n.sim.After(gapRepairDelay, func() { n.repairTick(node, missing, from, attempt+1) })
+	n.rt.Unicast(node.id, from, &blockRequest{Hash: missing}, blockRequestSize)
+	n.rt.sim.After(gapRepairDelay, func() { n.repairTick(node, missing, from, attempt+1) })
 }
 
 // reactToResult applies the post-attach handling for one processed
@@ -475,7 +481,7 @@ func (n *NanoNet) reactToResult(node *nanoNode, b *lattice.Block, h hashx.Hash, 
 		if node == n.nodes[0] {
 			n.metrics.ForksDetected++
 			if _, seen := n.forkSeenAt[b.Prev]; !seen {
-				n.forkSeenAt[b.Prev] = n.sim.Now()
+				n.forkSeenAt[b.Prev] = n.rt.sim.Now()
 			}
 		}
 		n.startForkElection(node, b, res.ForkRivals)
@@ -501,7 +507,7 @@ func (n *NanoNet) enqueueIngest(node *nanoNode, b *lattice.Block, from sim.NodeI
 	}
 	if !node.flushArmed {
 		node.flushArmed = true
-		node.flushTimer = n.sim.After(n.cfg.BatchWindow, func() { n.flushIngest(node) })
+		node.flushTimer = n.rt.sim.After(n.cfg.BatchWindow, func() { n.flushIngest(node) })
 	}
 }
 
@@ -514,7 +520,7 @@ func (n *NanoNet) enqueueIngest(node *nanoNode, b *lattice.Block, from sim.NodeI
 // seenBlocks).
 func (n *NanoNet) flushIngest(node *nanoNode) {
 	if node.flushArmed {
-		n.sim.Cancel(node.flushTimer)
+		n.rt.sim.Cancel(node.flushTimer)
 		node.flushArmed = false
 	}
 	entries := node.ingest
@@ -533,12 +539,12 @@ func (n *NanoNet) flushIngest(node *nanoNode) {
 		// across BatchCores modeled cores occupies the node for
 		// ceil(k/cores) serial block costs instead of k.
 		rounds := (len(blocks) + n.cfg.BatchCores - 1) / n.cfg.BatchCores
-		n.net.Occupy(node.id, time.Duration(rounds)*n.cfg.ProcPerBlock)
+		n.rt.net.Occupy(node.id, time.Duration(rounds)*n.cfg.ProcPerBlock)
 	}
 	for i, res := range node.lat.ProcessBatch(blocks, n.cfg.Workers) {
 		b := blocks[i]
 		if n.reactToResult(node, b, b.Hash(), res, entries[i].from) {
-			n.net.SendToPeers(node.id, b, b.EncodedSize())
+			n.rt.Relay(node.id, b, b.EncodedSize())
 		}
 	}
 }
@@ -628,7 +634,10 @@ func (n *NanoNet) startForkElection(node *nanoNode, b *lattice.Block, rivals []h
 
 // castVotes makes every representative hosted on this node vote for
 // candidate, recording it locally and broadcasting to all nodes (§IV-B:
-// "the network automatically broadcasts consensus information").
+// "the network automatically broadcasts consensus information"). Each
+// vote passes the node's OnVote behavior hook first: a withheld vote is
+// neither tallied locally nor broadcast — its weight simply goes silent
+// (VoteWithholdBehavior).
 func (n *NanoNet) castVotes(node *nanoNode, root, candidate hashx.Hash, seq uint64) {
 	if len(node.repAccounts) == 0 {
 		return
@@ -637,13 +646,12 @@ func (n *NanoNet) castVotes(node *nanoNode, root, candidate hashx.Hash, seq uint
 	node.mySeq[root] = seq
 	for _, rep := range node.repAccounts {
 		v := orv.NewVote(n.ring.Pair(rep), candidate, seq)
+		if !n.rt.voteAllowed(node.id, v) {
+			continue
+		}
 		n.metrics.VotesSent++
 		n.applyVote(node, v) // count our own vote locally
-		for _, other := range n.nodes {
-			if other != node {
-				n.net.Send(node.id, other.id, v, v.EncodedSize())
-			}
-		}
+		n.rt.Broadcast(node.id, v, v.EncodedSize())
 	}
 }
 
@@ -803,7 +811,7 @@ func (n *NanoNet) onConfirmed(node *nanoNode, root, winner hashx.Hash) {
 		if err := node.lat.ResolveFork(prev, winner); err == nil && node == n.nodes[0] {
 			n.metrics.ForksResolved++
 			if t0, seen := n.forkSeenAt[prev]; seen {
-				n.metrics.ForkResolveLatency.AddDuration(n.sim.Now() - t0)
+				n.metrics.ForkResolveLatency.AddDuration(n.rt.sim.Now() - t0)
 				delete(n.forkSeenAt, prev)
 			}
 		}
@@ -813,7 +821,7 @@ func (n *NanoNet) onConfirmed(node *nanoNode, root, winner hashx.Hash) {
 		n.confirmedAt[winner] = true
 		n.metrics.ConfirmedBlocks++
 		if created, ok := n.created[winner]; ok {
-			n.metrics.ConfirmLatency.AddDuration(n.sim.Now() - created)
+			n.metrics.ConfirmLatency.AddDuration(n.rt.sim.Now() - created)
 		}
 	}
 }
@@ -825,7 +833,7 @@ func (n *NanoNet) maybeScheduleReceive(node *nanoNode, b *lattice.Block, h hashx
 		return
 	}
 	destIdx := n.ring.Index(b.Destination)
-	if destIdx < 0 || n.ownerOf(destIdx) != n.nodeIndex(node) {
+	if destIdx < 0 || n.ownerOf(destIdx) != int(node.id) {
 		return
 	}
 	if n.cfg.OfflineReceivers[destIdx] {
@@ -835,7 +843,7 @@ func (n *NanoNet) maybeScheduleReceive(node *nanoNode, b *lattice.Block, h hashx
 		return
 	}
 	node.issuedReceive[h] = true
-	n.sim.After(n.cfg.ReceiveDelay, func() {
+	n.rt.sim.After(n.cfg.ReceiveDelay, func() {
 		var (
 			settle *lattice.Block
 			err    error
@@ -853,15 +861,10 @@ func (n *NanoNet) maybeScheduleReceive(node *nanoNode, b *lattice.Block, h hashx
 	})
 }
 
-// nodeIndex finds a node's index.
-func (n *NanoNet) nodeIndex(node *nanoNode) int {
-	return int(node.id)
-}
-
 // publish records, self-processes and floods a locally created block.
 func (n *NanoNet) publish(node *nanoNode, b *lattice.Block) {
 	h := b.Hash()
-	n.created[h] = n.sim.Now()
+	n.created[h] = n.rt.sim.Now()
 	node.seenBlocks[h] = true
 	res := node.lat.Process(b)
 	if res.Status == lattice.Accepted {
@@ -870,13 +873,13 @@ func (n *NanoNet) publish(node *nanoNode, b *lattice.Block) {
 			n.onAttached(node, d, d.Hash())
 		}
 	}
-	n.net.SendToPeers(node.id, b, b.EncodedSize())
+	n.rt.Relay(node.id, b, b.EncodedSize())
 }
 
 // SubmitTransfer schedules a payment: the sender's owner node issues the
 // send; the destination's owner settles it when it arrives.
 func (n *NanoNet) SubmitTransfer(p workload.TimedPayment) {
-	n.sim.At(p.At, func() {
+	n.rt.sim.At(p.At, func() {
 		n.metrics.TransfersSubmitted++
 		owner := n.nodes[n.ownerOf(p.From)]
 		send, err := owner.lat.NewSend(n.ring.Pair(p.From), n.ring.Addr(p.To), p.Amount)
@@ -917,7 +920,7 @@ func (n *NanoNet) SpamThrottle(hashRate float64) float64 {
 // the cutoff stays unexecuted — that backlog is precisely the §VI-B
 // hardware limit the metrics report.
 func (n *NanoNet) Run(duration time.Duration) NanoMetrics {
-	n.sim.RunUntil(duration)
+	n.rt.sim.RunUntil(duration)
 	return n.collect(duration)
 }
 
@@ -944,7 +947,7 @@ func (n *NanoNet) collect(duration time.Duration) NanoMetrics {
 	m.CementedBlocks = st.Cemented
 	m.LedgerBytes = obs.lat.LedgerBytes()
 	m.HeadBytes = obs.lat.HeadBytes()
-	ns := n.net.Stats()
+	ns := n.rt.net.Stats()
 	m.MessagesSent = ns.MessagesSent
 	m.BytesSent = ns.BytesSent
 	return *m

@@ -54,9 +54,9 @@ func TestBitcoinNetworkConverges(t *testing.T) {
 	}
 	// Every replica ends on the same tip as the observer (eventual
 	// consistency across the gossip network).
-	tip := net.nodes[0].ledger.Store().Tip()
-	for i, n := range net.nodes[1:] {
-		if n.ledger.Store().Tip() != tip {
+	tip := net.ledgers[0].Store().Tip()
+	for i, l := range net.ledgers[1:] {
+		if l.Store().Tip() != tip {
 			t.Fatalf("node %d diverged from observer tip", i+1)
 		}
 	}
@@ -154,16 +154,16 @@ func TestEthereumPoWNetwork(t *testing.T) {
 		t.Fatalf("no throughput: %+v", m)
 	}
 	// Replicas converge.
-	tip := net.nodes[0].ledger.Store().Tip()
-	for i, n := range net.nodes[1:] {
-		if n.ledger.Store().Tip() != tip {
+	tip := net.ledgers[0].Store().Tip()
+	for i, l := range net.ledgers[1:] {
+		if l.Store().Tip() != tip {
 			t.Fatalf("node %d diverged", i+1)
 		}
 	}
 	// State roots agree everywhere (account-model execution determinism).
-	root := net.nodes[0].ledger.State().Root()
-	for i, n := range net.nodes[1:] {
-		if n.ledger.State().Root() != root {
+	root := net.ledgers[0].State().Root()
+	for i, l := range net.ledgers[1:] {
+		if l.State().Root() != root {
 			t.Fatalf("node %d state root diverged", i+1)
 		}
 	}

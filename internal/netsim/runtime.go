@@ -1,0 +1,467 @@
+// The shared node-runtime layer: every network simulation used to
+// hand-roll node structs, handler dispatch, publish/relay plumbing and
+// metric collection three times over. NodeRuntime owns that lifecycle
+// once — node registration, inbound dispatch, peer-filtered relay,
+// unicast and broadcast — and threads every interaction through a
+// per-node Behavior, the seam where adversarial strategies (eclipse,
+// selfish mining, vote withholding) plug in without touching the
+// protocol code. With every node on the honest pass-through the runtime
+// reproduces the historical event sequence byte for byte.
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/hashx"
+	"repro/internal/keys"
+	"repro/internal/sim"
+)
+
+// Behavior customizes one node's interaction with the network. Every
+// interception point defaults to honest pass-through (HonestBehavior);
+// adversarial strategies override the points they need:
+//
+//   - FilterPeers rewrites the peer list a relay fans out to.
+//   - OnInbound vets a delivered message; false drops it unseen.
+//   - OnOutbound vets one send; false suppresses that delivery.
+//   - OnProduce vets a locally produced block; false withholds it from
+//     the network (the producer's own ledger keeps it — a private chain).
+//   - OnVote vets a consensus vote this node is about to cast; false
+//     withholds it entirely (not even tallied locally).
+//
+// Behaviors run inside the deterministic simulation loop: they must not
+// draw randomness outside the simulator's rng or mutate other nodes.
+type Behavior interface {
+	FilterPeers(node sim.NodeID, peers []sim.NodeID) []sim.NodeID
+	OnInbound(node, from sim.NodeID, payload any, size int) bool
+	OnOutbound(node, to sim.NodeID, payload any, size int) bool
+	OnProduce(node sim.NodeID, block any) bool
+	OnVote(node sim.NodeID, vote any) bool
+}
+
+// HonestBehavior is the protocol-following default: every hook passes
+// through. Custom behaviors embed it and override only the points they
+// intercept.
+type HonestBehavior struct{}
+
+// FilterPeers returns the peer list unchanged.
+func (HonestBehavior) FilterPeers(_ sim.NodeID, peers []sim.NodeID) []sim.NodeID { return peers }
+
+// OnInbound accepts every delivery.
+func (HonestBehavior) OnInbound(_, _ sim.NodeID, _ any, _ int) bool { return true }
+
+// OnOutbound allows every send.
+func (HonestBehavior) OnOutbound(_, _ sim.NodeID, _ any, _ int) bool { return true }
+
+// OnProduce publishes every produced block.
+func (HonestBehavior) OnProduce(_ sim.NodeID, _ any) bool { return true }
+
+// OnVote casts every vote.
+func (HonestBehavior) OnVote(_ sim.NodeID, _ any) bool { return true }
+
+// BehaviorStats counts what the installed behaviors suppressed — the
+// stat hook experiments read to report an attack's footprint.
+type BehaviorStats struct {
+	// InboundDropped counts deliveries a receiver's behavior discarded.
+	InboundDropped int
+	// OutboundDropped counts sends a sender's behavior suppressed.
+	OutboundDropped int
+	// BlocksWithheld counts produced blocks kept private (OnProduce).
+	BlocksWithheld int
+	// VotesWithheld counts consensus votes never cast (OnVote).
+	VotesWithheld int
+}
+
+// NodeRuntime owns the per-node lifecycle every simulation shares: node
+// registration and handler dispatch, behavior-mediated relay/unicast/
+// broadcast, and the behavior stat counters. One runtime serves one
+// network simulation.
+type NodeRuntime struct {
+	sim       *sim.Simulator
+	net       *sim.Network
+	behaviors []Behavior // nil entry = honest (zero-overhead fast path)
+	stats     BehaviorStats
+}
+
+// newNodeRuntime wraps a simulator and network in a runtime.
+func newNodeRuntime(s *sim.Simulator, net *sim.Network) *NodeRuntime {
+	return &NodeRuntime{sim: s, net: net}
+}
+
+// Sim returns the underlying simulator.
+func (r *NodeRuntime) Sim() *sim.Simulator { return r.sim }
+
+// Net returns the underlying network.
+func (r *NodeRuntime) Net() *sim.Network { return r.net }
+
+// Stats returns a snapshot of the behavior counters.
+func (r *NodeRuntime) Stats() BehaviorStats { return r.stats }
+
+// AddNode registers a node whose deliveries are vetted by its behavior
+// before reaching dispatch. The returned id equals the node's index in
+// registration order.
+func (r *NodeRuntime) AddNode(dispatch sim.Handler) sim.NodeID {
+	id := r.net.AddNode(nil)
+	r.behaviors = append(r.behaviors, nil)
+	r.net.SetHandler(id, func(from sim.NodeID, payload any, size int) {
+		if b := r.behaviors[id]; b != nil && !b.OnInbound(id, from, payload, size) {
+			r.stats.InboundDropped++
+			return
+		}
+		dispatch(from, payload, size)
+	})
+	return id
+}
+
+// SetBehavior installs (or, with nil, removes) a node's behavior.
+func (r *NodeRuntime) SetBehavior(id sim.NodeID, b Behavior) {
+	if int(id) < len(r.behaviors) {
+		r.behaviors[id] = b
+	}
+}
+
+// BehaviorOf returns a node's installed behavior (nil = honest).
+func (r *NodeRuntime) BehaviorOf(id sim.NodeID) Behavior {
+	if int(id) < len(r.behaviors) {
+		return r.behaviors[id]
+	}
+	return nil
+}
+
+// send delivers one message through the sender's outbound hook. The
+// BehaviorOf lookup tolerates nodes registered directly on the network
+// (outside AddNode): they simply have no behavior.
+func (r *NodeRuntime) send(from, to sim.NodeID, payload any, size int) {
+	if b := r.BehaviorOf(from); b != nil && !b.OnOutbound(from, to, payload, size) {
+		r.stats.OutboundDropped++
+		return
+	}
+	r.net.Send(from, to, payload, size)
+}
+
+// Unicast sends one message to one node through the outbound hook.
+func (r *NodeRuntime) Unicast(from, to sim.NodeID, payload any, size int) {
+	r.send(from, to, payload, size)
+}
+
+// Relay fans a message out along the sender's behavior-filtered peer
+// list — the gossip primitive all three networks flood blocks with.
+func (r *NodeRuntime) Relay(from sim.NodeID, payload any, size int) {
+	peers := r.net.Peers(from)
+	if b := r.BehaviorOf(from); b != nil {
+		peers = b.FilterPeers(from, peers)
+	}
+	for _, p := range peers {
+		r.send(from, p, payload, size)
+	}
+}
+
+// Broadcast sends a message from one node directly to every other node
+// in index order — the idealized dissemination votes and post-fault
+// catch-up exchanges use.
+func (r *NodeRuntime) Broadcast(from sim.NodeID, payload any, size int) {
+	for i := 0; i < r.net.NumNodes(); i++ {
+		if sim.NodeID(i) != from {
+			r.send(from, sim.NodeID(i), payload, size)
+		}
+	}
+}
+
+// produceAllowed consults the producer's behavior for a locally created
+// block; false means the block is withheld from the network.
+func (r *NodeRuntime) produceAllowed(node sim.NodeID, block any) bool {
+	if b := r.BehaviorOf(node); b != nil && !b.OnProduce(node, block) {
+		r.stats.BlocksWithheld++
+		return false
+	}
+	return true
+}
+
+// voteAllowed consults the voter's behavior for a consensus vote; false
+// means the vote is withheld entirely.
+func (r *NodeRuntime) voteAllowed(node sim.NodeID, vote any) bool {
+	if b := r.BehaviorOf(node); b != nil && !b.OnVote(node, vote) {
+		r.stats.VotesWithheld++
+		return false
+	}
+	return true
+}
+
+// chainLedger is the ledger surface the chain-side runtime drives; both
+// utxo.Ledger (Bitcoin) and account.Ledger (Ethereum) satisfy it — the
+// two chain networks differ only in ledger semantics, never in gossip,
+// production or measurement plumbing.
+type chainLedger interface {
+	ProcessBlock(*chain.Block) (chain.AddResult, error)
+	BuildBlock(proposer keys.Address, now time.Duration) *chain.Block
+	Height() uint64
+	Store() *chain.Store
+	PoolLen() int
+	LedgerBytes() int
+}
+
+// chainRuntime is the node-runtime core the two chain networks share:
+// first-seen block gossip with reach/propagation tracking, block
+// production with miner attribution, payment-submission accounting,
+// post-fault catch-up exchange, and metric collection from the observer
+// (node 0).
+type chainRuntime struct {
+	rt      *NodeRuntime
+	ledgers []chainLedger
+	seen    []map[hashx.Hash]bool // per-node first-seen gossip dedup
+
+	created    map[hashx.Hash]time.Duration // block hash -> creation time
+	minedBy    map[hashx.Hash]sim.NodeID    // block hash -> producing node
+	reach      map[hashx.Hash]int           // block hash -> nodes reached
+	metrics    ChainMetrics
+	blockTimes []time.Duration
+
+	// confirmedTxs maps the observer's (txsOnMain, blocksOnMain) to the
+	// confirmed-transaction count — Bitcoin discounts coinbases and the
+	// genesis allocation, Ethereum counts main-chain txs directly.
+	confirmedTxs func(txsOnMain, blocksOnMain int) int
+}
+
+// newChainRuntime builds the shared chain core over a fresh runtime.
+func newChainRuntime(s *sim.Simulator, net *sim.Network, confirmedTxs func(txsOnMain, blocksOnMain int) int) *chainRuntime {
+	return &chainRuntime{
+		rt:           newNodeRuntime(s, net),
+		created:      make(map[hashx.Hash]time.Duration),
+		minedBy:      make(map[hashx.Hash]sim.NodeID),
+		reach:        make(map[hashx.Hash]int),
+		confirmedTxs: confirmedTxs,
+	}
+}
+
+// addNode registers one chain full node: first-seen blocks are counted
+// toward propagation, processed into the ledger, and re-flooded to the
+// node's (behavior-filtered) peers. The returned id equals the node's
+// index.
+func (c *chainRuntime) addNode(l chainLedger) sim.NodeID {
+	idx := len(c.ledgers)
+	c.ledgers = append(c.ledgers, l)
+	c.seen = append(c.seen, make(map[hashx.Hash]bool))
+	return c.rt.AddNode(func(from sim.NodeID, payload any, size int) {
+		blk, ok := payload.(*chain.Block)
+		if !ok {
+			return
+		}
+		h := blk.Hash()
+		if c.seen[idx][h] {
+			return
+		}
+		c.seen[idx][h] = true
+		c.reach[h]++
+		if c.reach[h] == len(c.ledgers) {
+			c.metrics.Propagation.AddDuration(c.rt.sim.Now() - c.created[h])
+		}
+		// Processing errors mean a byzantine block; honest sims don't
+		// produce them, and a relay node still floods valid-looking data.
+		_, _ = l.ProcessBlock(blk)
+		c.rt.Relay(sim.NodeID(idx), blk, blk.Size())
+	})
+}
+
+// produce lets node idx extend its own view with a freshly won block —
+// the stale-tip race that produces Fig. 4's soft forks when propagation
+// lags — then floods it, unless the producer's behavior withholds it
+// (selfish mining keeps it on a private chain until release).
+func (c *chainRuntime) produce(idx int, proposer keys.Address, difficulty float64) *chain.Block {
+	node := c.ledgers[idx]
+	blk := node.BuildBlock(proposer, c.rt.sim.Now())
+	blk.Header.Difficulty = difficulty
+	h := blk.Hash()
+	c.created[h] = c.rt.sim.Now()
+	c.minedBy[h] = sim.NodeID(idx)
+	c.metrics.BlocksTotal++
+	c.blockTimes = append(c.blockTimes, c.rt.sim.Now())
+	c.seen[idx][h] = true
+	c.reach[h] = 1
+	_, _ = node.ProcessBlock(blk)
+	if c.rt.produceAllowed(sim.NodeID(idx), blk) {
+		c.rt.Relay(sim.NodeID(idx), blk, blk.Size())
+	}
+	return blk
+}
+
+// releaseBlock floods a previously withheld block — the selfish miner's
+// publish action. Creation-time bookkeeping already happened in produce.
+func (c *chainRuntime) releaseBlock(idx int, blk *chain.Block) {
+	c.rt.Relay(sim.NodeID(idx), blk, blk.Size())
+}
+
+// scheduleSubmit arms a payment submission at the given time: attempt
+// builds and pools the transaction and reports acceptance; the runtime
+// owns the submitted/rejected accounting both chains used to duplicate.
+func (c *chainRuntime) scheduleSubmit(at time.Duration, attempt func() bool) {
+	c.rt.sim.At(at, func() {
+		c.metrics.SubmittedTxs++
+		if !attempt() {
+			c.metrics.RejectedTxs++
+		}
+	})
+}
+
+// collect summarizes the run from the observer's (node 0) perspective.
+func (c *chainRuntime) collect(duration time.Duration) ChainMetrics {
+	obs := c.ledgers[0]
+	st := obs.Store().Stats()
+	m := &c.metrics
+	m.Duration = duration
+	m.BlocksOnMain = int(obs.Height())
+	m.Orphaned = st.OrphanedTotal
+	if m.BlocksTotal > 0 {
+		m.OrphanRate = float64(m.Orphaned) / float64(m.BlocksTotal)
+	}
+	m.Reorgs = st.Reorgs
+	m.MaxReorgDepth = st.MaxReorgDepth
+	m.ConfirmedTxs = c.confirmedTxs(st.TxsOnMain, m.BlocksOnMain)
+	if m.ConfirmedTxs < 0 {
+		m.ConfirmedTxs = 0
+	}
+	if duration > 0 {
+		m.TPS = float64(m.ConfirmedTxs) / duration.Seconds()
+	}
+	m.PendingAtEnd = obs.PoolLen()
+	m.LedgerBytes = obs.LedgerBytes()
+	if len(c.blockTimes) > 1 {
+		span := c.blockTimes[len(c.blockTimes)-1] - c.blockTimes[0]
+		m.MeanBlockInterval = span / time.Duration(len(c.blockTimes)-1)
+	}
+	ns := c.rt.net.Stats()
+	m.MessagesSent = ns.MessagesSent
+	m.BytesSent = ns.BytesSent
+	return *m
+}
+
+// faultSurface exposes the pieces the fault driver schedules against.
+func (c *chainRuntime) faultSurface() (*sim.Simulator, *sim.Network, int) {
+	return c.rt.sim, c.rt.net, len(c.ledgers)
+}
+
+// broadcastMainChain floods a node's main chain to everyone — the
+// post-heal IBD stand-in; dedup at the receivers keeps the cost one
+// delivery per missing block.
+func (c *chainRuntime) broadcastMainChain(idx int) {
+	l := c.ledgers[idx]
+	for _, h := range l.Store().MainChain() {
+		if blk, ok := l.Store().Get(h); ok {
+			c.rt.Broadcast(sim.NodeID(idx), blk, blk.Size())
+		}
+	}
+}
+
+// sendMainChain serves one node's main chain directly to another — the
+// catch-up a rejoining churn node receives from a live peer.
+func (c *chainRuntime) sendMainChain(from, to int) {
+	l := c.ledgers[from]
+	for _, h := range l.Store().MainChain() {
+		if blk, ok := l.Store().Get(h); ok {
+			c.rt.Unicast(sim.NodeID(from), sim.NodeID(to), blk, blk.Size())
+		}
+	}
+}
+
+// tipsConverged reports whether every node agrees on the chain tip.
+func (c *chainRuntime) tipsConverged() bool {
+	tip := c.ledgers[0].Store().Tip()
+	for _, l := range c.ledgers[1:] {
+		if l.Store().Tip() != tip {
+			return false
+		}
+	}
+	return true
+}
+
+// convergedWithin reports whether every node agrees with the observer's
+// main chain at depth back below the observer's tip — tip equality with
+// a tolerance for blocks still propagating at the cutoff instant.
+func (c *chainRuntime) convergedWithin(back int) bool {
+	obs := c.ledgers[0]
+	target := int(obs.Height()) - back
+	if target < 0 {
+		target = 0
+	}
+	want, ok := obs.Store().HashAtHeight(uint64(target))
+	if !ok {
+		return false
+	}
+	for _, l := range c.ledgers[1:] {
+		if got, ok := l.Store().HashAtHeight(uint64(target)); !ok || got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// minerShare reports how many attributed observer main-chain blocks node
+// idx produced, against all attributed main-chain blocks — the revenue
+// accounting selfish-mining experiments sweep (genesis carries no
+// attribution and is excluded).
+func (c *chainRuntime) minerShare(idx int) (mined, total int) {
+	for _, h := range c.ledgers[0].Store().MainChain() {
+		who, ok := c.minedBy[h]
+		if !ok {
+			continue
+		}
+		total++
+		if who == sim.NodeID(idx) {
+			mined++
+		}
+	}
+	return mined, total
+}
+
+// EclipseReport summarizes a victim's divergence from the rest of the
+// network after an eclipse: how far its chain lags the consensus view
+// and how many of its main-chain blocks the consensus never adopted —
+// the window a double spend against the victim rides through.
+type EclipseReport struct {
+	// VictimHeight and ConsensusHeight are the victim's main-chain
+	// height and the highest main-chain height among the other nodes.
+	VictimHeight, ConsensusHeight uint64
+	// HeightLag is max(0, ConsensusHeight - VictimHeight).
+	HeightLag int
+	// ExposedBlocks counts victim main-chain blocks (genesis excluded)
+	// absent from the consensus main chain: confirmations the victim
+	// trusts that the network will never honor.
+	ExposedBlocks int
+}
+
+// eclipseReport compares the victim's chain against the best chain held
+// by any other node (ties broken toward the lowest index, so the report
+// is deterministic).
+func (c *chainRuntime) eclipseReport(victim int) EclipseReport {
+	var r EclipseReport
+	best := -1
+	for i, l := range c.ledgers {
+		if i == victim {
+			continue
+		}
+		if best < 0 || l.Height() > c.ledgers[best].Height() {
+			best = i
+		}
+	}
+	if best < 0 {
+		return r
+	}
+	r.VictimHeight = c.ledgers[victim].Height()
+	r.ConsensusHeight = c.ledgers[best].Height()
+	if r.ConsensusHeight > r.VictimHeight {
+		r.HeightLag = int(r.ConsensusHeight - r.VictimHeight)
+	}
+	onConsensus := make(map[hashx.Hash]bool)
+	for _, h := range c.ledgers[best].Store().MainChain() {
+		onConsensus[h] = true
+	}
+	for i, h := range c.ledgers[victim].Store().MainChain() {
+		if i == 0 {
+			continue // shared genesis
+		}
+		if !onConsensus[h] {
+			r.ExposedBlocks++
+		}
+	}
+	return r
+}

@@ -1,0 +1,251 @@
+package netsim
+
+// Node-runtime and behavior tests: the honest pass-through must change
+// nothing (the golden E1–E15 tables pin that at experiment level; here
+// it is pinned at network level), and each adversarial behavior must
+// produce its signature footprint — isolation for eclipse, withheld
+// releases for selfish mining, quorum starvation for vote withholding.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Installing HonestBehavior explicitly on every node must reproduce the
+// nil-behavior (fast path) run exactly: the hooks are pass-through, so
+// the event sequence and metrics cannot move.
+func TestHonestBehaviorIsByteIdenticalNoOp(t *testing.T) {
+	run := func(install bool) ChainMetrics {
+		net, err := NewBitcoin(BitcoinConfig{
+			Net: fastNet(401), BlockInterval: 20 * time.Second, Accounts: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if install {
+			for i := 0; i < 8; i++ {
+				net.Runtime().SetBehavior(sim.NodeID(i), HonestBehavior{})
+			}
+		}
+		rng := rand.New(rand.NewSource(402))
+		load := workload.Payments(rng, workload.Config{
+			Accounts: 16, Rate: 2, Duration: 4 * time.Minute, MaxAmount: 10,
+		})
+		return net.RunWithPayments(5*time.Minute, load, 5)
+	}
+	plain, honest := run(false), run(true)
+	if plain.BlocksOnMain != honest.BlocksOnMain || plain.BlocksTotal != honest.BlocksTotal ||
+		plain.ConfirmedTxs != honest.ConfirmedTxs || plain.MessagesSent != honest.MessagesSent ||
+		plain.BytesSent != honest.BytesSent || plain.PendingAtEnd != honest.PendingAtEnd ||
+		plain.Reorgs != honest.Reorgs || plain.Orphaned != honest.Orphaned {
+		t.Fatalf("explicit HonestBehavior changed the run:\n%+v\nvs\n%+v", plain, honest)
+	}
+}
+
+// A custom FilterPeers behavior (the README worked example): relay to at
+// most one peer. The filtered node still hears everything but fans out
+// almost nothing, so network traffic must drop against the honest run.
+type throttledRelay struct {
+	HonestBehavior
+}
+
+func (throttledRelay) FilterPeers(_ sim.NodeID, peers []sim.NodeID) []sim.NodeID {
+	if len(peers) > 1 {
+		return peers[:1]
+	}
+	return peers
+}
+
+func TestFilterPeersBehaviorThrottlesRelay(t *testing.T) {
+	run := func(throttle bool) ChainMetrics {
+		net, err := NewBitcoin(BitcoinConfig{
+			Net: fastNet(411), BlockInterval: 15 * time.Second, Accounts: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if throttle {
+			for i := 1; i < 8; i++ { // observer stays honest
+				net.Runtime().SetBehavior(sim.NodeID(i), throttledRelay{})
+			}
+		}
+		return net.Run(5 * time.Minute)
+	}
+	full, throttled := run(false), run(true)
+	if throttled.MessagesSent >= full.MessagesSent {
+		t.Fatalf("throttled relay sent %d messages, honest %d",
+			throttled.MessagesSent, full.MessagesSent)
+	}
+}
+
+// A fully eclipsed Bitcoin victim keeps mining a private, stale view:
+// its chain must lag or diverge from the consensus the healthy nodes
+// agree on, and the captured links must actually drop traffic.
+func TestEclipseIsolatesBitcoinVictim(t *testing.T) {
+	net, err := NewBitcoin(BitcoinConfig{
+		Net: fastNet(421), BlockInterval: 10 * time.Second, Accounts: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := net.Eclipse(0, 1.0)
+	if eb == nil || eb.CapturedPeers() == 0 {
+		t.Fatal("full eclipse captured no peers")
+	}
+	net.Run(8 * time.Minute)
+	rep := net.EclipseReport(0)
+	if rep.HeightLag == 0 && rep.ExposedBlocks == 0 {
+		t.Fatalf("fully eclipsed victim kept up with the network: %+v", rep)
+	}
+	st := net.Runtime().Stats()
+	if st.InboundDropped == 0 && st.OutboundDropped == 0 {
+		t.Fatal("eclipse dropped no traffic")
+	}
+}
+
+// frac <= 0 must be a strict no-op: nil behavior, untouched peer view.
+func TestEclipseZeroFractionIsNoOp(t *testing.T) {
+	net, err := NewBitcoin(BitcoinConfig{
+		Net: fastNet(431), BlockInterval: 10 * time.Second, Accounts: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(net.Net().Peers(0))
+	if eb := net.Eclipse(0, 0); eb != nil {
+		t.Fatal("zero-fraction eclipse installed a behavior")
+	}
+	if got := len(net.Net().Peers(0)); got != before {
+		t.Fatalf("zero-fraction eclipse rewrote the peer view: %d -> %d", before, got)
+	}
+	if net.Runtime().BehaviorOf(0) != nil {
+		t.Fatal("behavior installed at frac 0")
+	}
+}
+
+// A fully eclipsed Nano victim stops hearing block gossip: its lattice
+// falls behind a healthy replica's and its settled count collapses
+// against the honest baseline.
+func TestEclipseStarvesNanoVictim(t *testing.T) {
+	run := func(frac float64) (NanoMetrics, int, int) {
+		net, err := NewNano(NanoConfig{
+			Net: fastNet(441), Accounts: 24, Reps: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Eclipse(0, frac)
+		rng := rand.New(rand.NewSource(442))
+		transfers := workload.Payments(rng, workload.Config{
+			Accounts: 24, Rate: 6, Duration: 20 * time.Second, MaxAmount: 5,
+		})
+		m := net.RunWithTransfers(40*time.Second, transfers)
+		return m, net.BlockCountOf(0), net.BlockCountOf(1)
+	}
+	honest, _, _ := run(0)
+	eclipsed, victimBlocks, healthyBlocks := run(1)
+	if eclipsed.SettledAtObserver*2 >= honest.SettledAtObserver {
+		t.Fatalf("eclipsed victim settled %d, honest %d — no starvation",
+			eclipsed.SettledAtObserver, honest.SettledAtObserver)
+	}
+	if victimBlocks >= healthyBlocks {
+		t.Fatalf("victim lattice (%d blocks) kept pace with healthy replica (%d)",
+			victimBlocks, healthyBlocks)
+	}
+}
+
+// The selfish miner withholds every block it produces and releases the
+// private chain when rivals arrive; with a large hash share its revenue
+// share on the main chain must be substantial, and the withheld/released
+// accounting must balance.
+func TestSelfishMinerWithholdsAndReleases(t *testing.T) {
+	net, err := NewBitcoin(BitcoinConfig{
+		Net:           fastNet(451),
+		BlockInterval: 10 * time.Second,
+		Accounts:      8,
+		// Node 7 holds ~40% of the power.
+		HashRates: []float64{1, 1, 1, 1, 1, 1, 1, 4.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := net.InstallSelfishMiner(7)
+	net.Run(10 * time.Minute)
+	if sm.Produced() == 0 {
+		t.Fatal("selfish miner never produced")
+	}
+	if sm.Released() == 0 {
+		t.Fatal("selfish miner never released its private chain")
+	}
+	if sm.Released()+sm.Withheld() != sm.Produced() {
+		t.Fatalf("withheld accounting broken: produced %d, released %d, still private %d",
+			sm.Produced(), sm.Released(), sm.Withheld())
+	}
+	// Race-winning blocks publish directly (OnProduce true), so the
+	// runtime's withheld count is bounded by — not equal to — produced.
+	if got := net.Runtime().Stats().BlocksWithheld; got == 0 || got > sm.Produced() {
+		t.Fatalf("runtime counted %d withheld blocks, behavior produced %d", got, sm.Produced())
+	}
+	mined, total := net.MinerShare(7)
+	if total == 0 || mined == 0 {
+		t.Fatalf("no attributed main-chain revenue: %d/%d", mined, total)
+	}
+}
+
+// Withholding a majority of the voting weight must stall confirmations:
+// quorum is unreachable, so the observer confirms (almost) nothing,
+// while the zero-withholding baseline confirms plenty.
+func TestVoteWithholdingStallsQuorum(t *testing.T) {
+	run := func(frac float64) (NanoMetrics, float64) {
+		net, err := NewNano(NanoConfig{
+			Net: fastNet(461), Accounts: 24, Reps: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := net.InstallVoteWithholding(frac)
+		rng := rand.New(rand.NewSource(462))
+		transfers := workload.Payments(rng, workload.Config{
+			Accounts: 24, Rate: 6, Duration: 20 * time.Second, MaxAmount: 5,
+		})
+		return net.RunWithTransfers(40*time.Second, transfers), got
+	}
+	baseline, frac0 := run(0)
+	if frac0 != 0 {
+		t.Fatalf("zero request withheld %.2f of the weight", frac0)
+	}
+	stalled, frac6 := run(0.6)
+	if frac6 < 0.5 {
+		t.Fatalf("requested 60%% withholding, got %.2f", frac6)
+	}
+	if baseline.ConfirmedBlocks == 0 {
+		t.Fatal("baseline confirmed nothing")
+	}
+	if stalled.ConfirmedBlocks*10 > baseline.ConfirmedBlocks {
+		t.Fatalf("majority withholding still confirmed %d blocks (baseline %d)",
+			stalled.ConfirmedBlocks, baseline.ConfirmedBlocks)
+	}
+}
+
+// SetPeersOf rewrites only the targeted node's relay view.
+func TestSetPeersOfIsPerNode(t *testing.T) {
+	net, err := NewBitcoin(BitcoinConfig{
+		Net: fastNet(471), BlockInterval: 10 * time.Second, Accounts: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	othersBefore := append([]sim.NodeID(nil), net.Net().Peers(1)...)
+	net.Net().SetPeersOf(0, []sim.NodeID{3})
+	if got := net.Net().Peers(0); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("SetPeersOf(0) = %v", got)
+	}
+	after := net.Net().Peers(1)
+	if len(after) != len(othersBefore) {
+		t.Fatalf("rewriting node 0's view changed node 1's: %v -> %v", othersBefore, after)
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+// Send drop-precedence and topology-determinism coverage: Send checks
+// churn detachment first, then partition groups, then the runtime loss
+// hook — each dropped message increments exactly one counter, so fault
+// experiments can attribute every loss to one cause. RandomPeers must be
+// a pure function of its rng stream, and SetPeersOf must rewrite exactly
+// one node's view.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// dropNet builds a two-node network whose link model never drops, so
+// every loss is attributable to the runtime checks under test.
+func dropNet(t *testing.T) (*Simulator, *Network) {
+	t.Helper()
+	s := New(1)
+	n := NewNetwork(s, UniformLinks{MinLatency: time.Millisecond, MaxLatency: time.Millisecond})
+	n.AddNode(func(NodeID, any, int) {})
+	n.AddNode(func(NodeID, any, int) {})
+	return s, n
+}
+
+func TestSendDropPrecedenceDetachedBeatsPartitionAndLoss(t *testing.T) {
+	_, n := dropNet(t)
+	// All three conditions at once: the endpoint is detached, the nodes
+	// sit in different partition groups, and the loss hook drops all.
+	n.Detach(1)
+	n.Partition(map[NodeID]int{1: 1})
+	n.SetLossRate(1)
+	n.Send(0, 1, "m", 1)
+	st := n.Stats()
+	if st.ChurnDropped != 1 || st.Partitioned != 0 || st.LossDropped != 0 || st.Dropped != 0 {
+		t.Fatalf("detached drop miscounted: %+v", st)
+	}
+	if st.MessagesSent != 0 {
+		t.Fatal("dropped message counted as sent")
+	}
+}
+
+func TestSendDropPrecedencePartitionBeatsLoss(t *testing.T) {
+	_, n := dropNet(t)
+	n.Partition(map[NodeID]int{1: 1})
+	n.SetLossRate(1)
+	n.Send(0, 1, "m", 1)
+	st := n.Stats()
+	if st.Partitioned != 1 || st.ChurnDropped != 0 || st.LossDropped != 0 {
+		t.Fatalf("partition drop miscounted: %+v", st)
+	}
+}
+
+func TestSendDropPrecedenceLossAlone(t *testing.T) {
+	s, n := dropNet(t)
+	n.SetLossRate(1)
+	n.Send(0, 1, "m", 1)
+	st := n.Stats()
+	if st.LossDropped != 1 || st.ChurnDropped != 0 || st.Partitioned != 0 {
+		t.Fatalf("loss drop miscounted: %+v", st)
+	}
+	// Clearing the hook lets the message through — exactly one delivery.
+	n.SetLossRate(0)
+	delivered := 0
+	n.SetHandler(1, func(NodeID, any, int) { delivered++ })
+	n.Send(0, 1, "m", 1)
+	s.Run(0)
+	if delivered != 1 || n.Stats().MessagesSent != 1 {
+		t.Fatalf("unfaulted send not delivered exactly once: delivered=%d %+v", delivered, n.Stats())
+	}
+}
+
+// Each drop cause increments exactly one counter even across repeats —
+// the sum of counters equals the number of dropped sends.
+func TestSendDropCountersAreExclusive(t *testing.T) {
+	_, n := dropNet(t)
+	n.Detach(1)
+	for i := 0; i < 5; i++ {
+		n.Send(0, 1, "m", 1)
+	}
+	n.Attach(1)
+	n.Partition(map[NodeID]int{1: 1})
+	for i := 0; i < 3; i++ {
+		n.Send(0, 1, "m", 1)
+	}
+	n.Heal()
+	n.SetLossRate(1)
+	for i := 0; i < 2; i++ {
+		n.Send(0, 1, "m", 1)
+	}
+	st := n.Stats()
+	if st.ChurnDropped != 5 || st.Partitioned != 3 || st.LossDropped != 2 {
+		t.Fatalf("counters not exclusive: %+v", st)
+	}
+	if st.MessagesSent != 0 {
+		t.Fatalf("dropped sends counted as sent: %+v", st)
+	}
+}
+
+// RandomPeers is a pure function of the rng stream: a fixed seed yields
+// the identical topology, and different seeds diverge.
+func TestRandomPeersDeterministicUnderFixedSeed(t *testing.T) {
+	build := func(seed int64) [][]NodeID {
+		return RandomPeers(rand.New(rand.NewSource(seed)), 24, 4)
+	}
+	if !reflect.DeepEqual(build(7), build(7)) {
+		t.Fatal("same seed produced different topologies")
+	}
+	if reflect.DeepEqual(build(7), build(8)) {
+		t.Fatal("different seeds produced the identical topology (suspicious)")
+	}
+	// Per-list determinism includes order: lists are sorted.
+	for _, ps := range build(7) {
+		for i := 1; i < len(ps); i++ {
+			if ps[i] <= ps[i-1] {
+				t.Fatalf("peer list not sorted: %v", ps)
+			}
+		}
+	}
+}
+
+// SetPeersOf rewrites one node's relay view only, grows a nil topology,
+// and ignores negative ids.
+func TestSetPeersOf(t *testing.T) {
+	s := New(3)
+	n := NewNetwork(s, UniformLinks{MinLatency: time.Millisecond, MaxLatency: time.Millisecond})
+	for i := 0; i < 4; i++ {
+		n.AddNode(func(NodeID, any, int) {})
+	}
+	// Grows a nil topology to fit.
+	n.SetPeersOf(2, []NodeID{0, 1})
+	if got := n.Peers(2); !reflect.DeepEqual(got, []NodeID{0, 1}) {
+		t.Fatalf("Peers(2) = %v", got)
+	}
+	if n.Peers(1) != nil {
+		t.Fatalf("untouched node grew peers: %v", n.Peers(1))
+	}
+	// Replaces an installed topology entry without touching the rest.
+	n.SetPeers([][]NodeID{{1}, {2}, {3}, {0}})
+	n.SetPeersOf(0, []NodeID{3})
+	if got := n.Peers(0); !reflect.DeepEqual(got, []NodeID{3}) {
+		t.Fatalf("Peers(0) = %v", got)
+	}
+	if got := n.Peers(1); !reflect.DeepEqual(got, []NodeID{2}) {
+		t.Fatalf("Peers(1) perturbed: %v", got)
+	}
+	n.SetPeersOf(-1, []NodeID{0}) // no-op, no panic
+}

@@ -411,6 +411,21 @@ func (n *Network) SetLossRate(p float64) {
 // SetPeers installs a gossip topology; SendToPeers fans out along it.
 func (n *Network) SetPeers(peers [][]NodeID) { n.peers = peers }
 
+// SetPeersOf replaces one node's peer list — the per-node peer view that
+// lets an adversary capture a victim's peer table (eclipse attacks)
+// without touching anyone else's. The peer graph is directed from here
+// on: rewriting node v's list changes where v relays to, not who relays
+// to v. A nil topology is grown to fit so the call works before SetPeers.
+func (n *Network) SetPeersOf(id NodeID, peers []NodeID) {
+	if id < 0 {
+		return
+	}
+	for int(id) >= len(n.peers) {
+		n.peers = append(n.peers, nil)
+	}
+	n.peers[id] = peers
+}
+
 // Peers returns the peer list of a node (nil when no topology installed).
 func (n *Network) Peers(id NodeID) []NodeID {
 	if n.peers == nil || int(id) >= len(n.peers) {

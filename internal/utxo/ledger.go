@@ -135,6 +135,10 @@ func (l *Ledger) Store() *chain.Store { return l.store }
 // Pool exposes the mempool.
 func (l *Ledger) Pool() *Mempool { return l.pool }
 
+// PoolLen returns the mempool backlog size — the pending-transaction
+// census the throughput experiments report (§VI).
+func (l *Ledger) PoolLen() int { return l.pool.Len() }
+
 // UTXOSet exposes the tip UTXO set for read-only queries.
 func (l *Ledger) UTXOSet() *Set { return l.set }
 
