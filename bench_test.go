@@ -220,8 +220,8 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if got := len(report.Runs); got != 17 {
-					b.Fatalf("sweep ran %d/17 experiments", got)
+				if got := len(report.Runs); got != 18 {
+					b.Fatalf("sweep ran %d/18 experiments", got)
 				}
 			}
 		})

@@ -17,6 +17,8 @@
 //	dltbench -experiment E15 -double-spend-trials 10      # tighter rates
 //	dltbench -experiment E16 -eclipse-frac 0.4            # extra sweep point
 //	dltbench -experiment E17 -selfish-alpha 0.3           # extra sweep point
+//	dltbench -experiment E17 -selfish-gamma 0.5           # Eyal–Sirer connectivity
+//	dltbench -experiment E18 -double-spend-trials 10      # executed attacks
 //	dltbench -list               # show the registry
 //	dltbench -timing             # append the wall-clock/speedup table
 package main
@@ -40,7 +42,7 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (E1…E17) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (E1…E18) or 'all'")
 		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
 		scale      = flag.Float64("scale", 1.0, "duration/workload scale factor")
 		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU core)")
@@ -59,6 +61,8 @@ func run() int {
 			"extra captured-peer fraction added to E16's eclipse sweep (0 = default sweep only)")
 		selfishAlpha = flag.Float64("selfish-alpha", 0,
 			"extra adversary hash share added to E17's selfish-mining sweep (0 = default sweep only)")
+		selfishGamma = flag.Float64("selfish-gamma", 0,
+			"Eyal–Sirer connectivity for E17's selfish-mining rows: fraction of honest hash power mining on the adversary's block in an open 1-1 race (0 = historical first-seen races)")
 		withholdWeight = flag.Float64("withhold-weight", 0,
 			"extra withheld-weight fraction added to E17's vote-withholding sweep (0 = default sweep only)")
 		timing  = flag.Bool("timing", false, "print the sweep wall-clock/speedup table (text format only)")
@@ -68,6 +72,20 @@ func run() int {
 	flag.Parse()
 	if *format != "text" && *format != "csv" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -format %q (want text, csv or json)\n", *format)
+		return 1
+	}
+	// Out-of-range adversary and fault knobs are rejected here with a
+	// clear message. The core Config would silently fall back to the
+	// default sweeps — correct for programmatic use, but a typed
+	// -eclipse-frac 1.5 or -selfish-alpha -0.3 on the command line is a
+	// mistake the user should hear about, not a run that quietly ignores
+	// the flag.
+	if err := validateKnobs(knobRanges{
+		eclipseFrac: *eclipseFrac, selfishAlpha: *selfishAlpha, selfishGamma: *selfishGamma,
+		withholdWeight: *withholdWeight, partitionFrac: *partitionFrac,
+		churnNodes: *churnNodes, dsTrials: *dsTrials,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 
@@ -95,6 +113,7 @@ func run() int {
 		DoubleSpendTrials: *dsTrials,
 		EclipseFrac:       *eclipseFrac,
 		SelfishAlpha:      *selfishAlpha,
+		SelfishGamma:      *selfishGamma,
 		WithholdWeight:    *withholdWeight,
 	}
 	selected := core.Experiments()
@@ -122,6 +141,39 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// knobRanges carries the adversary/fault flag values into validation.
+type knobRanges struct {
+	eclipseFrac, selfishAlpha, selfishGamma, withholdWeight, partitionFrac float64
+	churnNodes, dsTrials                                                   int
+}
+
+// validateKnobs rejects out-of-range adversary and fault knobs with the
+// flag name and its legal range.
+func validateKnobs(k knobRanges) error {
+	if k.eclipseFrac < 0 || k.eclipseFrac > 1 {
+		return fmt.Errorf("-eclipse-frac %v out of range: want a captured-peer fraction in [0, 1]", k.eclipseFrac)
+	}
+	if k.selfishAlpha < 0 || k.selfishAlpha >= 1 {
+		return fmt.Errorf("-selfish-alpha %v out of range: want an adversary hash share in [0, 1)", k.selfishAlpha)
+	}
+	if k.selfishGamma < 0 || k.selfishGamma > 1 {
+		return fmt.Errorf("-selfish-gamma %v out of range: want an honest-connectivity fraction in [0, 1]", k.selfishGamma)
+	}
+	if k.withholdWeight < 0 || k.withholdWeight > 1 {
+		return fmt.Errorf("-withhold-weight %v out of range: want a withheld voting-weight fraction in [0, 1]", k.withholdWeight)
+	}
+	if k.partitionFrac < 0 || k.partitionFrac >= 1 {
+		return fmt.Errorf("-fault-partition-frac %v out of range: want a minority share in [0, 1)", k.partitionFrac)
+	}
+	if k.churnNodes < 0 {
+		return fmt.Errorf("-fault-churn-nodes %d out of range: want a non-negative node count", k.churnNodes)
+	}
+	if k.dsTrials < 0 {
+		return fmt.Errorf("-double-spend-trials %d out of range: want a non-negative trial count", k.dsTrials)
+	}
+	return nil
 }
 
 // experimentDoc is one experiment's machine-readable result: identity,

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Out-of-range adversary knobs must be rejected with the flag name in
+// the message, and every in-range value — bounds included where legal —
+// must pass. Before validateKnobs, a -eclipse-frac 1.5 silently fell
+// back to the default sweep.
+func TestValidateKnobs(t *testing.T) {
+	if err := validateKnobs(knobRanges{}); err != nil {
+		t.Fatalf("zero knobs rejected: %v", err)
+	}
+	if err := validateKnobs(knobRanges{
+		eclipseFrac: 1, selfishAlpha: 0.45, selfishGamma: 1,
+		withholdWeight: 1, partitionFrac: 0.5, churnNodes: 3, dsTrials: 10,
+	}); err != nil {
+		t.Fatalf("in-range knobs rejected: %v", err)
+	}
+	bad := []struct {
+		flag string
+		k    knobRanges
+	}{
+		{"-eclipse-frac", knobRanges{eclipseFrac: 1.5}},
+		{"-eclipse-frac", knobRanges{eclipseFrac: -0.1}},
+		{"-selfish-alpha", knobRanges{selfishAlpha: -0.3}},
+		{"-selfish-alpha", knobRanges{selfishAlpha: 1}},
+		{"-selfish-gamma", knobRanges{selfishGamma: 1.01}},
+		{"-selfish-gamma", knobRanges{selfishGamma: -1}},
+		{"-withhold-weight", knobRanges{withholdWeight: -0.2}},
+		{"-withhold-weight", knobRanges{withholdWeight: 2}},
+		{"-fault-partition-frac", knobRanges{partitionFrac: 1}},
+		{"-fault-churn-nodes", knobRanges{churnNodes: -1}},
+		{"-double-spend-trials", knobRanges{dsTrials: -5}},
+	}
+	for _, c := range bad {
+		err := validateKnobs(c.k)
+		if err == nil {
+			t.Fatalf("%s: out-of-range value accepted (%+v)", c.flag, c.k)
+		}
+		if !strings.Contains(err.Error(), c.flag) {
+			t.Fatalf("error does not name the flag %s: %v", c.flag, err)
+		}
+	}
+}

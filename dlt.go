@@ -97,6 +97,17 @@ type (
 	SelfishMiningBehavior = netsim.SelfishMiningBehavior
 	VoteWithholdBehavior  = netsim.VoteWithholdBehavior
 	EclipseReport         = netsim.EclipseReport
+	// ChainDoubleSpendPlan and LatticeDoubleSpendPlan schedule EXECUTED
+	// double spends (E18): the attack is carried through to a wrong
+	// settlement — eclipse-fed payments, partition-hidden forks — and
+	// the outcome reports whether the victim's accepted payment was
+	// actually reverted.
+	ChainDoubleSpendPlan      = netsim.ChainDoubleSpendPlan
+	ChainDoubleSpendHandle    = netsim.ChainDoubleSpendHandle
+	ChainDoubleSpendOutcome   = netsim.ChainDoubleSpendOutcome
+	LatticeDoubleSpendPlan    = netsim.LatticeDoubleSpendPlan
+	LatticeDoubleSpendHandle  = netsim.LatticeDoubleSpendHandle
+	LatticeDoubleSpendOutcome = netsim.LatticeDoubleSpendOutcome
 )
 
 // Consensus selects PoW or PoS for Ethereum-like networks.
@@ -134,7 +145,7 @@ func RunAllContext(ctx context.Context, cfg Config, workers int) (*Report, error
 	return core.RunAllContext(ctx, cfg, workers)
 }
 
-// Experiments returns the full registry (E1…E17) in paper order.
+// Experiments returns the full registry (E1…E18) in paper order.
 func Experiments() []Experiment { return core.Experiments() }
 
 // ExperimentByID looks up one experiment.

@@ -405,6 +405,40 @@ func (l *Ledger) BuildBlock(proposer keys.Address, now time.Duration) *chain.Blo
 	}
 }
 
+// BuildBlockOn assembles an empty block extending an arbitrary known
+// parent, not necessarily the tip — the honest miner that races on a
+// selfish miner's published branch (the γ side of the Eyal–Sirer 1-1
+// race) builds here. With no transactions the post-state equals the
+// parent state, so the block validates on any branch whose state is
+// still retained.
+func (l *Ledger) BuildBlockOn(parent hashx.Hash, proposer keys.Address, now time.Duration) (*chain.Block, error) {
+	p, ok := l.store.Get(parent)
+	if !ok {
+		return nil, fmt.Errorf("account: build on %s: %w", parent, chain.ErrUnknownBlock)
+	}
+	parentState, ok := l.states[parent]
+	if !ok {
+		return nil, fmt.Errorf("account: no state for parent %s (pruned?)", parent)
+	}
+	body := &BlockBody{GasLimit: l.NextGasLimit(p.Payload.(*BlockBody).GasLimit)}
+	diff := pow.EthereumAdjust(p.Header.Difficulty, now-p.Header.Time)
+	if p.Header.Height == 0 {
+		diff = l.params.InitialDifficulty
+	}
+	return &chain.Block{
+		Header: chain.Header{
+			Parent:     parent,
+			Height:     p.Header.Height + 1,
+			Time:       now,
+			TxRoot:     body.Root(),
+			StateRoot:  StateAt(parentState).Root(),
+			Difficulty: diff,
+			Proposer:   proposer,
+		},
+		Payload: body,
+	}, nil
+}
+
 // validateBlock re-executes a block against its parent's state and checks
 // the declared roots — full validation at acceptance time, side chains
 // included (possible here, unlike the UTXO ledger, because persistent
@@ -455,15 +489,34 @@ func (l *Ledger) validateBlock(b, parent *chain.Block) error {
 
 // ProcessBlock adds a received block. Validation (including execution)
 // happens inside the store's validator hook; this method reconciles the
-// mempool and the confirmation index with the outcome.
+// mempool and the confirmation index with the outcome — for the block
+// itself and for every orphan-pool block its insertion cascaded in, so
+// out-of-order delivery leaves the index exactly where in-order delivery
+// would.
 func (l *Ledger) ProcessBlock(b *chain.Block) (chain.AddResult, error) {
 	res := l.store.Add(b)
-	switch res.Status {
+	if res.Status == chain.Rejected {
+		// Drop any state the validator stashed for a rejected block.
+		delete(l.states, b.Hash())
+		delete(l.deltas, b.Hash())
+		return res, res.Err
+	}
+	l.applyAddOutcome(b, res.Status, res.Reorg)
+	for _, ad := range res.Adopted {
+		l.applyAddOutcome(ad.Block, ad.Status, ad.Reorg)
+	}
+	return res, nil
+}
+
+// applyAddOutcome reconciles the tx index and mempool with one inserted
+// block's outcome.
+func (l *Ledger) applyAddOutcome(b *chain.Block, status chain.AddStatus, reorg *chain.Reorg) {
+	switch status {
 	case chain.Accepted:
 		l.indexBlock(b)
 	case chain.AcceptedReorg:
 		state := l.State()
-		for _, h := range res.Reorg.Abandoned {
+		for _, h := range reorg.Abandoned {
 			old, _ := l.store.Get(h)
 			body := old.Payload.(*BlockBody)
 			for _, tx := range body.Txs {
@@ -471,17 +524,11 @@ func (l *Ledger) ProcessBlock(b *chain.Block) (chain.AddResult, error) {
 			}
 			l.pool.Reinject(body.Txs, state)
 		}
-		for _, h := range res.Reorg.Adopted {
+		for _, h := range reorg.Adopted {
 			nb, _ := l.store.Get(h)
 			l.indexBlock(nb)
 		}
-	case chain.Rejected:
-		// Drop any state the validator stashed for a rejected block.
-		delete(l.states, b.Hash())
-		delete(l.deltas, b.Hash())
-		return res, res.Err
 	}
-	return res, nil
 }
 
 func (l *Ledger) indexBlock(b *chain.Block) {

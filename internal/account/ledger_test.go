@@ -687,3 +687,46 @@ func BenchmarkBuildBlock100Txs(b *testing.B) {
 		}
 	}
 }
+
+// Regression: orphan-pool blocks cascaded in by a late ancestor must
+// update the tx index and mempool just like in-order delivery (the
+// store-level adoption used to be invisible to the ledger layer).
+func TestProcessBlockOutOfOrderAdoption(t *testing.T) {
+	r := keys.NewRing("ooo", 4)
+	src := newTestLedger(t, r, 2, 1_000_000)
+	dst := newTestLedger(t, r, 2, 1_000_000)
+
+	tx := payTx(r.Pair(0), 0, r.Addr(3), 500, 2)
+	if err := src.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	proposer := r.Addr(2)
+	var blocks []*chain.Block
+	for i := 1; i <= 3; i++ {
+		b := src.BuildBlock(proposer, time.Duration(i)*time.Second)
+		if res, err := src.ProcessBlock(b); err != nil || res.Status != chain.Accepted {
+			t.Fatalf("source block %d: %v %v", i, res.Status, err)
+		}
+		blocks = append(blocks, b)
+	}
+	for _, i := range []int{1, 2, 0} {
+		if _, err := dst.ProcessBlock(blocks[i]); err != nil {
+			t.Fatalf("out-of-order delivery: %v", err)
+		}
+	}
+	if dst.Height() != 3 || dst.Store().Tip() != src.Store().Tip() {
+		t.Fatalf("destination did not adopt the chain: height %d", dst.Height())
+	}
+	if got := dst.Confirmations(tx.ID()); got != 3 {
+		t.Fatalf("confirmations after cascade = %d, want 3", got)
+	}
+	if got := dst.Balance(r.Addr(3)); got != 500 {
+		t.Fatalf("recipient balance after cascade = %d, want 500", got)
+	}
+	if dst.Pool().Contains(tx.ID()) {
+		t.Fatal("confirmed tx still pooled after cascade adoption")
+	}
+}

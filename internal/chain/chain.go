@@ -207,6 +207,18 @@ type Reorg struct {
 // Depth returns the number of abandoned blocks.
 func (r *Reorg) Depth() int { return len(r.Abandoned) }
 
+// AdoptedOrphan reports one block that left the orphan pool because its
+// missing ancestor arrived, with what its (store-internal) insertion did.
+// Ledgers replay these after handling the triggering block — without
+// them, a cascade adoption would move the main chain while the state
+// layer (UTXO set, tx index, mempool) silently stays behind.
+type AdoptedOrphan struct {
+	Block  *Block
+	Status AddStatus
+	// Reorg is non-nil when Status == AcceptedReorg.
+	Reorg *Reorg
+}
+
 // AddResult reports what Store.Add did.
 type AddResult struct {
 	Status AddStatus
@@ -214,6 +226,10 @@ type AddResult struct {
 	Err error
 	// Reorg is non-nil when Status == AcceptedReorg.
 	Reorg *Reorg
+	// Adopted lists the orphan-pool blocks the insertion cascaded in,
+	// in attachment order. Each carries its own status and reorg; the
+	// caller must apply their state effects just like the first block's.
+	Adopted []AdoptedOrphan
 }
 
 // Validator vets a block against its (known) parent before acceptance.
@@ -322,12 +338,13 @@ func (s *Store) CumulativeWork(h hashx.Hash) (float64, error) {
 
 // Add inserts a block, updating the main chain per the fork-choice rule.
 // Blocks whose parent is unknown wait in the orphan pool and are retried
-// automatically when the parent arrives; the returned result describes the
-// first block only.
+// automatically when the parent arrives; the result's Status/Reorg
+// describe the first block, and Adopted lists every orphan the insertion
+// cascaded in so state layers can replay their effects too.
 func (s *Store) Add(b *Block) AddResult {
 	res := s.addOne(b)
 	if res.Status == Accepted || res.Status == AcceptedSide || res.Status == AcceptedReorg {
-		s.adoptOrphansOf(b.Hash())
+		res.Adopted = s.adoptOrphansOf(b.Hash())
 	}
 	return res
 }
@@ -432,8 +449,9 @@ func (s *Store) commonAncestor(a, b hashx.Hash) hashx.Hash {
 }
 
 // adoptOrphansOf re-submits any blocks that were waiting for h, cascading
-// through descendants.
-func (s *Store) adoptOrphansOf(h hashx.Hash) {
+// through descendants, and reports every successful adoption in order.
+func (s *Store) adoptOrphansOf(h hashx.Hash) []AdoptedOrphan {
+	var adopted []AdoptedOrphan
 	queue := []hashx.Hash{h}
 	for len(queue) > 0 {
 		parent := queue[0]
@@ -446,10 +464,12 @@ func (s *Store) adoptOrphansOf(h hashx.Hash) {
 		for _, b := range waiting {
 			res := s.addOne(b)
 			if res.Status == Accepted || res.Status == AcceptedSide || res.Status == AcceptedReorg {
+				adopted = append(adopted, AdoptedOrphan{Block: b, Status: res.Status, Reorg: res.Reorg})
 				queue = append(queue, b.Hash())
 			}
 		}
 	}
+	return adopted
 }
 
 // OrphanPoolSize returns how many blocks are waiting for missing parents.

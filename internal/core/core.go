@@ -82,6 +82,13 @@ type Config struct {
 	// selfish-mining sweep. Zero — or a value outside (0, 1) — keeps the
 	// default {0, 15%, 25%, 35%, 45%} sweep.
 	SelfishAlpha float64
+	// SelfishGamma is Eyal–Sirer's connectivity parameter for E17's
+	// selfish-mining rows: the fraction of honest hash power that mines
+	// on the adversary's block while the 1-1 race is open. Zero (the
+	// default, and any value outside [0, 1]) reproduces the historical
+	// first-seen races byte for byte; the classic profitability
+	// thresholds fall from 1/3 (γ=0) through 1/4 (γ=1/2) to 0 (γ=1).
+	SelfishGamma float64
 	// WithholdWeight adds one extra withheld-weight fraction to E17's
 	// vote-withholding sweep. Zero — or a value outside (0, 1] — keeps
 	// the default {0, 25%, 55%} sweep.
@@ -111,6 +118,9 @@ func (c Config) withDefaults() Config {
 	if c.SelfishAlpha <= 0 || c.SelfishAlpha >= 1 {
 		c.SelfishAlpha = 0
 	}
+	if c.SelfishGamma <= 0 || c.SelfishGamma > 1 {
+		c.SelfishGamma = 0
+	}
 	if c.WithholdWeight <= 0 || c.WithholdWeight > 1 {
 		c.WithholdWeight = 0
 	}
@@ -133,7 +143,7 @@ func (c Config) count(base int) int {
 
 // Experiment reproduces one figure or quantitative claim of the paper.
 type Experiment struct {
-	// ID is the experiment key (E1…E17).
+	// ID is the experiment key (E1…E18).
 	ID string
 	// Title names the reproduced artifact.
 	Title string
@@ -165,6 +175,7 @@ func Experiments() []Experiment {
 		{ID: "E15", Title: "double-spend success vs attacker weight/hashrate", Section: "IV", Run: RunE15DoubleSpend},
 		{ID: "E16", Title: "eclipse attack: victim lag & double-spend exposure vs captured peers", Section: "IV", Run: RunE16Eclipse},
 		{ID: "E17", Title: "selfish mining & vote withholding vs adversary power", Section: "III/IV", Run: RunE17Strategy},
+		{ID: "E18", Title: "executed double-spends under combined adversaries (eclipse, hidden forks)", Section: "IV", Run: RunE18ExecutedDoubleSpend},
 	}
 }
 

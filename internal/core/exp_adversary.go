@@ -180,6 +180,73 @@ func e15NanoTrial(cfg Config, k int, trial int) (netsim.DoubleSpendOutcome, floa
 	return net.Outcome(h), net.ByzantineWeightFraction(), m.ForkResolveLatency, nil
 }
 
+// contestedSpendCells are the rendered cells of one contested-double-
+// spend sweep point, shared between E15's lattice rows and E18's
+// zero-fault baseline row (which must stay byte-identical to E15's
+// k = 0 row — pinned by TestE18ZeroFaultMatchesE15Baselines).
+type contestedSpendCells struct {
+	Share, Trials, Success, Resolved, Honest, Latency string
+}
+
+// e15NanoCells aggregates DoubleSpendTrials contested-spend trials at k
+// byzantine nodes into rendered cells. Resolution latencies pool across
+// trials so the reported mean is over every observed re-election, not an
+// average of per-trial summaries.
+func e15NanoCells(cfg Config, k int) (contestedSpendCells, error) {
+	var (
+		share                            float64
+		pooled                           metrics.Histogram
+		wins, resolved, honest, injected int
+	)
+	for trial := 0; trial < cfg.DoubleSpendTrials; trial++ {
+		out, frac, lat, err := e15NanoTrial(cfg, k, trial)
+		if err != nil {
+			return contestedSpendCells{}, err
+		}
+		share = frac
+		if out.Injected {
+			injected++
+		}
+		if out.RivalWon {
+			wins++
+		}
+		if out.Resolved {
+			resolved++
+		}
+		if out.HonestAttached {
+			honest++
+		}
+		pooled.Merge(&lat)
+	}
+	if injected == 0 {
+		return contestedSpendCells{}, fmt.Errorf("core: e15: no double spend injected at k=%d", k)
+	}
+	latencyCell := "—"
+	if pooled.N() > 0 {
+		latencyCell = fmt.Sprintf("%.0f ms", 1000*pooled.Mean())
+	}
+	return contestedSpendCells{
+		Share:    metrics.Pct(share),
+		Trials:   metrics.I(injected),
+		Success:  metrics.F4(float64(wins) / float64(injected)),
+		Resolved: fmt.Sprintf("%d/%d", resolved, injected),
+		Honest:   fmt.Sprintf("%d/%d", honest, injected),
+		Latency:  latencyCell,
+	}, nil
+}
+
+// e15ChainRaceCells renders one chain-side catch-up-race sweep point's
+// cells. Each point owns a derived rng (cfg.Seed + 1000 + i) so the
+// fan-out schedule cannot leak into the trial stream; E18's zero-fault
+// chain row reuses point 0 (q = 0), keeping it byte-identical to E15's
+// baseline by construction.
+func e15ChainRaceCells(cfg Config, i int, q float64) (trials, success, analytic string) {
+	chainTrials := cfg.count(2000)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+i)))
+	simulated := netsim.EmpiricalCatchUp(rng, q, 6, chainTrials)
+	return metrics.I(chainTrials), metrics.F4(simulated), metrics.F4(pow.CatchUpProbability(q, 6))
+}
+
 // RunE15DoubleSpend sweeps attacker power on both sides of the paper's
 // comparison. Chain side: the §IV-A Nakamoto catch-up race at z=6
 // confirmations, attacker hash share q swept — analytic formula vs
@@ -195,66 +262,28 @@ func RunE15DoubleSpend(ctx context.Context, cfg Config) (*metrics.Table, error) 
 
 	qs := []float64{0, 0.05, 0.10, 0.20, 0.30, 0.45}
 	byzCounts := []int{0, 2, 4, 6}
-	chainTrials := cfg.count(2000)
-	nanoTrials := cfg.DoubleSpendTrials
 
 	rows, err := fanOut(ctx, cfg, len(qs)+len(byzCounts), func(i int) ([]string, error) {
 		if i < len(qs) {
 			// Chain sweep point: attacker hash share q racing 6
-			// confirmations; each point owns a derived rng so the fan-out
-			// schedule cannot leak into the trial stream.
-			q := qs[i]
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+i)))
-			simulated := netsim.EmpiricalCatchUp(rng, q, 6, chainTrials)
+			// confirmations.
+			trials, success, analytic := e15ChainRaceCells(cfg, i, qs[i])
 			return []string{
-				"bitcoin (z=6 catch-up race)", metrics.Pct(q), metrics.I(chainTrials),
-				metrics.F4(simulated), metrics.F4(pow.CatchUpProbability(q, 6)),
+				"bitcoin (z=6 catch-up race)", metrics.Pct(qs[i]), trials,
+				success, analytic,
 				"—", "—", "—",
 			}, nil
 		}
 		// Lattice sweep point: k of 10 nodes byzantine, each trial a
-		// fresh network and double spend. Resolution latencies pool
-		// across trials so the reported mean is over every observed
-		// re-election, not an average of per-trial summaries.
+		// fresh network and double spend.
 		k := byzCounts[i-len(qs)]
-		var (
-			share                            float64
-			pooled                           metrics.Histogram
-			wins, resolved, honest, injected int
-		)
-		for trial := 0; trial < nanoTrials; trial++ {
-			out, frac, lat, err := e15NanoTrial(cfg, k, trial)
-			if err != nil {
-				return nil, err
-			}
-			share = frac
-			if out.Injected {
-				injected++
-			}
-			if out.RivalWon {
-				wins++
-			}
-			if out.Resolved {
-				resolved++
-			}
-			if out.HonestAttached {
-				honest++
-			}
-			pooled.Merge(&lat)
-		}
-		if injected == 0 {
-			return nil, fmt.Errorf("core: e15: no double spend injected at k=%d", k)
-		}
-		latencyCell := "—"
-		if pooled.N() > 0 {
-			latencyCell = fmt.Sprintf("%.0f ms", 1000*pooled.Mean())
+		cells, err := e15NanoCells(cfg, k)
+		if err != nil {
+			return nil, err
 		}
 		return []string{
-			fmt.Sprintf("nano (ORV, %d/10 byzantine)", k), metrics.Pct(share), metrics.I(injected),
-			metrics.F4(float64(wins) / float64(injected)), "—",
-			fmt.Sprintf("%d/%d", resolved, injected),
-			fmt.Sprintf("%d/%d", honest, injected),
-			latencyCell,
+			fmt.Sprintf("nano (ORV, %d/10 byzantine)", k), cells.Share, cells.Trials,
+			cells.Success, "—", cells.Resolved, cells.Honest, cells.Latency,
 		}, nil
 	})
 	if err != nil {

@@ -1,0 +1,86 @@
+package core
+
+// Tests for E18: the zero-fault baseline rows must carry exactly the
+// cells E15's zero-power sweep points produce (same constructors, same
+// seed, byte for byte), the executed-attack rows must actually execute,
+// and the table must be worker-count invariant.
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// The acceptance invariant: E18's baseline rows rerun E15's zero-power
+// sweep points through the shared cell constructors, so every shared
+// cell is byte-identical — E18's attack rows are measured against the
+// same unfaulted pipeline E15 pinned.
+func TestE18ZeroFaultMatchesE15Baselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the E15 sweep points twice")
+	}
+	cfg := Config{Seed: 17, Scale: 0.1}
+	e15, err := RunE15DoubleSpend(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e18, err := RunE18ExecutedDoubleSpend(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r15, r18 := e15.Rows(), e18.Rows()
+	// E15: row 0 is the q=0 chain race, row 6 the 0-byzantine lattice
+	// point. E18: rows 0 and 1 are the baselines, their cells 1..8 laid
+	// out in E15's column order (system, share, trials, success,
+	// analytic, resolved, honest, latency).
+	for _, cmp := range []struct {
+		name           string
+		e15Row, e18Row int
+	}{
+		{"bitcoin", 0, 0},
+		{"nano", 6, 1},
+	} {
+		if !strings.HasPrefix(r18[cmp.e18Row][0], "baseline") {
+			t.Fatalf("E18 baseline row moved: %q", r18[cmp.e18Row][0])
+		}
+		for col := 0; col < 8; col++ {
+			got, want := r18[cmp.e18Row][col+1], r15[cmp.e15Row][col]
+			if got != want {
+				t.Errorf("%s baseline cell %d: E18 %q != E15 %q", cmp.name, col, got, want)
+			}
+		}
+	}
+}
+
+// The attack rows must report EXECUTED double spends: on every scenario
+// the victim accepts the payment inside the window and at least one
+// trial reverts it, and the lattice victim never reaches vote quorum
+// while captured (Nano's defense).
+func TestE18AttacksExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the executed-attack scenarios")
+	}
+	tbl, err := RunE18ExecutedDoubleSpend(context.Background(), Config{Seed: 7, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Rows()
+	if len(rows) != 6 {
+		t.Fatalf("E18 rows = %d, want 2 baselines + 4 scenarios", len(rows))
+	}
+	for _, row := range rows[2:] {
+		if row[4] == "0.0000" {
+			t.Errorf("scenario %q / %q executed nothing: %v", row[0], row[1], row)
+		}
+		if row[6] == "0/"+row[3] {
+			t.Errorf("scenario %q / %q: victim never accepted: %v", row[0], row[1], row)
+		}
+	}
+	// Lattice rows (last two): quorum@heal must be zero — the captured
+	// victim cannot hear the representatives inside the window.
+	for _, row := range rows[4:] {
+		if row[9] != "0/"+row[3] {
+			t.Errorf("lattice scenario %q reached quorum in the window: %v", row[0], row)
+		}
+	}
+}

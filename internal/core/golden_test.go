@@ -1,16 +1,20 @@
 package core
 
-// Golden tables for the node-runtime refactor: the historical E1–E15
-// simulations, captured from the pre-refactor networks and pinned byte
-// for byte. With every node on the honest pass-through Behavior the
-// refactored BitcoinNet/EthereumNet/NanoNet must reproduce these files
-// exactly — same simulations, same event order, same formatting.
+// Golden tables, pinned byte for byte. E1–E15 are the historical
+// simulations captured from the pre-node-runtime networks: with every
+// node on the honest pass-through Behavior the refactored
+// BitcoinNet/EthereumNet/NanoNet must reproduce these files exactly —
+// same simulations, same event order, same formatting. E16–E18 were
+// captured when the executed-attack layer landed (E17 with the γ and
+// analytic columns, E18 from its first version) and pin the adversarial
+// tables the same way going forward.
 //
-// NOTE on provenance: the files were rendered with the rune-width
-// Render fix already in place (it landed in the same PR, before the
-// capture), so they differ from a literal pre-refactor binary's output
-// ONLY in column padding around multibyte cells. Every cell value — the
-// simulation data — is the pre-refactor networks' verbatim output.
+// NOTE on provenance: the E1–E15 files were rendered with the
+// rune-width Render fix already in place (it landed in the same PR,
+// before the capture), so they differ from a literal pre-refactor
+// binary's output ONLY in column padding around multibyte cells. Every
+// cell value — the simulation data — is the pre-refactor networks'
+// verbatim output.
 //
 // Regenerate (only when a deliberate table change lands) with:
 //
@@ -37,16 +41,16 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite the testdata golde
 // Workers is left at the default: tables are worker-count invariant.
 func goldenCfg() Config { return Config{Seed: 7, Scale: 0.1} }
 
-// goldenIDs are the historical experiments the refactor must preserve.
-// E16/E17 are excluded on purpose: they postdate the runtime layer, so
-// they have no pre-refactor output to pin (their own invariance is
-// covered by TestE16E17DeterministicAcrossWorkers).
+// goldenIDs are every pinned experiment: the historical E1–E15 the
+// node-runtime refactor must preserve, plus the adversarial E16–E18
+// captured when the executed-attack layer landed.
 var goldenIDs = []string{
 	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
 	"E9", "E10", "E11", "E12", "E13", "E14", "E15",
+	"E16", "E17", "E18",
 }
 
-func TestGoldenTablesE1toE15(t *testing.T) {
+func TestGoldenTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full registry sweep")
 	}
@@ -108,32 +112,5 @@ func assertJSONRoundTrip(t *testing.T, tbl *metrics.Table, rendered string) {
 	}
 	if back.String() != rendered {
 		t.Fatalf("JSON round-trip changed the table:\n--- round-tripped ---\n%s--- original ---\n%s", back.String(), rendered)
-	}
-}
-
-// E16 and E17 postdate the goldens but must satisfy the same JSON
-// round-trip property.
-func TestGoldenJSONRoundTripE16E17(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full experiments")
-	}
-	for _, id := range []string{"E16", "E17"} {
-		id := id
-		t.Run(id, func(t *testing.T) {
-			t.Parallel()
-			e, err := ByID(id)
-			if err != nil {
-				t.Fatal(err)
-			}
-			tbl, err := e.Run(context.Background(), goldenCfg())
-			if err != nil {
-				t.Fatal(err)
-			}
-			var sb strings.Builder
-			if err := tbl.Render(&sb); err != nil {
-				t.Fatal(err)
-			}
-			assertJSONRoundTrip(t, tbl, sb.String())
-		})
 	}
 }

@@ -251,13 +251,23 @@ func (n *NanoNet) sendLattice(from, to int) {
 // order. Re-votes carry their original sequence numbers, so nodes that
 // already tallied them discard the duplicates and only the other side of
 // a former split learns anything new.
-func (n *NanoNet) resendOpenVotes(node *nanoNode) {
+func (n *NanoNet) resendOpenVotes(node *nanoNode) { n.resendVotes(node, false) }
+
+// resendDecidedVotes re-broadcasts a node's current votes INCLUDING the
+// ones for elections it already saw decided — the confirm-ack real nodes
+// serve on request. A node that confirmed and cemented a block during a
+// split never re-votes through resendOpenVotes, so a victim discovering
+// the fork only after heal would starve without this: the executed
+// double-spend scenarios (E18) schedule it at their heal instant.
+func (n *NanoNet) resendDecidedVotes(node *nanoNode) { n.resendVotes(node, true) }
+
+func (n *NanoNet) resendVotes(node *nanoNode, includeDecided bool) {
 	if len(node.repAccounts) == 0 || len(node.myVote) == 0 {
 		return
 	}
 	roots := make([]hashx.Hash, 0, len(node.myVote))
 	for root, cand := range node.myVote {
-		if cand == hashx.Zero || node.tracker.Confirmed(cand) {
+		if cand == hashx.Zero || (!includeDecided && node.tracker.Confirmed(cand)) {
 			continue
 		}
 		roots = append(roots, root)

@@ -26,6 +26,17 @@ type EclipseBehavior struct {
 	HonestBehavior
 	victim   sim.NodeID
 	captured map[sim.NodeID]bool
+	// original is the victim's peer view before capture, and prev its
+	// behavior — both restored by LiftEclipse when the attack window
+	// closes, so an eclipse composes with other installed behaviors.
+	original []sim.NodeID
+	prev     Behavior
+	// feeder, when set, is the one node the attacker lets through the
+	// captured links — the eclipse's whole point in an executed double
+	// spend: the victim's view of the ledger is whatever the attacker
+	// chooses to feed it (E18).
+	feeder    sim.NodeID
+	hasFeeder bool
 }
 
 // InstallEclipse captures frac of a victim's peer links (rounded to
@@ -50,7 +61,12 @@ func (r *NodeRuntime) InstallEclipse(victim sim.NodeID, frac float64) *EclipseBe
 	if k > len(peers) {
 		k = len(peers)
 	}
-	b := &EclipseBehavior{victim: victim, captured: make(map[sim.NodeID]bool, k)}
+	b := &EclipseBehavior{
+		victim:   victim,
+		captured: make(map[sim.NodeID]bool, k),
+		original: append([]sim.NodeID(nil), peers...),
+		prev:     r.BehaviorOf(victim),
+	}
 	for _, p := range peers[:k] {
 		b.captured[p] = true
 	}
@@ -59,17 +75,60 @@ func (r *NodeRuntime) InstallEclipse(victim sim.NodeID, frac float64) *EclipseBe
 	return b
 }
 
+// InstallEclipseFeeder is InstallEclipse with an attacker-controlled
+// feed: the feeder node's traffic passes the captured links in both
+// directions and joins the victim's (shrunken) peer view. This is the
+// textbook eclipse of the DAG-security surveys — the attacker does not
+// merely cut the victim off, it OWNS the victim's view of the network
+// and feeds it exactly the ledger state the double spend needs (E18).
+func (r *NodeRuntime) InstallEclipseFeeder(victim sim.NodeID, frac float64, feeder sim.NodeID) *EclipseBehavior {
+	b := r.InstallEclipse(victim, frac)
+	if b == nil {
+		return nil
+	}
+	b.feeder = feeder
+	b.hasFeeder = true
+	view := []sim.NodeID{feeder}
+	for _, p := range r.net.Peers(victim) {
+		if p != feeder {
+			view = append(view, p)
+		}
+	}
+	r.net.SetPeersOf(victim, view)
+	return b
+}
+
+// LiftEclipse ends an eclipse: the victim's original peer view and its
+// pre-eclipse behavior are restored, so gossip flows again — the heal
+// instant an executed-attack scenario releases the honest chain at.
+// A nil behavior (frac <= 0 installed nothing) is a no-op.
+func (r *NodeRuntime) LiftEclipse(b *EclipseBehavior) {
+	if b == nil {
+		return
+	}
+	r.net.SetPeersOf(b.victim, append([]sim.NodeID(nil), b.original...))
+	r.SetBehavior(b.victim, b.prev)
+}
+
 // CapturedPeers returns how many of the victim's links are captured.
 func (b *EclipseBehavior) CapturedPeers() int { return len(b.captured) }
 
-// OnInbound drops deliveries arriving over captured links.
+// OnInbound drops deliveries arriving over captured links; the feeder,
+// when configured, always passes.
 func (b *EclipseBehavior) OnInbound(_, from sim.NodeID, _ any, _ int) bool {
+	if b.hasFeeder && from == b.feeder {
+		return true
+	}
 	return !b.captured[from]
 }
 
 // OnOutbound drops sends leaving over captured links (direct unicasts
-// and broadcasts included — votes, gap-repair pulls, catch-up serves).
+// and broadcasts included — votes, gap-repair pulls, catch-up serves);
+// the feeder, when configured, always passes.
 func (b *EclipseBehavior) OnOutbound(_, to sim.NodeID, _ any, _ int) bool {
+	if b.hasFeeder && to == b.feeder {
+		return true
+	}
 	return !b.captured[to]
 }
 
@@ -84,44 +143,100 @@ func (b *EclipseBehavior) OnOutbound(_, to sim.NodeID, _ any, _ int) bool {
 // counter.
 type SelfishMiningBehavior struct {
 	HonestBehavior
-	node     sim.NodeID
-	release  func(*chain.Block)
+	node    sim.NodeID
+	release func(*chain.Block)
+	// gamma is Eyal–Sirer's connectivity parameter: the fraction of
+	// honest hash power that mines on the adversary's block while the
+	// 1-1 race is open. The runtime's production path consults it
+	// (chainRuntime.raceProduce); zero reproduces the historical
+	// first-seen races byte for byte.
+	gamma float64
+	// seen and prevSeen are the two generations of the bounded inbound
+	// dedup set (the same scheme as the nano vote buffers): when seen
+	// fills past maxSelfishSeenBlocks it rotates to prevSeen. A block
+	// forgotten after two rotations re-applies harmlessly — it is at or
+	// below rivalHeight by then and the lead policy ignores it.
 	seen     map[hashx.Hash]bool
+	prevSeen map[hashx.Hash]bool
 	withheld []*chain.Block
 	// raceOpen marks the 1-1 race: our lead-1 block was published
 	// against a rival of equal height and the next block decides.
+	// raceTip is that published block — the branch point γ-connected
+	// honest miners extend.
 	raceOpen bool
-	// rivalHeight is the highest rival (non-self) block height seen;
-	// only blocks above it are honest-chain PROGRESS. Same-height fork
-	// siblings — the stale-tip races this simulator deliberately
-	// produces — advance nothing and must not trigger the lead policy.
+	raceTip  hashx.Hash
+	// rivalHeight is the highest PUBLIC chain height the strategy has
+	// reacted to — rival (non-self) blocks seen, and its own published
+	// branch. Only blocks above it are honest-chain PROGRESS. Same- or
+	// lower-height fork siblings — the stale-tip races this simulator
+	// deliberately produces — advance nothing and must not trigger the
+	// lead policy.
 	rivalHeight uint64
 	// produced and released count the strategy's footprint.
 	produced, released int
 }
 
-// installSelfishMiner wires the strategy into a chain runtime.
-func (c *chainRuntime) installSelfishMiner(idx int) *SelfishMiningBehavior {
+// maxSelfishSeenBlocks bounds each generation of the selfish miner's
+// inbound dedup set; at most 2× this many hashes are held.
+const maxSelfishSeenBlocks = 1 << 16
+
+// installSelfishMiner wires the strategy into a chain runtime and
+// registers it as the runtime's race adversary (the γ production hook).
+// One selfish miner per network: the runtime holds a single race-
+// adversary slot, and a silent overwrite would leave the first miner's
+// races γ-disconnected — misuse panics instead of mismeasuring.
+func (c *chainRuntime) installSelfishMiner(idx int, gamma float64) *SelfishMiningBehavior {
+	if c.selfish != nil {
+		panic("netsim: only one selfish miner per network")
+	}
+	if gamma < 0 {
+		gamma = 0
+	}
+	if gamma > 1 {
+		gamma = 1
+	}
 	b := &SelfishMiningBehavior{
-		node: sim.NodeID(idx),
-		seen: make(map[hashx.Hash]bool),
+		node:  sim.NodeID(idx),
+		gamma: gamma,
+		seen:  make(map[hashx.Hash]bool),
 	}
 	b.release = func(blk *chain.Block) { c.releaseBlock(idx, blk) }
 	c.rt.SetBehavior(sim.NodeID(idx), b)
+	c.selfish = b
 	return b
 }
 
 // InstallSelfishMiner makes node idx mine selfishly (E17). The node's
 // hash share comes from BitcoinConfig.HashRates as usual; only its
-// publication strategy changes.
+// publication strategy changes. Races resolve by first-seen relay
+// (γ = 0); use InstallSelfishMinerGamma for a connected adversary.
+// At most one selfish miner per network (a second install panics).
 func (b *BitcoinNet) InstallSelfishMiner(idx int) *SelfishMiningBehavior {
-	return b.chain.installSelfishMiner(idx)
+	return b.chain.installSelfishMiner(idx, 0)
+}
+
+// InstallSelfishMinerGamma is InstallSelfishMiner with Eyal–Sirer's γ:
+// while the 1-1 race is open, each honest block win mines on the
+// adversary's published block with probability gamma instead of the
+// miner's own first-seen tip — the adversary's connectivity advantage
+// that moves the profitability threshold from 1/3 (γ=0) toward 0 (γ=1).
+func (b *BitcoinNet) InstallSelfishMinerGamma(idx int, gamma float64) *SelfishMiningBehavior {
+	return b.chain.installSelfishMiner(idx, gamma)
 }
 
 // InstallSelfishMiner makes node idx produce selfishly (PoW mode, E17).
 func (e *EthereumNet) InstallSelfishMiner(idx int) *SelfishMiningBehavior {
-	return e.chain.installSelfishMiner(idx)
+	return e.chain.installSelfishMiner(idx, 0)
 }
+
+// InstallSelfishMinerGamma is the γ-parameterized variant (PoW mode);
+// see the BitcoinNet method.
+func (e *EthereumNet) InstallSelfishMinerGamma(idx int, gamma float64) *SelfishMiningBehavior {
+	return e.chain.installSelfishMiner(idx, gamma)
+}
+
+// Gamma returns the strategy's connectivity parameter.
+func (b *SelfishMiningBehavior) Gamma() float64 { return b.gamma }
 
 // Withheld reports how many produced blocks are currently private.
 func (b *SelfishMiningBehavior) Withheld() int { return len(b.withheld) }
@@ -133,16 +248,23 @@ func (b *SelfishMiningBehavior) Released() int { return b.released }
 // OnProduce withholds the new block — unless the 1-1 race is open, in
 // which case this block settles it: published at once, the private
 // branch is now strictly longer and the whole network reorgs onto it.
+// The published height becomes the new public frontier (rivalHeight):
+// without that advance, a stale honest block at the same height arriving
+// later would be miscounted as rival progress and trip the lead policy
+// against a branch the network has already abandoned.
 func (b *SelfishMiningBehavior) OnProduce(_ sim.NodeID, block any) bool {
 	blk, ok := block.(*chain.Block)
 	if !ok {
 		return true
 	}
-	b.seen[blk.Hash()] = true
+	b.markSeen(blk.Hash())
 	b.produced++
 	if b.raceOpen {
 		b.raceOpen = false
 		b.released++
+		if blk.Header.Height > b.rivalHeight {
+			b.rivalHeight = blk.Header.Height
+		}
 		return true // publish immediately: the race-winning block
 	}
 	b.withheld = append(b.withheld, blk)
@@ -152,19 +274,19 @@ func (b *SelfishMiningBehavior) OnProduce(_ sim.NodeID, block any) bool {
 // OnInbound reacts to honest-chain progress with the Eyal–Sirer policy:
 // lead 1 publishes the private block and opens the race, lead 2
 // publishes everything (instant win), deeper leads publish one block.
-// Only blocks extending past the highest rival height count as
-// progress; a same-height fork sibling neither resolves an open race
-// nor costs the miner a release.
+// Only blocks extending past the public frontier count as progress; a
+// same-height fork sibling neither resolves an open race nor costs the
+// miner a release.
 func (b *SelfishMiningBehavior) OnInbound(_, _ sim.NodeID, payload any, _ int) bool {
 	blk, ok := payload.(*chain.Block)
 	if !ok {
 		return true
 	}
 	h := blk.Hash()
-	if b.seen[h] {
+	if b.seen[h] || b.prevSeen[h] {
 		return true
 	}
-	b.seen[h] = true
+	b.markSeen(h)
 	if blk.Header.Height <= b.rivalHeight {
 		return true // stale block or fork sibling: no honest progress
 	}
@@ -172,6 +294,7 @@ func (b *SelfishMiningBehavior) OnInbound(_, _ sim.NodeID, payload any, _ int) b
 	b.raceOpen = false // real rival progress resolves the race
 	switch lead := len(b.withheld); {
 	case lead == 1:
+		b.raceTip = b.withheld[0].Hash()
 		b.releaseN(1)
 		b.raceOpen = true
 	case lead == 2:
@@ -182,10 +305,27 @@ func (b *SelfishMiningBehavior) OnInbound(_, _ sim.NodeID, payload any, _ int) b
 	return true
 }
 
-// releaseN floods the first n withheld blocks in production order.
+// markSeen records a block hash in the bounded two-generation dedup set,
+// rotating generations when the live one fills — long horizons and block
+// floods cannot grow the strategy's memory without limit.
+func (b *SelfishMiningBehavior) markSeen(h hashx.Hash) {
+	if len(b.seen) >= maxSelfishSeenBlocks {
+		b.prevSeen = b.seen
+		b.seen = make(map[hashx.Hash]bool, len(b.seen)/2)
+	}
+	b.seen[h] = true
+}
+
+// releaseN floods the first n withheld blocks in production order and
+// advances the public frontier to the deepest published height: once a
+// private block is out, honest blocks at or below it are fork siblings,
+// not progress.
 func (b *SelfishMiningBehavior) releaseN(n int) {
 	for _, w := range b.withheld[:n] {
 		b.released++
+		if h := w.Header.Height; h > b.rivalHeight {
+			b.rivalHeight = h
+		}
 		b.release(w)
 	}
 	b.withheld = append([]*chain.Block(nil), b.withheld[n:]...)

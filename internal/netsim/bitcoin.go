@@ -139,7 +139,10 @@ func (b *BitcoinNet) scheduleMining() {
 	s.After(interval, func() {
 		winner := b.lottery.SampleWinner(s.Rand())
 		miner := keys.DeterministicN("btc-miner", winner).Address()
-		b.chain.produce(winner, miner, b.difficulty)
+		// An honest win while a selfish miner's 1-1 race is open mines on
+		// the adversary's published block with probability γ (Eyal–Sirer);
+		// otherwise — and always with γ = 0 — on the winner's own tip.
+		b.chain.produceWithRace(winner, miner, b.difficulty)
 		b.scheduleMining()
 	})
 }

@@ -217,13 +217,15 @@ func (e *EthereumNet) Registry() *pos.Registry { return e.registry }
 // FFG returns the finality gadget (nil in PoW mode).
 func (e *EthereumNet) FFG() *pos.FFG { return e.ffg }
 
-// produceAt lets a node extend its view and flood the block.
+// produceAt lets a node extend its view and flood the block. An honest
+// producer racing an installed selfish miner follows the γ rule first
+// (see chainRuntime.raceProduce; a no-op without an adversary).
 func (e *EthereumNet) produceAt(nodeIdx int, proposer keys.Address) {
 	difficulty := e.difficulty
 	if e.cfg.Consensus != PoW {
 		difficulty = 1 // PoS blocks carry uniform weight
 	}
-	e.chain.produce(nodeIdx, proposer, difficulty)
+	e.chain.produceWithRace(nodeIdx, proposer, difficulty)
 }
 
 // scheduleMining arms PoW block discovery.

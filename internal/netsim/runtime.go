@@ -195,6 +195,7 @@ func (r *NodeRuntime) voteAllowed(node sim.NodeID, vote any) bool {
 type chainLedger interface {
 	ProcessBlock(*chain.Block) (chain.AddResult, error)
 	BuildBlock(proposer keys.Address, now time.Duration) *chain.Block
+	BuildBlockOn(parent hashx.Hash, proposer keys.Address, now time.Duration) (*chain.Block, error)
 	Height() uint64
 	Store() *chain.Store
 	PoolLen() int
@@ -221,6 +222,10 @@ type chainRuntime struct {
 	// confirmed-transaction count — Bitcoin discounts coinbases and the
 	// genesis allocation, Ethereum counts main-chain txs directly.
 	confirmedTxs func(txsOnMain, blocksOnMain int) int
+
+	// selfish is the installed selfish-mining adversary, consulted by the
+	// production path for the γ side of the 1-1 race (nil = none).
+	selfish *SelfishMiningBehavior
 }
 
 // newChainRuntime builds the shared chain core over a fresh runtime.
@@ -268,9 +273,17 @@ func (c *chainRuntime) addNode(l chainLedger) sim.NodeID {
 // lags — then floods it, unless the producer's behavior withholds it
 // (selfish mining keeps it on a private chain until release).
 func (c *chainRuntime) produce(idx int, proposer keys.Address, difficulty float64) *chain.Block {
-	node := c.ledgers[idx]
-	blk := node.BuildBlock(proposer, c.rt.sim.Now())
+	blk := c.ledgers[idx].BuildBlock(proposer, c.rt.sim.Now())
 	blk.Header.Difficulty = difficulty
+	c.publishProduced(idx, blk)
+	return blk
+}
+
+// publishProduced runs the shared bookkeeping for a freshly won block —
+// creation time, miner attribution, totals, first-seen state — applies
+// it to the producer's own ledger, and floods it unless the producer's
+// behavior withholds it.
+func (c *chainRuntime) publishProduced(idx int, blk *chain.Block) {
 	h := blk.Hash()
 	c.created[h] = c.rt.sim.Now()
 	c.minedBy[h] = sim.NodeID(idx)
@@ -278,11 +291,49 @@ func (c *chainRuntime) produce(idx int, proposer keys.Address, difficulty float6
 	c.blockTimes = append(c.blockTimes, c.rt.sim.Now())
 	c.seen[idx][h] = true
 	c.reach[h] = 1
-	_, _ = node.ProcessBlock(blk)
+	_, _ = c.ledgers[idx].ProcessBlock(blk)
 	if c.rt.produceAllowed(sim.NodeID(idx), blk) {
 		c.rt.Relay(sim.NodeID(idx), blk, blk.Size())
 	}
-	return blk
+}
+
+// raceProduce is the γ side of the selfish miner's 1-1 race: while the
+// race is open, a fraction gamma of honest block wins extend the
+// adversary's published block instead of the winner's own first-seen
+// tip (Eyal–Sirer's connectivity parameter). It reports whether it
+// produced the block; false sends the caller down the normal produce
+// path. The rng is drawn only when an installed adversary with γ > 0
+// actually has a race open, so γ = 0 — and every honest run —
+// reproduces the historical event stream byte for byte.
+func (c *chainRuntime) raceProduce(idx int, proposer keys.Address, difficulty float64) bool {
+	b := c.selfish
+	if b == nil || b.gamma <= 0 || !b.raceOpen || sim.NodeID(idx) == b.node {
+		return false
+	}
+	node := c.ledgers[idx]
+	if _, ok := node.Store().Get(b.raceTip); !ok {
+		return false // the adversary's block has not reached this miner yet
+	}
+	if c.rt.sim.Rand().Float64() >= b.gamma {
+		return false
+	}
+	blk, err := node.BuildBlockOn(b.raceTip, proposer, c.rt.sim.Now())
+	if err != nil {
+		return false
+	}
+	blk.Header.Difficulty = difficulty
+	c.publishProduced(idx, blk)
+	return true
+}
+
+// produceWithRace is the production entry for honest block wins: the γ
+// side of an open selfish race first, the winner's own tip otherwise.
+// Keeping the fallback here — not at the per-network call sites — means
+// a new production path gets the γ seam for free.
+func (c *chainRuntime) produceWithRace(idx int, proposer keys.Address, difficulty float64) {
+	if !c.raceProduce(idx, proposer, difficulty) {
+		c.produce(idx, proposer, difficulty)
+	}
 }
 
 // releaseBlock floods a previously withheld block — the selfish miner's

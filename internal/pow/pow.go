@@ -200,6 +200,56 @@ func ConfirmationsForRisk(q, risk float64, maxZ int) int {
 	return -1
 }
 
+// SelfishRevenue is Eyal–Sirer's closed-form relative pool revenue for a
+// selfish miner with hash share alpha and race parameter gamma (the
+// fraction of honest power that mines on the adversary's block during an
+// open 1-1 race; their eq. 8). The pool profits — revenue exceeds the
+// honest expectation alpha — exactly when alpha > SelfishThreshold(gamma):
+// 1/3 at gamma = 0, 1/4 at gamma = 1/2, falling to 0 at gamma = 1. This
+// is the analytic column E17's simulated revenue-share sweeps are
+// compared against.
+func SelfishRevenue(alpha, gamma float64) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha >= 0.5 {
+		return 1
+	}
+	if gamma < 0 {
+		gamma = 0
+	}
+	if gamma > 1 {
+		gamma = 1
+	}
+	num := alpha*(1-alpha)*(1-alpha)*(4*alpha+gamma*(1-2*alpha)) - alpha*alpha*alpha
+	den := 1 - alpha*(1+(2-alpha)*alpha)
+	if den <= 0 {
+		return 1
+	}
+	r := num / den
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// SelfishThreshold is the minimum hash share at which selfish mining beats
+// honest mining for a given gamma: (1-gamma)/(3-2*gamma) — the classic
+// profitability frontier, 1/3 at gamma = 0 through 1/4 at gamma = 1/2
+// down to 0 at gamma = 1.
+func SelfishThreshold(gamma float64) float64 {
+	if gamma < 0 {
+		gamma = 0
+	}
+	if gamma > 1 {
+		gamma = 1
+	}
+	return (1 - gamma) / (3 - 2*gamma)
+}
+
 // ExpectedOrphanRate approximates the stale/orphan block rate for a given
 // block interval and network-wide propagation delay: two blocks conflict
 // when a second one is found before the first propagates, so the rate is

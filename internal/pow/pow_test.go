@@ -217,6 +217,56 @@ func TestExpectedOrphanRate(t *testing.T) {
 	}
 }
 
+// TestSelfishRevenueThresholds pins the classic Eyal–Sirer profitability
+// frontier: selfish mining beats honest mining (revenue share exceeds the
+// hash share alpha) only above 1/3 of the hash power at gamma = 0, above
+// 1/4 at gamma = 1/2, and at any share at all once gamma = 1 — the curve
+// E17's γ-parameterized sweep reproduces.
+func TestSelfishRevenueThresholds(t *testing.T) {
+	cases := []struct {
+		gamma     float64
+		below     []float64 // alphas where honest mining wins
+		above     []float64 // alphas where selfish mining wins
+		threshold float64
+	}{
+		{0, []float64{0.05, 0.15, 0.25, 0.30, 0.33}, []float64{0.34, 0.35, 0.40, 0.45}, 1.0 / 3},
+		{0.5, []float64{0.05, 0.15, 0.20, 0.24}, []float64{0.26, 0.30, 0.35, 0.45}, 0.25},
+		{1, nil, []float64{0.01, 0.05, 0.15, 0.25, 0.35, 0.45}, 0},
+	}
+	for _, c := range cases {
+		for _, alpha := range c.below {
+			if r := SelfishRevenue(alpha, c.gamma); r >= alpha {
+				t.Fatalf("gamma=%.2f alpha=%.2f: revenue %.4f should trail the honest share", c.gamma, alpha, r)
+			}
+		}
+		for _, alpha := range c.above {
+			if r := SelfishRevenue(alpha, c.gamma); r <= alpha {
+				t.Fatalf("gamma=%.2f alpha=%.2f: revenue %.4f should exceed the honest share", c.gamma, alpha, r)
+			}
+		}
+		if got := SelfishThreshold(c.gamma); math.Abs(got-c.threshold) > 1e-12 {
+			t.Fatalf("SelfishThreshold(%.2f) = %v, want %v", c.gamma, got, c.threshold)
+		}
+	}
+	// Connectivity only helps the attacker: revenue is monotone in gamma.
+	for _, alpha := range []float64{0.1, 0.25, 0.4} {
+		prev := -1.0
+		for _, gamma := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			r := SelfishRevenue(alpha, gamma)
+			if r < prev {
+				t.Fatalf("revenue fell from %.4f to %.4f raising gamma to %.2f at alpha=%.2f", prev, r, gamma, alpha)
+			}
+			prev = r
+		}
+	}
+	if SelfishRevenue(0, 0.5) != 0 {
+		t.Fatal("no hash power earns no revenue")
+	}
+	if SelfishRevenue(0.5, 0) != 1 {
+		t.Fatal("a majority attacker takes the whole chain")
+	}
+}
+
 func BenchmarkMineHeaderDifficulty4096(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := &chain.Header{Height: uint64(i), Difficulty: 4096}

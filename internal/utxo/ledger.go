@@ -227,27 +227,66 @@ func (l *Ledger) BuildBlock(miner keys.Address, now time.Duration) *chain.Block 
 	}
 }
 
+// BuildBlockOn assembles a coinbase-only block extending an arbitrary
+// known parent, not necessarily the tip. This is how an honest miner
+// races on the selfish miner's published branch (the γ side of the
+// Eyal–Sirer 1-1 race): its mempool and UTXO view track its own main
+// chain, not the side branch, so the block carries only the subsidy
+// coinbase — valid on any parent without re-executing the branch.
+func (l *Ledger) BuildBlockOn(parent hashx.Hash, miner keys.Address, now time.Duration) (*chain.Block, error) {
+	p, ok := l.store.Get(parent)
+	if !ok {
+		return nil, fmt.Errorf("utxo: build on %s: %w", parent, chain.ErrUnknownBlock)
+	}
+	height := p.Header.Height + 1
+	coinbase := NewCoinbase(height, miner, Subsidy(height, l.params.InitialSubsidy, l.params.HalvingInterval))
+	body := &BlockBody{Txs: []*Tx{coinbase}}
+	return &chain.Block{
+		Header: chain.Header{
+			Parent:     parent,
+			Height:     height,
+			Time:       now,
+			TxRoot:     body.Root(),
+			Difficulty: p.Header.Difficulty,
+			Proposer:   miner,
+		},
+		Payload: body,
+	}, nil
+}
+
 // ProcessBlock adds a received block, keeping the UTXO set, the tx index
 // and the mempool consistent through any reorg. Side-chain blocks are
 // stored but not executed; their transactions are validated if and when
 // their branch becomes the main chain — the same lazy rule Bitcoin uses.
+// Orphan-pool blocks the insertion cascades in replay their effects too:
+// out-of-order delivery (a post-heal catch-up burst over jittery links)
+// must leave the UTXO set exactly where in-order delivery would.
 func (l *Ledger) ProcessBlock(b *chain.Block) (chain.AddResult, error) {
 	if b.Payload == nil {
 		return chain.AddResult{Status: chain.Rejected, Err: errors.New("utxo: block without body")},
 			errors.New("utxo: block without body")
 	}
 	res := l.store.Add(b)
-	switch res.Status {
-	case chain.Accepted:
-		if err := l.connect(b); err != nil {
-			return res, err
-		}
-	case chain.AcceptedReorg:
-		if err := l.applyReorg(res.Reorg); err != nil {
+	if err := l.applyAddOutcome(b, res.Status, res.Reorg); err != nil {
+		return res, err
+	}
+	for _, ad := range res.Adopted {
+		if err := l.applyAddOutcome(ad.Block, ad.Status, ad.Reorg); err != nil {
 			return res, err
 		}
 	}
 	return res, nil
+}
+
+// applyAddOutcome applies one inserted block's state effects.
+func (l *Ledger) applyAddOutcome(b *chain.Block, status chain.AddStatus, reorg *chain.Reorg) error {
+	switch status {
+	case chain.Accepted:
+		return l.connect(b)
+	case chain.AcceptedReorg:
+		return l.applyReorg(reorg)
+	}
+	return nil
 }
 
 // connect applies a block's transactions at the tip.

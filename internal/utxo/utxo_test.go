@@ -572,3 +572,53 @@ func BenchmarkBuildAndProcessBlock(b *testing.B) {
 		}
 	}
 }
+
+// Regression: blocks delivered out of order wait in the orphan pool and
+// cascade in when the missing ancestor arrives — and the UTXO set, tx
+// index and mempool must follow the cascade. Before the fix, Store.Add
+// adopted orphans internally but reported only the first block, so a
+// reordered catch-up burst left the ledger's state layer behind its own
+// main chain (confirmed txs invisible, balances stale).
+func TestProcessBlockOutOfOrderAdoption(t *testing.T) {
+	r := ring(4)
+	src := newTestLedger(t, r, 2)
+	dst := newTestLedger(t, r, 2)
+
+	tx, err := NewPayment(src.UTXOSet(), r.Pair(0), r.Addr(3), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	miner := r.Addr(2)
+	var blocks []*chain.Block
+	for i := 1; i <= 3; i++ {
+		b := src.BuildBlock(miner, time.Duration(i)*time.Second)
+		if res, err := src.ProcessBlock(b); err != nil || res.Status != chain.Accepted {
+			t.Fatalf("source block %d: %v %v", i, res.Status, err)
+		}
+		blocks = append(blocks, b)
+	}
+	// Deliver 2, 3 first (orphaned), then 1 (cascade adoption).
+	for _, i := range []int{1, 2, 0} {
+		if _, err := dst.ProcessBlock(blocks[i]); err != nil {
+			t.Fatalf("out-of-order delivery: %v", err)
+		}
+	}
+	if dst.Height() != 3 || dst.Store().Tip() != src.Store().Tip() {
+		t.Fatalf("destination did not adopt the chain: height %d", dst.Height())
+	}
+	if got := dst.Confirmations(tx.ID()); got != 3 {
+		t.Fatalf("confirmations after cascade = %d, want 3", got)
+	}
+	if got := dst.Balance(r.Addr(3)); got != 100 {
+		t.Fatalf("recipient balance after cascade = %d, want 100", got)
+	}
+	if dst.Pool().Contains(tx.ID()) {
+		t.Fatal("confirmed tx still pooled after cascade adoption")
+	}
+}
