@@ -2,7 +2,7 @@
 # agree on what "green" means.
 GO ?= go
 
-.PHONY: build test race fuzz cover bench lint all
+.PHONY: build test race fuzz cover bench bench-commit bench-gate lint all
 
 all: lint build test
 
@@ -37,6 +37,22 @@ bench:
 	$(GO) test -short -bench=. -benchtime=1x -run '^$$' ./... > bench_output.txt || (cat bench_output.txt; exit 1)
 	@cat bench_output.txt
 	$(GO) run ./cmd/dltbench -scale 0.05 -format json > bench_output.json
+
+# The committed perf baseline this branch is gated against; bump when a
+# new trajectory point lands (see PERFORMANCE.md).
+BENCH_BASELINE ?= BENCH_006.json
+
+# Regenerate the committed perf trajectory point. Run on a quiet
+# machine; review the diff against the previous baseline before
+# committing (make bench-gate does exactly that comparison).
+bench-commit:
+	$(GO) run ./cmd/dltbench -bench-report -bench-label 006 -bench-out $(BENCH_BASELINE)
+
+# The CI regression gate: re-run the suite (shorter measurement time,
+# same workload scale) and fail on >15% ns/op or allocs/op regressions
+# against the committed baseline.
+bench-gate:
+	$(GO) run ./cmd/dltbench -bench-compare $(BENCH_BASELINE) -bench-time 250ms
 
 lint:
 	$(GO) vet ./...

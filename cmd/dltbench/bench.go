@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// benchFlags carries the perf-trajectory flag values out of run().
+type benchFlags struct {
+	report    bool
+	out       string
+	label     string
+	scale     float64
+	benchTime time.Duration
+	compare   string
+	candidate string
+	threshold float64
+}
+
+// runBenchReport collects the perf suite and writes the canonical BENCH
+// JSON to -bench-out (stdout when empty). Progress goes to stderr so the
+// report stays pipeable.
+func runBenchReport(f benchFlags) int {
+	report, err := perf.Collect(perf.Options{
+		Baseline:  f.label,
+		Scale:     f.scale,
+		BenchTime: f.benchTime,
+		Progress:  os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	data, err := perf.Encode(report)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if f.out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(f.out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d entries)\n", f.out, len(report.Entries))
+	return 0
+}
+
+// runBenchCompare diffs a candidate against the baseline BENCH file
+// named by -bench-compare. The candidate is -bench-candidate when given
+// (pure file-vs-file diff); otherwise the suite runs live at the
+// baseline's scale — which is exactly the CI bench-gate. Exit status 1
+// means the gate failed.
+func runBenchCompare(f benchFlags) int {
+	baseline, err := readBench(f.compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var candidate *perf.Report
+	if f.candidate != "" {
+		if candidate, err = readBench(f.candidate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		// Live gate run: match the baseline's workload scale (reports at
+		// different scales are incomparable); -bench-time is the knob that
+		// makes this cheap, not scale.
+		candidate, err = perf.Collect(perf.Options{
+			Baseline:  "gate",
+			Scale:     baseline.Scale,
+			BenchTime: f.benchTime,
+			Progress:  os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	deltas, ok, err := perf.Compare(baseline, candidate, f.threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := perf.RenderDeltas(os.Stdout, deltas); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "bench gate: FAIL")
+		return 1
+	}
+	fmt.Println("bench gate: ok")
+	return 0
+}
+
+func readBench(path string) (*perf.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return perf.Decode(data)
+}

@@ -21,6 +21,9 @@
 //	dltbench -experiment E18 -double-spend-trials 10      # executed attacks
 //	dltbench -list               # show the registry
 //	dltbench -timing             # append the wall-clock/speedup table
+//	dltbench -bench-report -bench-out BENCH_006.json      # commit a perf baseline
+//	dltbench -bench-compare BENCH_006.json                # live regression gate
+//	dltbench -bench-compare old.json -bench-candidate new.json  # diff two files
 package main
 
 import (
@@ -31,9 +34,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -68,8 +73,32 @@ func run() int {
 		timing  = flag.Bool("timing", false, "print the sweep wall-clock/speedup table (text format only)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		summary = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
+
+		benchReport = flag.Bool("bench-report", false,
+			"run the perf trajectory suite and write the canonical BENCH JSON (see PERFORMANCE.md)")
+		benchOut   = flag.String("bench-out", "", "path for the -bench-report output ('' = stdout)")
+		benchLabel = flag.String("bench-label", "006", "baseline label embedded in the -bench-report output")
+		benchScale = flag.Float64("bench-scale", 1, "perf suite workload scale; reports only compare at equal scale")
+		benchTime  = flag.Duration("bench-time", time.Second,
+			"minimum measured duration per perf benchmark (CI turns this down, not -bench-scale)")
+		benchCompare = flag.String("bench-compare", "",
+			"baseline BENCH file to gate against; with -bench-candidate diffs two files, else runs the suite live")
+		benchCandidate = flag.String("bench-candidate", "", "candidate BENCH file for -bench-compare")
+		benchThreshold = flag.Float64("bench-threshold", perf.DefaultThreshold,
+			"regression gate threshold: fail when ns/op or allocs/op grow by more than this fraction")
 	)
 	flag.Parse()
+	if *benchReport {
+		return runBenchReport(benchFlags{
+			out: *benchOut, label: *benchLabel, scale: *benchScale, benchTime: *benchTime,
+		})
+	}
+	if *benchCompare != "" {
+		return runBenchCompare(benchFlags{
+			compare: *benchCompare, candidate: *benchCandidate,
+			benchTime: *benchTime, threshold: *benchThreshold,
+		})
+	}
 	if *format != "text" && *format != "csv" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -format %q (want text, csv or json)\n", *format)
 		return 1

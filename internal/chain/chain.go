@@ -8,6 +8,13 @@
 // The package is payload-agnostic: Bitcoin-style UTXO bodies
 // (internal/utxo) and Ethereum-style state bodies (internal/account) both
 // plug in through the Payload interface.
+//
+// Performance invariant (tracked by internal/perf, gated in CI):
+// headers are immutable once a block reaches a Store or the network —
+// mining and difficulty stamping happen strictly before the first
+// Block.Hash call — which is what lets Block.Hash memoize the
+// double-SHA-256 digest instead of recomputing it at every gossip hop,
+// dedup check and store insertion.
 package chain
 
 import (
@@ -85,10 +92,28 @@ type Payload interface {
 type Block struct {
 	Header  Header
 	Payload Payload
+
+	// memoSelf/memoHash cache the header hash. The cache is valid only
+	// while memoSelf still points at this exact Block value, so value
+	// copies silently re-hash instead of reading a stale digest. Sound
+	// because headers are immutable once the block enters a store or the
+	// network: mining (pow.MineHeader) and production-time difficulty
+	// stamping both finish before the first Block.Hash call.
+	memoSelf *Block
+	memoHash hashx.Hash
 }
 
-// Hash returns the block identifier (the header hash).
-func (b *Block) Hash() hashx.Hash { return b.Header.Hash() }
+// Hash returns the block identifier (the header hash), memoized on
+// first use. A block is hashed at every gossip hop, dedup check and
+// store insertion; the memo makes all but the first free.
+func (b *Block) Hash() hashx.Hash {
+	if b.memoSelf == b {
+		return b.memoHash
+	}
+	b.memoHash = b.Header.Hash()
+	b.memoSelf = b
+	return b.memoHash
+}
 
 // Size returns the total modeled wire size.
 func (b *Block) Size() int {

@@ -10,6 +10,13 @@
 // Forks — two blocks claiming the same predecessor — "are only possible as
 // a result of a malicious attack or bad programming" (§IV-B); the lattice
 // detects them and defers resolution to representative voting.
+//
+// Performance invariants (tracked by internal/perf, gated in CI):
+// block content is immutable after the first Hash call, which is what
+// lets Block.Hash memoize its digest; and ProcessBatch produces
+// byte-identical lattice state and results for any worker count, so
+// perf-suite runs pinned at Workers=1 describe the same computation the
+// parallel paths execute.
 package lattice
 
 import (
@@ -76,6 +83,16 @@ type Block struct {
 	// PubKey and Sig authenticate the account owner.
 	PubKey ed25519.PublicKey
 	Sig    []byte
+
+	// memoSelf/memoHash cache the content hash. The cache is valid only
+	// while memoSelf still points at this exact Block value, so a copied
+	// or moved block (memoSelf != &copy) silently re-hashes instead of
+	// reading a stale digest — value copies stay safe without a noCopy
+	// guard. Content fields are never mutated after the first Hash call
+	// (blocks are signed over the digest immediately after construction),
+	// which is the invariant that makes the memo sound.
+	memoSelf *Block
+	memoHash hashx.Hash
 }
 
 // wireSize is the modeled encoding of a lattice block: near Nano's real
@@ -102,8 +119,17 @@ func (b *Block) contentBytes() []byte {
 	return buf
 }
 
-// Hash returns the block identifier.
-func (b *Block) Hash() hashx.Hash { return hashx.Sum(b.contentBytes()) }
+// Hash returns the block identifier, memoized on first use. Not safe
+// for a concurrent FIRST call on the same pointer; ProcessBatch hashes
+// its batch serially before fanning out for exactly this reason.
+func (b *Block) Hash() hashx.Hash {
+	if b.memoSelf == b {
+		return b.memoHash
+	}
+	b.memoHash = hashx.Sum(b.contentBytes())
+	b.memoSelf = b
+	return b.memoHash
+}
 
 // sign fills PubKey and Sig.
 func (b *Block) sign(kp *keys.KeyPair) {

@@ -1,0 +1,138 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// DefaultThreshold is the regression gate's default: a benchmark fails
+// when its normalized ns/op or its allocs/op exceeds the baseline by
+// MORE than 15%. Exactly-at-threshold passes.
+const DefaultThreshold = 0.15
+
+// DeltaStatus classifies one compared benchmark.
+type DeltaStatus string
+
+const (
+	// StatusOK means the benchmark stayed within the threshold.
+	StatusOK DeltaStatus = "ok"
+	// StatusRegression means ns/op or allocs/op regressed past the
+	// threshold; the gate fails.
+	StatusRegression DeltaStatus = "REGRESSION"
+	// StatusMissing means the baseline benchmark is absent from the
+	// candidate — a benchmark silently disappearing is itself a
+	// regression, so the gate fails.
+	StatusMissing DeltaStatus = "MISSING"
+	// StatusNew means the candidate carries a benchmark the baseline
+	// lacks; informational, the gate passes (the next committed baseline
+	// absorbs it).
+	StatusNew DeltaStatus = "new"
+)
+
+// Delta is one benchmark's comparison outcome.
+type Delta struct {
+	Name   string
+	Status DeltaStatus
+	// NsRatio and AllocRatio are candidate/baseline; ns is calibration-
+	// normalized when both reports embed a calibration. Zero when the
+	// ratio is undefined (missing/new, or zero-alloc baseline).
+	NsRatio    float64
+	AllocRatio float64
+	// Why carries the human-readable reason for a non-ok status.
+	Why string
+}
+
+// Compare diffs candidate against baseline under the given threshold
+// (<= 0 selects DefaultThreshold). It returns one Delta per benchmark in
+// baseline-then-new order, and ok=false when any delta fails the gate.
+// Reports generated at different suite scales are incomparable and
+// return an error.
+func Compare(baseline, candidate *Report, threshold float64) ([]Delta, bool, error) {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	if baseline.Scale != candidate.Scale {
+		return nil, false, fmt.Errorf(
+			"perf: incomparable reports: baseline scale %g vs candidate scale %g",
+			baseline.Scale, candidate.Scale)
+	}
+	// Normalize ns by the per-report calibration when both sides have
+	// one: ratio = (curNs/curCal) / (baseNs/baseCal). On the same
+	// machine this reduces to the raw ratio; across machines it cancels
+	// most of the speed difference.
+	baseCal, curCal := baseline.CalibrationNsPerOp, candidate.CalibrationNsPerOp
+	normalize := baseCal > 0 && curCal > 0
+
+	var deltas []Delta
+	ok := true
+	for _, be := range baseline.Entries {
+		ce, found := candidate.Lookup(be.Name)
+		if !found {
+			deltas = append(deltas, Delta{
+				Name: be.Name, Status: StatusMissing,
+				Why: "present in baseline, absent from candidate",
+			})
+			ok = false
+			continue
+		}
+		d := Delta{Name: be.Name, Status: StatusOK}
+		if be.NsPerOp > 0 {
+			d.NsRatio = ce.NsPerOp / be.NsPerOp
+			if normalize {
+				d.NsRatio = (ce.NsPerOp / curCal) / (be.NsPerOp / baseCal)
+			}
+		}
+		switch {
+		case be.AllocsPerOp > 0:
+			d.AllocRatio = ce.AllocsPerOp / be.AllocsPerOp
+		case ce.AllocsPerOp > 0:
+			// Zero-alloc baselines are a property worth defending: any
+			// new allocation on such a path fails the gate outright.
+			d.Status = StatusRegression
+			d.Why = fmt.Sprintf("allocs/op appeared on a zero-alloc path (now %.1f)", ce.AllocsPerOp)
+		}
+		if d.Status == StatusOK && d.NsRatio > 1+threshold {
+			d.Status = StatusRegression
+			d.Why = fmt.Sprintf("ns/op ratio %.3f exceeds %.3f", d.NsRatio, 1+threshold)
+		}
+		if d.Status == StatusOK && d.AllocRatio > 1+threshold {
+			d.Status = StatusRegression
+			d.Why = fmt.Sprintf("allocs/op ratio %.3f exceeds %.3f", d.AllocRatio, 1+threshold)
+		}
+		if d.Status != StatusOK {
+			ok = false
+		}
+		deltas = append(deltas, d)
+	}
+	for _, ce := range candidate.Entries {
+		if _, found := baseline.Lookup(ce.Name); !found {
+			deltas = append(deltas, Delta{
+				Name: ce.Name, Status: StatusNew,
+				Why: "absent from baseline; will join the next committed one",
+			})
+		}
+	}
+	return deltas, ok, nil
+}
+
+// RenderDeltas writes the comparison as an aligned table.
+func RenderDeltas(w io.Writer, deltas []Delta) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tns/op ratio\tallocs ratio\tstatus")
+	for _, d := range deltas {
+		ns, al := "-", "-"
+		if d.NsRatio > 0 {
+			ns = fmt.Sprintf("%.3f", d.NsRatio)
+		}
+		if d.AllocRatio > 0 {
+			al = fmt.Sprintf("%.3f", d.AllocRatio)
+		}
+		status := string(d.Status)
+		if d.Why != "" {
+			status += " (" + d.Why + ")"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", d.Name, ns, al, status)
+	}
+	return tw.Flush()
+}

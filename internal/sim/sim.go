@@ -7,61 +7,74 @@
 //
 // The simulator is single-threaded: events execute one at a time in
 // (time, sequence) order, so runs are reproducible bit-for-bit from a seed.
+//
+// The event queue is allocation-free on its hot path: pending events
+// live in a reusable slot arena indexed by a value-typed binary heap,
+// and network deliveries are stored as slot fields rather than closures.
+// An EventID is a slot index plus a generation counter, so Cancel is an
+// O(1) generation check — no per-event map, and canceling an event that
+// already ran (its slot's generation has moved on) is a safe no-op.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// EventID identifies a scheduled event so it can be canceled.
+// EventID identifies a scheduled event so it can be canceled. It packs
+// the event's arena slot (high 32 bits) and that slot's generation at
+// schedule time (low 32 bits); the generation changes when the event
+// runs or is canceled, which is what makes stale cancels no-ops.
 type EventID uint64
 
-type event struct {
-	at       time.Duration
-	seq      uint64
+// slotKind says what an occupied arena slot executes.
+type slotKind uint8
+
+const (
+	kindFree    slotKind = iota // slot is on the free list
+	kindFn                      // call fn
+	kindDeliver                 // network delivery: run net.deliver
+	kindHandler                 // deferred handler run after a busy wait
+)
+
+// slot is one arena entry. Network deliveries carry their operands here
+// instead of capturing them in a closure, which removes the per-message
+// allocation under every gossip flood.
+type slot struct {
+	gen      uint32
+	kind     slotKind
 	fn       func()
-	canceled bool
-	index    int // heap index
+	net      *Network
+	from, to NodeID
+	payload  any
+	size     int
 }
 
-type eventHeap []*event
+// heapItem is one pending-queue entry. Ordering state (time, sequence)
+// lives here by value; the slot holds only what the event executes.
+type heapItem struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+	gen  uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func itemLess(a, b heapItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Simulator owns the virtual clock, the pending-event queue and the seeded
 // random source shared by the whole simulation.
 type Simulator struct {
 	now     time.Duration
-	queue   eventHeap
+	queue   []heapItem
 	nextSeq uint64
-	byID    map[EventID]*event
+	slots   []slot
+	free    []int32
 	rng     *rand.Rand
 	ran     uint64
 }
@@ -69,8 +82,7 @@ type Simulator struct {
 // New creates a simulator whose randomness derives entirely from seed.
 func New(seed int64) *Simulator {
 	return &Simulator{
-		byID: make(map[EventID]*event),
-		rng:  rand.New(rand.NewSource(seed)),
+		rng: rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -84,21 +96,45 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // runaway-loop indicator.
 func (s *Simulator) EventsRun() uint64 { return s.ran }
 
-// Pending returns the number of events still queued.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of events still scheduled to run.
+func (s *Simulator) Pending() int { return len(s.slots) - len(s.free) }
+
+// alloc takes a slot off the free list, growing the arena when empty.
+func (s *Simulator) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	s.slots = append(s.slots, slot{})
+	return int32(len(s.slots) - 1)
+}
+
+// release bumps the slot's generation — invalidating its EventID and any
+// stale heap entries — and returns it to the free list. Payload and fn
+// references are dropped so executed events don't pin memory.
+func (s *Simulator) release(idx int32) {
+	s.slots[idx] = slot{gen: s.slots[idx].gen + 1}
+	s.free = append(s.free, idx)
+}
+
+// schedule places an occupied slot into the queue at time t.
+func (s *Simulator) schedule(t time.Duration, sl slot) EventID {
+	if t < s.now {
+		t = s.now
+	}
+	idx := s.alloc()
+	sl.gen = s.slots[idx].gen
+	s.slots[idx] = sl
+	s.push(heapItem{at: t, seq: s.nextSeq, slot: idx, gen: sl.gen})
+	s.nextSeq++
+	return EventID(uint64(uint32(idx))<<32 | uint64(sl.gen))
+}
 
 // At schedules fn to run at absolute virtual time t. Times in the past are
 // clamped to now (the event still runs after the current one finishes).
 func (s *Simulator) At(t time.Duration, fn func()) EventID {
-	if t < s.now {
-		t = s.now
-	}
-	ev := &event{at: t, seq: s.nextSeq, fn: fn}
-	s.nextSeq++
-	heap.Push(&s.queue, ev)
-	id := EventID(ev.seq)
-	s.byID[id] = ev
-	return id
+	return s.schedule(t, slot{kind: kindFn, fn: fn})
 }
 
 // After schedules fn to run d from now.
@@ -107,28 +143,84 @@ func (s *Simulator) After(d time.Duration, fn func()) EventID {
 }
 
 // Cancel prevents a scheduled event from running. Canceling an event that
-// already ran (or was already canceled) is a no-op.
+// already ran (or was already canceled) is a no-op: its slot's generation
+// no longer matches the id.
 func (s *Simulator) Cancel(id EventID) {
-	if ev, ok := s.byID[id]; ok {
-		ev.canceled = true
-		delete(s.byID, id)
+	idx := int32(id >> 32)
+	if int(idx) < len(s.slots) && s.slots[idx].gen == uint32(id) && s.slots[idx].kind != kindFree {
+		s.release(idx)
 	}
+}
+
+// liveHead reports whether the queue head refers to a still-scheduled
+// event, popping stale (canceled) entries as it goes.
+func (s *Simulator) liveHead() bool {
+	for len(s.queue) > 0 {
+		if s.slots[s.queue[0].slot].gen == s.queue[0].gen {
+			return true
+		}
+		s.pop()
+	}
+	return false
 }
 
 // Step executes the next event, if any, advancing the clock to its time.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.canceled {
-			continue
-		}
-		delete(s.byID, EventID(ev.seq))
-		s.now = ev.at
-		s.ran++
-		ev.fn()
-		return true
+	if !s.liveHead() {
+		return false
 	}
-	return false
+	item := s.queue[0]
+	s.pop()
+	run := s.slots[item.slot]
+	s.release(item.slot)
+	s.now = item.at
+	s.ran++
+	switch run.kind {
+	case kindFn:
+		run.fn()
+	case kindDeliver:
+		run.net.deliver(run.from, run.to, run.payload, run.size)
+	case kindHandler:
+		run.net.handlers[run.to](run.from, run.payload, run.size)
+	}
+	return true
+}
+
+// push appends an item and sifts it up; a hand-rolled heap keeps items
+// as values (container/heap would box every Push into an interface).
+func (s *Simulator) push(it heapItem) {
+	s.queue = append(s.queue, it)
+	i := len(s.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !itemLess(s.queue[i], s.queue[parent]) {
+			break
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
+	}
+}
+
+// pop removes the head item and restores the heap order.
+func (s *Simulator) pop() {
+	n := len(s.queue) - 1
+	s.queue[0] = s.queue[n]
+	s.queue = s.queue[:n]
+	i := 0
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && itemLess(s.queue[l], s.queue[smallest]) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && itemLess(s.queue[r], s.queue[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.queue[i], s.queue[smallest] = s.queue[smallest], s.queue[i]
+		i = smallest
+	}
 }
 
 // Run executes events until the queue drains or maxEvents have run;
@@ -146,13 +238,8 @@ func (s *Simulator) Run(maxEvents uint64) uint64 {
 // RunUntil executes all events scheduled up to and including t, then sets
 // the clock to t.
 func (s *Simulator) RunUntil(t time.Duration) {
-	for len(s.queue) > 0 {
-		next := s.queue[0]
-		if next.canceled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if next.at > t {
+	for s.liveHead() {
+		if s.queue[0].at > t {
 			break
 		}
 		s.Step()
@@ -464,7 +551,9 @@ func (n *Network) Send(from, to NodeID, payload any, size int) {
 	n.stats.MessagesSent++
 	n.stats.BytesSent += int64(size)
 	arrival := n.sim.Now() + delay
-	n.sim.At(arrival, func() { n.deliver(from, to, payload, size) })
+	// Scheduled as a kindDeliver slot, not a closure: this is the hottest
+	// allocation site of every gossip flood.
+	n.sim.schedule(arrival, slot{kind: kindDeliver, net: n, from: from, to: to, payload: payload, size: size})
 }
 
 // deliver runs the destination handler, honoring the processing budget.
@@ -483,7 +572,7 @@ func (n *Network) deliver(from, to NodeID, payload any, size int) {
 		n.handlers[to](from, payload, size)
 		return
 	}
-	n.sim.At(start, func() { n.handlers[to](from, payload, size) })
+	n.sim.schedule(start, slot{kind: kindHandler, net: n, from: from, to: to, payload: payload, size: size})
 }
 
 // BroadcastAll sends payload from one node directly to every other node.
