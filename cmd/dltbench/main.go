@@ -19,10 +19,12 @@
 //	dltbench -experiment E17 -selfish-alpha 0.3           # extra sweep point
 //	dltbench -experiment E17 -selfish-gamma 0.5           # Eyal–Sirer connectivity
 //	dltbench -experiment E18 -double-spend-trials 10      # executed attacks
+//	dltbench -experiment E18 -depth-sweep                 # z = 1…6 merchant rules
+//	dltbench -experiment E19 -shards 4                    # sharded event lanes
 //	dltbench -list               # show the registry
 //	dltbench -timing             # append the wall-clock/speedup table
-//	dltbench -bench-report -bench-out BENCH_006.json      # commit a perf baseline
-//	dltbench -bench-compare BENCH_006.json                # live regression gate
+//	dltbench -bench-report -bench-out BENCH_007.json      # commit a perf baseline
+//	dltbench -bench-compare BENCH_007.json                # live regression gate
 //	dltbench -bench-compare old.json -bench-candidate new.json  # diff two files
 package main
 
@@ -47,7 +49,7 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (E1…E18) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (E1…E19) or 'all'")
 		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
 		scale      = flag.Float64("scale", 1.0, "duration/workload scale factor")
 		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU core)")
@@ -70,6 +72,10 @@ func run() int {
 			"Eyal–Sirer connectivity for E17's selfish-mining rows: fraction of honest hash power mining on the adversary's block in an open 1-1 race (0 = historical first-seen races)")
 		withholdWeight = flag.Float64("withhold-weight", 0,
 			"extra withheld-weight fraction added to E17's vote-withholding sweep (0 = default sweep only)")
+		depthSweep = flag.Bool("depth-sweep", false,
+			"add E18's confirmation-depth sweep: the executed chain double spend rerun for merchant rules z = 1…6 against two attack-window lengths, with the analytic catch-up odds beside each")
+		shards = flag.Int("shards", 0,
+			"event-queue lanes per simulated network (<= 0 = 1); tables are identical for every value — a pure capacity knob for mega-scale runs")
 		timing  = flag.Bool("timing", false, "print the sweep wall-clock/speedup table (text format only)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		summary = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
@@ -77,7 +83,7 @@ func run() int {
 		benchReport = flag.Bool("bench-report", false,
 			"run the perf trajectory suite and write the canonical BENCH JSON (see PERFORMANCE.md)")
 		benchOut   = flag.String("bench-out", "", "path for the -bench-report output ('' = stdout)")
-		benchLabel = flag.String("bench-label", "006", "baseline label embedded in the -bench-report output")
+		benchLabel = flag.String("bench-label", "007", "baseline label embedded in the -bench-report output")
 		benchScale = flag.Float64("bench-scale", 1, "perf suite workload scale; reports only compare at equal scale")
 		benchTime  = flag.Duration("bench-time", time.Second,
 			"minimum measured duration per perf benchmark (CI turns this down, not -bench-scale)")
@@ -144,6 +150,8 @@ func run() int {
 		SelfishAlpha:      *selfishAlpha,
 		SelfishGamma:      *selfishGamma,
 		WithholdWeight:    *withholdWeight,
+		DepthSweep:        *depthSweep,
+		Shards:            *shards,
 	}
 	selected := core.Experiments()
 	if *experiment != "all" {

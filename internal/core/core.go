@@ -93,6 +93,17 @@ type Config struct {
 	// vote-withholding sweep. Zero — or a value outside (0, 1] — keeps
 	// the default {0, 25%, 55%} sweep.
 	WithholdWeight float64
+	// Shards is the event-queue lane count every simulated network runs
+	// with (sim.NewSharded via netsim.NetParams.Shards). Results are
+	// identical for every value — pinned by test, like Workers — so it is
+	// a pure capacity knob for mega-scale runs. <= 0 means 1.
+	Shards int
+	// DepthSweep adds E18's confirmation-depth sweep rows: the executed
+	// chain double spend rerun for merchant rules z = 1…6 against two
+	// attack-window lengths, with the E15 analytic catch-up odds beside
+	// each. False (the default) keeps the historical E18 table
+	// byte-identical.
+	DepthSweep bool
 }
 
 // withDefaults fills zero values.
@@ -124,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.WithholdWeight <= 0 || c.WithholdWeight > 1 {
 		c.WithholdWeight = 0
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	return c
 }
 
@@ -143,7 +157,7 @@ func (c Config) count(base int) int {
 
 // Experiment reproduces one figure or quantitative claim of the paper.
 type Experiment struct {
-	// ID is the experiment key (E1…E18).
+	// ID is the experiment key (E1…E19).
 	ID string
 	// Title names the reproduced artifact.
 	Title string
@@ -176,6 +190,7 @@ func Experiments() []Experiment {
 		{ID: "E16", Title: "eclipse attack: victim lag & double-spend exposure vs captured peers", Section: "IV", Run: RunE16Eclipse},
 		{ID: "E17", Title: "selfish mining & vote withholding vs adversary power", Section: "III/IV", Run: RunE17Strategy},
 		{ID: "E18", Title: "executed double-spends under combined adversaries (eclipse, hidden forks)", Section: "IV", Run: RunE18ExecutedDoubleSpend},
+		{ID: "E19", Title: "scaling law: throughput, finality & memory per node vs network size", Section: "VI", Run: RunE19ScalingLaw},
 	}
 }
 

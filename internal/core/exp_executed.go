@@ -15,9 +15,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/pow"
 )
 
 // e18Seed* are the per-scenario seed strides; each (scenario, trial)
@@ -28,6 +30,7 @@ const (
 	e18SeedChainPartition = 510_000
 	e18SeedNanoEclipse    = 520_000
 	e18SeedNanoPartition  = 530_000
+	e18SeedDepthSweep     = 540_000
 )
 
 // e18ChainTrial runs one executed chain double spend on a fresh network
@@ -149,6 +152,65 @@ func e18NanoRow(cfg Config, scenario string, stride int64, adversary string, par
 	}, nil
 }
 
+// e18DepthWindows are the two attack-window lengths the confirmation-
+// depth sweep crosses with the merchant rule: the canonical scenario's
+// 135 s heal and a window less than half as long. The sweep's point is
+// the interplay — a deeper rule only defends when the window is too
+// short to manufacture that many confirmations inside the captured view.
+var e18DepthWindows = []time.Duration{135 * time.Second, 75 * time.Second}
+
+// e18DepthZs is the merchant-rule sweep, z = 1…6 (§IV-A's range from
+// reckless to Nakamoto's canonical six).
+var e18DepthZs = []int{1, 2, 3, 4, 5, 6}
+
+// e18DepthRow aggregates DoubleSpendTrials executed eclipse double
+// spends for one (z, window) sweep point. The analytic column is
+// Nakamoto's catch-up probability for an attacker holding the captured
+// side's hash share at depth z — what §IV-A says such an attacker could
+// achieve in a fair race, next to what the eclipse actually executed.
+func e18DepthRow(cfg Config, stride int64, z int, healAt time.Duration) ([]string, error) {
+	var injected, accepted, reverted, honest int
+	for trial := 0; trial < cfg.DoubleSpendTrials; trial++ {
+		bcfg, plan, _, dur := netsim.ChainDoubleSpendScenario(cfg.Seed+stride+int64(trial), false)
+		plan.Confirmations = z
+		plan.HealAt = healAt
+		net, err := netsim.NewBitcoin(bcfg)
+		if err != nil {
+			return nil, err
+		}
+		h := net.ScheduleDoubleSpend(plan)
+		net.Run(dur)
+		out := net.DoubleSpendVerdict(h)
+		if !out.Injected {
+			continue
+		}
+		injected++
+		if out.Accepted {
+			accepted++
+		}
+		if out.Reverted {
+			reverted++
+		}
+		if out.HonestConfirmed {
+			honest++
+		}
+	}
+	if injected == 0 {
+		return nil, fmt.Errorf("core: e18: no depth-sweep double spend injected (z=%d, heal %s)", z, healAt)
+	}
+	// The canonical scenario mines uniformly across its 6 nodes and the
+	// eclipse captures the victim alone, so the captured view holds 1/6
+	// of the network's hash power.
+	const capturedShare = 1.0 / 6
+	return []string{
+		fmt.Sprintf("depth sweep (heal %ds)", int(healAt.Seconds())),
+		fmt.Sprintf("bitcoin (PoW, z=%d merchant)", z), "100.00% links", metrics.I(injected),
+		metrics.F4(float64(reverted) / float64(injected)),
+		metrics.F4(pow.CatchUpProbability(capturedShare, z)),
+		outOf(accepted, injected), outOf(honest, injected), "—", "—",
+	}, nil
+}
+
 // RunE18ExecutedDoubleSpend executes double spends under combined
 // adversaries on both sides of the paper's comparison and reports
 // whether the victim's accepted payment was actually reverted. Chain
@@ -202,6 +264,19 @@ func RunE18ExecutedDoubleSpend(ctx context.Context, cfg Config) (*metrics.Table,
 			return e18NanoRow(cfg, "partition-hidden fork", e18SeedNanoPartition, "20.00% split", true)
 		},
 	}
+	if cfg.DepthSweep {
+		// The sweep appends after the historical rows, window-major, so
+		// the default table stays byte-identical with DepthSweep off.
+		for wi, healAt := range e18DepthWindows {
+			for _, z := range e18DepthZs {
+				wi, z, healAt := wi, z, healAt
+				points = append(points, func() ([]string, error) {
+					stride := int64(e18SeedDepthSweep + wi*3_000 + z*500)
+					return e18DepthRow(cfg, stride, z, healAt)
+				})
+			}
+		}
+	}
 	rows, err := fanOut(ctx, cfg, len(points), func(i int) ([]string, error) { return points[i]() })
 	if err != nil {
 		return nil, err
@@ -213,5 +288,8 @@ func RunE18ExecutedDoubleSpend(ctx context.Context, cfg Config) (*metrics.Table,
 	t.AddNote("chain: the victim accepts at 2 confirmations mined inside its captured view; the released honest chain out-works its branch and the reorg strands the payment (§IV-A)")
 	t.AddNote("lattice: accepted = the zero-conf merchant's issued receive at heal; quorum@heal counts trials where the victim reached vote quorum inside the window — a captured victim cannot, so a merchant waiting for confirmation refuses the payment (§IV-B)")
 	t.AddNote("baseline rows rerun E15's zero-power sweep points — their cells match E15 byte for byte")
+	if cfg.DepthSweep {
+		t.AddNote("depth sweep: the eclipse shape rerun for merchant rules z = 1…6 against two window lengths; analytic is Nakamoto's catch-up odds for the captured side's 1/6 hash share — depth defends only once the window is too short to manufacture z confirmations inside the captured view (§IV-A)")
+	}
 	return t, nil
 }

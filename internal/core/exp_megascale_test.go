@@ -1,0 +1,87 @@
+package core
+
+// E19 acceptance properties: the scaling-law table must be a pure
+// function of (Seed, Scale) — identical for any event-queue shard count
+// K and any worker count — and every sweep row must actually carry
+// traffic (the floored workload guarantees at least one settled
+// transfer even at tiny test scales).
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func renderE19(t *testing.T, cfg Config) string {
+	t.Helper()
+	tbl, err := RunE19ScalingLaw(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// The sharded event loop must be invisible in the results: E19 renders
+// byte-identically for K = 1, 4, 8 lanes and for any sweep-point
+// fan-out width.
+func TestE19ShardAndWorkerInvariance(t *testing.T) {
+	base := Config{Seed: 11, Scale: 0.02}
+	serial := renderE19(t, Config{Seed: base.Seed, Scale: base.Scale, Shards: 1, Workers: 1})
+	for _, variant := range []Config{
+		{Seed: base.Seed, Scale: base.Scale, Shards: 4, Workers: 1},
+		{Seed: base.Seed, Scale: base.Scale, Shards: 8, Workers: DefaultWorkers()},
+		{Seed: base.Seed, Scale: base.Scale, Shards: 1, Workers: 4},
+	} {
+		if got := renderE19(t, variant); got != serial {
+			t.Fatalf("E19 diverged at shards=%d workers=%d:\n--- got ---\n%s\n--- want ---\n%s",
+				variant.Shards, variant.Workers, got, serial)
+		}
+	}
+}
+
+// Every sweep point must settle traffic: a row whose throughput or
+// event count is zero measures nothing (the regression this pins was a
+// scaled-down workload window rounding to an empty Poisson draw).
+func TestE19RowsCarryTraffic(t *testing.T) {
+	tbl, err := RunE19ScalingLaw(context.Background(), Config{Seed: 11, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Rows()
+	if want := 2 * len(e19NodeCounts(Config{Scale: 0.02}.withDefaults())); len(rows) != want {
+		t.Fatalf("E19 rows = %d, want %d", len(rows), want)
+	}
+	for _, row := range rows {
+		if row[2] == "0.00" {
+			t.Fatalf("zero-throughput sweep row: %v", row)
+		}
+		if row[7] == "0" {
+			t.Fatalf("zero-event sweep row: %v", row)
+		}
+	}
+}
+
+// The node-count sweep must scale with cfg.Scale but never collapse
+// below the minimum viable network, and must stay strictly ascending
+// with duplicates dropped.
+func TestE19NodeCounts(t *testing.T) {
+	if got := e19NodeCounts(Config{Scale: 1}.withDefaults()); len(got) != 4 || got[0] != 100 || got[3] != 100_000 {
+		t.Fatalf("full-scale sweep = %v", got)
+	}
+	tiny := e19NodeCounts(Config{Scale: 0.0001}.withDefaults())
+	if len(tiny) == 0 {
+		t.Fatalf("tiny-scale sweep collapsed to nothing")
+	}
+	for i, n := range tiny {
+		if n < 8 {
+			t.Fatalf("sweep point %d below the 8-node floor: %v", i, tiny)
+		}
+		if i > 0 && n <= tiny[i-1] {
+			t.Fatalf("sweep not strictly ascending: %v", tiny)
+		}
+	}
+}

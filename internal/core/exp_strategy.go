@@ -57,7 +57,7 @@ func e16Fracs(cfg Config) []float64 {
 func e16Bitcoin(cfg Config, frac float64) ([]string, error) {
 	net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
 		Net: netsim.NetParams{
-			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 11,
+			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 11, Shards: cfg.Shards,
 			MinLatency: 20 * time.Millisecond, MaxLatency: 150 * time.Millisecond,
 		},
 		BlockInterval: 15 * time.Second, Accounts: 64, InitialBalance: 1 << 32,
@@ -88,7 +88,7 @@ func e16Bitcoin(cfg Config, frac float64) ([]string, error) {
 func e16Nano(cfg Config, frac float64) ([]string, error) {
 	net, err := netsim.NewNano(netsim.NanoConfig{
 		Net: netsim.NetParams{
-			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 13,
+			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 13, Shards: cfg.Shards,
 			MinLatency: 10 * time.Millisecond, MaxLatency: 60 * time.Millisecond,
 		},
 		Accounts: 40, Reps: 4, Workers: cfg.Workers,
@@ -175,7 +175,7 @@ const e17SelfishNodes = 8
 // The threshold test reuses this constructor at longer horizons, so the
 // network the classic-threshold assertions run on is exactly the one the
 // E17 table sweeps.
-func e17SelfishNet(seed int64, alpha float64) (*netsim.BitcoinNet, error) {
+func e17SelfishNet(seed int64, alpha float64, shards int) (*netsim.BitcoinNet, error) {
 	const nodes = e17SelfishNodes
 	rates := make([]float64, nodes)
 	for i := 0; i < nodes-1; i++ {
@@ -187,7 +187,7 @@ func e17SelfishNet(seed int64, alpha float64) (*netsim.BitcoinNet, error) {
 	}
 	return netsim.NewBitcoin(netsim.BitcoinConfig{
 		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 3, Seed: seed,
+			Nodes: nodes, PeerDegree: 3, Seed: seed, Shards: shards,
 			MinLatency: 20 * time.Millisecond, MaxLatency: 150 * time.Millisecond,
 		},
 		BlockInterval: 10 * time.Second, Accounts: 32, InitialBalance: 1 << 32,
@@ -203,7 +203,7 @@ func e17SelfishNet(seed int64, alpha float64) (*netsim.BitcoinNet, error) {
 // itself.
 func e17Selfish(cfg Config, alpha float64) ([]string, error) {
 	const nodes = e17SelfishNodes
-	net, err := e17SelfishNet(cfg.Seed+17, alpha)
+	net, err := e17SelfishNet(cfg.Seed+17, alpha, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -228,13 +228,24 @@ func e17Selfish(cfg Config, alpha float64) ([]string, error) {
 		producedShare := float64(sm.Produced()) / float64(m.BlocksTotal)
 		gainCell = metrics.F(share / producedShare)
 	}
-	return []string{
-		"bitcoin (selfish mining)", metrics.Pct(alpha), metrics.Pct(sm.Gamma()),
+	row := []string{"bitcoin (selfish mining)", metrics.Pct(alpha), metrics.Pct(sm.Gamma())}
+	if cfg.SelfishGamma > 0 {
+		// Measured effective γ: the share of open-race honest wins that
+		// actually extended the adversary's block. It trails the
+		// configured value when the adversary's block had not propagated
+		// to the winning miner yet.
+		effCell := "—"
+		if taken, chances := net.EffectiveGamma(); chances > 0 {
+			effCell = metrics.Pct(float64(taken) / float64(chances))
+		}
+		row = append(row, effCell)
+	}
+	return append(row,
 		shareCell, metrics.Pct(pow.SelfishRevenue(alpha, sm.Gamma())), gainCell,
 		metrics.Pct(m.OrphanRate),
 		metrics.F(m.TPS), metrics.I(m.BlocksOnMain), "—",
 		metrics.I(sm.Produced()),
-	}, nil
+	), nil
 }
 
 // e17Withhold runs one vote-withholding sweep point: representatives
@@ -244,7 +255,7 @@ func e17Selfish(cfg Config, alpha float64) ([]string, error) {
 func e17Withhold(cfg Config, w float64) ([]string, error) {
 	net, err := netsim.NewNano(netsim.NanoConfig{
 		Net: netsim.NetParams{
-			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 19,
+			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 19, Shards: cfg.Shards,
 			MinLatency: 10 * time.Millisecond, MaxLatency: 60 * time.Millisecond,
 		},
 		Accounts: 40, Reps: 8, Workers: cfg.Workers,
@@ -262,12 +273,15 @@ func e17Withhold(cfg Config, w float64) ([]string, error) {
 	if m.ConfirmLatency.N() > 0 {
 		confirmCell = fmt.Sprintf("%.0f ms", 1000*m.ConfirmLatency.Quantile(0.95))
 	}
-	return []string{
-		"nano (vote withholding)", metrics.Pct(actual), "—",
+	row := []string{"nano (vote withholding)", metrics.Pct(actual), "—"}
+	if cfg.SelfishGamma > 0 {
+		row = append(row, "—") // effective-gamma is a chain-side concept
+	}
+	return append(row,
 		"—", "—", "—", "—",
 		metrics.F(m.BPS), metrics.I(m.ConfirmedBlocks), confirmCell,
 		metrics.I(net.Runtime().Stats().VotesWithheld),
-	}, nil
+	), nil
 }
 
 // RunE17Strategy sweeps adversary power for the two canonical
@@ -282,9 +296,16 @@ func e17Withhold(cfg Config, w float64) ([]string, error) {
 // quorum margin (§IV-B).
 func RunE17Strategy(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
-	t := metrics.NewTable("E17 (§III/§IV): selfish mining & vote withholding vs adversary power",
-		"system", "adversary-power", "gamma", "revenue-share", "analytic",
+	headers := []string{"system", "adversary-power", "gamma"}
+	if cfg.SelfishGamma > 0 {
+		// Only a γ-parameterized run has races to measure; the default
+		// table keeps its historical column set byte for byte.
+		headers = append(headers, "effective-gamma")
+	}
+	headers = append(headers, "revenue-share", "analytic",
 		"relative-gain", "orphan-rate", "throughput", "confirmed", "confirm-p95", "withheld")
+	t := metrics.NewTable("E17 (§III/§IV): selfish mining & vote withholding vs adversary power",
+		headers...)
 
 	alphas, withholds := e17Alphas(cfg), e17Withholds(cfg)
 	rows, err := fanOut(ctx, cfg, len(alphas)+len(withholds), func(i int) ([]string, error) {
@@ -301,6 +322,9 @@ func RunE17Strategy(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	}
 	t.AddNote("selfish mining: revenue-share is the adversary's slice of attributed main-chain blocks; relative-gain compares it to the share it produced — honest publication yields 1.00, withholding exceeds it past the profitability threshold (§IV-A)")
 	t.AddNote("gamma is Eyal–Sirer's connectivity: the honest hash fraction mining on the adversary's block in an open 1-1 race; the analytic column is their closed-form pool revenue (pow.SelfishRevenue) — profitable above alpha = 1/3 at gamma=0, earlier as gamma rises (-selfish-gamma)")
+	if cfg.SelfishGamma > 0 {
+		t.AddNote("effective-gamma is the measured race outcome: open-race honest wins that extended the adversary's block, over all open-race honest wins — it trails the configured gamma when the adversary's block had not propagated to the winner yet")
+	}
 	t.AddNote("vote withholding: silenced representatives never vote, so their weight vanishes from every election; past the quorum margin nothing confirms (§IV-B) — compare confirm-p95 and confirmed against the 0%% row")
 	t.AddNote("withheld column: blocks kept private (chain) / votes never cast (lattice)")
 	t.AddNote("zero-power rows are the untouched honest pipelines")

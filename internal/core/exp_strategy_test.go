@@ -144,7 +144,7 @@ func TestE17GammaBracketsClassicThresholds(t *testing.T) {
 		t.Fatalf("SelfishThreshold(1) = %v, want 0", got)
 	}
 	share := func(alpha, gamma float64) float64 {
-		net, err := e17SelfishNet(7, alpha)
+		net, err := e17SelfishNet(7, alpha, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,8 +186,15 @@ func TestE17GammaCellThreads(t *testing.T) {
 	if row[2] != "100.00%" {
 		t.Fatalf("γ cell = %q, want 100.00%%", row[2])
 	}
-	if want := metrics.Pct(pow.SelfishRevenue(0.35, 1)); row[4] != want {
-		t.Fatalf("analytic cell = %q, want %q", row[4], want)
+	// γ > 0 inserts the measured effective-gamma column after gamma; at
+	// γ=1 every open-race honest win whose miner already held the
+	// adversary's block extends it, so the cell is a percentage (or the
+	// dash when no race ever opened), never empty.
+	if row[3] == "" {
+		t.Fatalf("effective-gamma cell missing, row = %v", row)
+	}
+	if want := metrics.Pct(pow.SelfishRevenue(0.35, 1)); row[5] != want {
+		t.Fatalf("analytic cell = %q, want %q", row[5], want)
 	}
 }
 

@@ -1,4 +1,4 @@
-// The experiment scheduler: a worker-pool engine that runs the E1…E18
+// The experiment scheduler: a worker-pool engine that runs the E1…E19
 // registry with bounded parallelism. Experiments are self-contained (each
 // builds its own simulators and instance-scoped randomness), so the sweep
 // parallelizes across cores — which is itself the paper's §VI point about

@@ -93,6 +93,15 @@ type Block struct {
 	// which is the invariant that makes the memo sound.
 	memoSelf *Block
 	memoHash hashx.Hash
+
+	// memoSigSelf/memoSigOK cache a positive VerifySig outcome under the
+	// same pointer-identity rule as memoSelf. In a network simulation the
+	// same *Block floods every node, and the signature is content-pure —
+	// one ed25519 verification serves all replicas. Only success is
+	// cached: a failed check re-verifies on every call, so the memo can
+	// never launder a block whose Sig was swapped after a rejection.
+	memoSigSelf *Block
+	memoSigOK   bool
 }
 
 // wireSize is the modeled encoding of a lattice block: near Nano's real
@@ -138,13 +147,23 @@ func (b *Block) sign(kp *keys.KeyPair) {
 	b.Sig = kp.Sign(digest[:])
 }
 
-// VerifySig checks the owner signature and the key/account binding.
+// VerifySig checks the owner signature and the key/account binding. The
+// outcome is memoized per pointer (see memoSigSelf): every replica after
+// the first reads the cached verdict instead of re-running ed25519.
 func (b *Block) VerifySig() bool {
+	if b.memoSigSelf == b {
+		return b.memoSigOK
+	}
 	if keys.AddressOf(b.PubKey) != b.Account {
 		return false
 	}
 	digest := b.Hash()
-	return keys.Verify(b.PubKey, digest[:], b.Sig)
+	if !keys.Verify(b.PubKey, digest[:], b.Sig) {
+		return false
+	}
+	b.memoSigSelf = b
+	b.memoSigOK = true
+	return true
 }
 
 // SolveWork attaches an anti-spam stamp of the given difficulty (§III-B:
@@ -722,6 +741,57 @@ func (l *Lattice) ResolveFork(prev, winner hashx.Hash) error {
 	delete(l.forks, prev)
 	l.drainGaps(win, nil)
 	return nil
+}
+
+// Clone returns an independent replica of the lattice: every map and
+// chain slice is copied, while the immutable *Block values are shared
+// (block content never changes after signing, and the Hash/VerifySig
+// memos only ever move toward the computed-once state). Network
+// simulations use it to stamp out one replica per node from a single
+// replayed template instead of re-validating the same setup stream N
+// times — at mega-scale node counts that replay is the entire setup
+// cost. The clone and the original evolve independently afterwards.
+func (l *Lattice) Clone() *Lattice {
+	c := &Lattice{
+		workBits:  l.workBits,
+		chains:    make(map[keys.Address]*accountChain, len(l.chains)),
+		byHash:    make(map[hashx.Hash]*Block, len(l.byHash)),
+		pending:   make(map[hashx.Hash]Pending, len(l.pending)),
+		settled:   make(map[hashx.Hash]bool, len(l.settled)),
+		forks:     make(map[hashx.Hash][]*Block, len(l.forks)),
+		successor: make(map[hashx.Hash]hashx.Hash, len(l.successor)),
+		gapPrev:   make(map[hashx.Hash][]*Block, len(l.gapPrev)),
+		gapSource: make(map[hashx.Hash][]*Block, len(l.gapSource)),
+		supply:    l.supply,
+		genesis:   l.genesis,
+	}
+	for addr, ch := range l.chains {
+		blocks := make([]*Block, len(ch.blocks))
+		copy(blocks, ch.blocks)
+		c.chains[addr] = &accountChain{blocks: blocks, head: ch.head}
+	}
+	for h, b := range l.byHash {
+		c.byHash[h] = b
+	}
+	for h, p := range l.pending {
+		c.pending[h] = p
+	}
+	for h := range l.settled {
+		c.settled[h] = true
+	}
+	for h, rs := range l.forks {
+		c.forks[h] = append([]*Block(nil), rs...)
+	}
+	for h, s := range l.successor {
+		c.successor[h] = s
+	}
+	for h, ws := range l.gapPrev {
+		c.gapPrev[h] = append([]*Block(nil), ws...)
+	}
+	for h, ws := range l.gapSource {
+		c.gapSource[h] = append([]*Block(nil), ws...)
+	}
+	return c
 }
 
 // RepWeights computes each representative's voting weight: "the sum of

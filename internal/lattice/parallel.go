@@ -24,6 +24,9 @@ type prechecked struct {
 	h      hashx.Hash
 	sigOK  bool
 	workOK bool
+	// memoed marks blocks whose signature verdict came from the VerifySig
+	// memo; they carry no VerifyBatch job.
+	memoed bool
 }
 
 // ProcessBatch validates and attaches a batch of blocks, fanning the
@@ -56,7 +59,11 @@ func (l *Lattice) ProcessBatch(blocks []*Block, workers int) []Result {
 
 	// Stage 1: parallel crypto. Work-stamp checks chunk across the pool;
 	// the signature checks ride the keys.VerifyBatch pool using the
-	// memoized hashes.
+	// memoized hashes. Blocks whose signature already verified (the
+	// VerifySig memo — in a network sim the same pointer reaches every
+	// replica) skip the batch: workers only READ the memo here; writes
+	// happen in the serial pass below, so duplicate pointers in one batch
+	// never race.
 	pre := make([]prechecked, len(blocks))
 	jobs := make([]keys.VerifyJob, len(blocks))
 	par.For(len(blocks), workers, 1, func(lo, hi int) {
@@ -65,13 +72,29 @@ func (l *Lattice) ProcessBatch(blocks []*Block, workers int) []Result {
 			pre[i].h = b.Hash()
 			pre[i].workOK = l.workBits <= 0 ||
 				hashx.VerifyStamp(pre[i].h[:], hashx.Stamp{Nonce: b.Work, Bits: l.workBits})
+			if b.memoSigSelf == b {
+				pre[i].sigOK = b.memoSigOK
+				pre[i].memoed = true
+				continue // zero-value job; its verdict is ignored below
+			}
 			// The key/account binding is part of signature validity.
 			pre[i].sigOK = keys.AddressOf(b.PubKey) == b.Account
 			jobs[i] = keys.VerifyJob{Pub: b.PubKey, Msg: pre[i].h[:], Sig: b.Sig}
 		}
 	})
 	for i, ok := range keys.VerifyBatch(jobs, workers) {
-		pre[i].sigOK = pre[i].sigOK && ok
+		if !pre[i].memoed {
+			pre[i].sigOK = pre[i].sigOK && ok
+		}
+	}
+	// Serial memo write-back: successful verdicts feed later batches and
+	// the serial Process path (only success is ever cached — see
+	// Block.VerifySig).
+	for i, b := range blocks {
+		if pre[i].sigOK && b.memoSigSelf != b {
+			b.memoSigSelf = b
+			b.memoSigOK = true
+		}
 	}
 
 	// Stage 2: apply in input order. Fork incumbency, gap draining and

@@ -224,6 +224,21 @@ func (b *BitcoinNet) InstallSelfishMinerGamma(idx int, gamma float64) *SelfishMi
 	return b.chain.installSelfishMiner(idx, gamma)
 }
 
+// EffectiveGamma reports the measured γ-race outcome: taken honest wins
+// that extended the adversary's published race block, out of chances
+// honest wins that occurred while the race was open. taken/chances is
+// the effective connectivity E17 reports next to the configured γ; it
+// falls short of the configuration when the adversary's block had not
+// propagated to the winning miner yet. Both are zero in honest runs.
+func (b *BitcoinNet) EffectiveGamma() (taken, chances int) {
+	return b.chain.effectiveGamma()
+}
+
+// EffectiveGamma is the PoW-mode variant; see the BitcoinNet method.
+func (e *EthereumNet) EffectiveGamma() (taken, chances int) {
+	return e.chain.effectiveGamma()
+}
+
 // InstallSelfishMiner makes node idx produce selfishly (PoW mode, E17).
 func (e *EthereumNet) InstallSelfishMiner(idx int) *SelfishMiningBehavior {
 	return e.chain.installSelfishMiner(idx, 0)

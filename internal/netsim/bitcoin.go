@@ -97,7 +97,7 @@ func NewBitcoin(cfg BitcoinConfig) (*BitcoinNet, error) {
 		cfg: cfg,
 		// Main-chain transactions minus one coinbase per block and minus
 		// the genesis allocation tx.
-		chain:   newChainRuntime(s, net, func(txs, blocks int) int { return txs - blocks - 1 }),
+		chain:   newChainRuntime(s, net, cfg.Net.Nodes, func(txs, blocks int) int { return txs - blocks - 1 }),
 		ring:    ring,
 		lottery: lottery,
 	}

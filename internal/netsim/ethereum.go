@@ -144,7 +144,7 @@ func NewEthereum(cfg EthereumConfig) (*EthereumNet, error) {
 
 	e := &EthereumNet{
 		cfg:       cfg,
-		chain:     newChainRuntime(s, net, func(txs, _ int) int { return txs }),
+		chain:     newChainRuntime(s, net, cfg.Net.Nodes, func(txs, _ int) int { return txs }),
 		ring:      ring,
 		nonces:    make(map[int]uint64),
 		cpCreated: make(map[hashx.Hash]time.Duration),

@@ -41,9 +41,9 @@ type NanoConfig struct {
 	// budgets modeling §VI-B's consumer-hardware limit (zero disables).
 	ProcPerBlock time.Duration
 	ProcPerVote  time.Duration
-	// Workers bounds the parallel validation of the setup replay and of
-	// live gossip batches (lattice.ProcessBatch): <= 0 means one per CPU
-	// core, 1 is fully serial. Results are identical either way.
+	// Workers bounds the parallel validation of live gossip batches
+	// (lattice.ProcessBatch): <= 0 means one per CPU core, 1 is fully
+	// serial. Results are identical either way.
 	Workers int
 	// BatchSize enables batched live-gossip settlement: blocks arriving
 	// from gossip accumulate in a per-node ingest queue and settle
@@ -146,6 +146,12 @@ type blockRequest struct {
 const blockRequestSize = hashx.Size + 8
 
 // nanoNode is one full node: lattice replica, vote tracker, dedup state.
+// Hot-path dedup (seen blocks, seen votes) lives in the network-level
+// struct-of-arrays matrices (NanoNet.seenBlocks/seenVotes), addressed by
+// this node's index; the maps that remain below are cold — forks, vote
+// switching, gap repair — and are allocated lazily on first write, so a
+// node that never hits those paths (the overwhelming majority at
+// mega-scale) carries no map at all.
 type nanoNode struct {
 	id      sim.NodeID
 	lat     *lattice.Lattice
@@ -156,14 +162,9 @@ type nanoNode struct {
 	byzantine bool
 	// repAccounts are representative indices whose owner is this node.
 	repAccounts []int
-	seenBlocks  map[hashx.Hash]bool
-	// seenVotes and prevSeenVotes are the two generations of the bounded
-	// vote dedup set: when seenVotes fills past maxSeenVotes it becomes
-	// prevSeenVotes and a fresh generation starts.
-	seenVotes     map[hashx.Hash]bool
-	prevSeenVotes map[hashx.Hash]bool
-	// rootOf maps election candidates to their election roots.
-	rootOf map[hashx.Hash]hashx.Hash
+	// forkRoots maps fork-election candidates to their derived roots,
+	// shadowing the identity rule for plain candidates (electionRootOf).
+	forkRoots map[hashx.Hash]hashx.Hash
 	// forkPrev maps a fork election's derived root back to the contested
 	// predecessor block it is about (the ResolveFork argument).
 	forkPrev map[hashx.Hash]hashx.Hash
@@ -189,6 +190,18 @@ type nanoNode struct {
 	issuedReceive map[hashx.Hash]bool
 	// resolvedForks dedups fork resolutions.
 	resolvedForks map[hashx.Hash]bool
+}
+
+// row is the node's row index in the network's pooled bit matrices.
+func (node *nanoNode) row() int { return int(node.id) }
+
+// lazyPut inserts into a lazily allocated map, allocating on first write.
+// The cold per-node maps stay nil until a node actually hits their path.
+func lazyPut[K comparable, V any](m *map[K]V, k K, v V) {
+	if *m == nil {
+		*m = make(map[K]V)
+	}
+	(*m)[k] = v
 }
 
 // NanoMetrics summarizes a lattice network run.
@@ -242,6 +255,14 @@ type NanoNet struct {
 	rt    *NodeRuntime
 	nodes []*nanoNode
 	ring  *keys.Ring
+
+	// Struct-of-arrays dedup state: one dense-id dictionary per concern
+	// shared by every node, plus pooled per-node bit matrices sized once
+	// for the whole network (soa.go). Replaces three hash maps per node.
+	blockIDs   *dex[hashx.Hash]
+	voteIDs    *dex[voteKey]
+	seenBlocks *bitRows
+	seenVotes  *genSeen
 
 	created     map[hashx.Hash]time.Duration // block hash -> creation time
 	confirmedAt map[hashx.Hash]bool          // observer confirmations seen
@@ -303,10 +324,22 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 		setupBlocks = append(setupBlocks, send, open)
 	}
 
+	// The template replayed the whole distribution serially, so one
+	// integrity check here covers every node: each replica below is a
+	// structural clone of this exact verified state.
+	if seedLat.GapCount() != 0 || seedLat.BlockCount() != len(setupBlocks)+1 {
+		return nil, fmt.Errorf("netsim: distribution incomplete: %d/%d blocks, %d gapped",
+			seedLat.BlockCount(), len(setupBlocks)+1, seedLat.GapCount())
+	}
+
 	n := &NanoNet{
 		cfg:          cfg,
 		rt:           newNodeRuntime(s, net),
 		ring:         ring,
+		blockIDs:     newDex[hashx.Hash](256),
+		voteIDs:      newDex[voteKey](256),
+		seenBlocks:   newBitRows(cfg.Net.Nodes, 256),
+		seenVotes:    newGenSeen(cfg.Net.Nodes, maxSeenVotes, 256),
 		created:      make(map[hashx.Hash]time.Duration),
 		confirmedAt:  make(map[hashx.Hash]bool),
 		advPreferred: make(map[hashx.Hash]bool),
@@ -316,39 +349,16 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 
 	repWeightTable := seedLat.RepWeights()
 	for i := 0; i < cfg.Net.Nodes; i++ {
-		lat, _, err := lattice.New(ring.Pair(0), cfg.Supply, cfg.WorkBits)
-		if err != nil {
-			return nil, fmt.Errorf("netsim: node %d: %w", i, err)
-		}
-		// Replay the canonical distribution through the batch pipeline:
-		// signature and work checks fan out across cores, and opens that
-		// apply before their source send settle through the gap buffers.
-		for _, res := range lat.ProcessBatch(setupBlocks, cfg.Workers) {
-			if res.Status == lattice.Rejected {
-				return nil, fmt.Errorf("netsim: node %d replay: %v (%v)", i, res.Status, res.Err)
-			}
-		}
-		if lat.GapCount() != 0 || lat.BlockCount() != len(setupBlocks)+1 {
-			return nil, fmt.Errorf("netsim: node %d replay incomplete: %d/%d blocks, %d gapped",
-				i, lat.BlockCount(), len(setupBlocks)+1, lat.GapCount())
-		}
+		// Clone the verified template instead of re-signing a genesis and
+		// re-verifying the distribution per node: blocks are immutable and
+		// shared, only the bookkeeping is copied — the setup cost no longer
+		// scales with nodes × distribution size at mega-scale (E19).
 		weights := orv.NewWeights(repWeightTable)
 		node := &nanoNode{
-			byzantine:     cfg.ByzantineNodes > 0 && i >= cfg.Net.Nodes-cfg.ByzantineNodes,
-			lat:           lat,
-			tracker:       orv.NewTracker(weights, orv.Config{QuorumFraction: cfg.QuorumFraction}),
-			weights:       weights,
-			seenBlocks:    make(map[hashx.Hash]bool),
-			seenVotes:     make(map[hashx.Hash]bool),
-			rootOf:        make(map[hashx.Hash]hashx.Hash),
-			forkPrev:      make(map[hashx.Hash]hashx.Hash),
-			repairing:     make(map[hashx.Hash]bool),
-			pendingVotes:  make(map[hashx.Hash][]*orv.Vote),
-			myVote:        make(map[hashx.Hash]hashx.Hash),
-			mySeq:         make(map[hashx.Hash]uint64),
-			switches:      make(map[hashx.Hash]int),
-			issuedReceive: make(map[hashx.Hash]bool),
-			resolvedForks: make(map[hashx.Hash]bool),
+			byzantine: cfg.ByzantineNodes > 0 && i >= cfg.Net.Nodes-cfg.ByzantineNodes,
+			lat:       seedLat.Clone(),
+			tracker:   orv.NewTracker(weights, orv.Config{QuorumFraction: cfg.QuorumFraction}),
+			weights:   weights,
 		}
 		for rep := 0; rep < cfg.Reps; rep++ {
 			if n.ownerOf(rep) == i {
@@ -422,10 +432,9 @@ func (n *NanoNet) handlerFor(node *nanoNode) sim.Handler {
 // the per-node ingest queue when batching is enabled.
 func (n *NanoNet) onBlock(node *nanoNode, from sim.NodeID, b *lattice.Block) {
 	h := b.Hash()
-	if node.seenBlocks[h] {
+	if n.seenBlocks.testSet(node.row(), n.blockIDs.id(h)) {
 		return
 	}
-	node.seenBlocks[h] = true
 	if n.cfg.BatchSize > 1 {
 		n.enqueueIngest(node, b, from)
 		return
@@ -451,7 +460,7 @@ func (n *NanoNet) scheduleGapRepair(node *nanoNode, missing hashx.Hash, from sim
 	if !n.gapRepair || from == node.id || node.repairing[missing] {
 		return
 	}
-	node.repairing[missing] = true
+	lazyPut(&node.repairing, missing, true)
 	n.repairTick(node, missing, from, 0)
 }
 
@@ -559,6 +568,21 @@ func (n *NanoNet) onAttached(node *nanoNode, b *lattice.Block, h hashx.Hash) {
 	}
 }
 
+// electionRootOf resolves the election root a vote candidate tallies
+// under. Fork rivals carry an explicit entry (startForkElection shadows
+// any earlier plain election); every other candidate is its own root
+// exactly when its plain election exists — the identity the old rootOf
+// map spelled out one entry per block.
+func (n *NanoNet) electionRootOf(node *nanoNode, candidate hashx.Hash) (hashx.Hash, bool) {
+	if root, ok := node.forkRoots[candidate]; ok {
+		return root, true
+	}
+	if node.tracker.HasElection(candidate) {
+		return candidate, true
+	}
+	return hashx.Zero, false
+}
+
 // startPlainElection opens the single-candidate election of §IV-B's
 // automatic voting and votes if this node hosts representatives. A
 // byzantine node abstains from elections for the honest blocks its
@@ -567,7 +591,6 @@ func (n *NanoNet) startPlainElection(node *nanoNode, b *lattice.Block, h hashx.H
 	if node.tracker.HasElection(h) {
 		return
 	}
-	node.rootOf[h] = h
 	if err := node.tracker.StartElection(h, h); err != nil {
 		return
 	}
@@ -599,9 +622,9 @@ func (n *NanoNet) startForkElection(node *nanoNode, b *lattice.Block, rivals []h
 	if err := node.tracker.StartElection(root, rivals...); err != nil {
 		return
 	}
-	node.forkPrev[root] = b.Prev
+	lazyPut(&node.forkPrev, root, b.Prev)
 	for _, c := range rivals {
-		node.rootOf[c] = root
+		lazyPut(&node.forkRoots, c, root)
 		if node.tracker.HasElection(c) {
 			if out, err := node.tracker.AdoptVotes(root, c, c); err == nil && out.Confirmed {
 				n.onConfirmed(node, root, out.Winner)
@@ -642,8 +665,8 @@ func (n *NanoNet) castVotes(node *nanoNode, root, candidate hashx.Hash, seq uint
 	if len(node.repAccounts) == 0 {
 		return
 	}
-	node.myVote[root] = candidate
-	node.mySeq[root] = seq
+	lazyPut(&node.myVote, root, candidate)
+	lazyPut(&node.mySeq, root, seq)
 	for _, rep := range node.repAccounts {
 		v := orv.NewVote(n.ring.Pair(rep), candidate, seq)
 		if !n.rt.voteAllowed(node.id, v) {
@@ -657,42 +680,21 @@ func (n *NanoNet) castVotes(node *nanoNode, root, candidate hashx.Hash, seq uint
 
 // onVote processes a received vote. Only votes that were applied or
 // buffered are recorded as seen: a vote the caps dropped stays unseen,
-// so a later rebroadcast can land once the election exists.
+// so a later rebroadcast can land once the election exists. Votes are
+// identified by their (rep, block, seq) content tuple — no per-message
+// digest (the old voteID SHA-256) is computed on this path.
 func (n *NanoNet) onVote(node *nanoNode, v *orv.Vote) {
-	id := voteID(v)
-	if node.seenVotes[id] || node.prevSeenVotes[id] {
+	id := n.voteIDs.id(voteKeyOf(v))
+	if n.seenVotes.seen(node.row(), id) {
 		return
 	}
 	if n.applyVote(node, v) {
-		markVoteSeen(node, id)
+		n.seenVotes.mark(node.row(), id)
 	}
 }
 
-// markVoteSeen records a vote id in the bounded two-generation dedup
-// set, rotating generations when the live one fills.
-func markVoteSeen(node *nanoNode, id hashx.Hash) {
-	if len(node.seenVotes) >= maxSeenVotes {
-		node.prevSeenVotes = node.seenVotes
-		node.seenVotes = make(map[hashx.Hash]bool, len(node.seenVotes)/2)
-	}
-	node.seenVotes[id] = true
-}
-
-// unmarkVoteSeen forgets a vote id so a rebroadcast is accepted again —
-// used when a buffered vote is evicted before its candidate appeared.
-func unmarkVoteSeen(node *nanoNode, id hashx.Hash) {
-	delete(node.seenVotes, id)
-	delete(node.prevSeenVotes, id)
-}
-
-func voteID(v *orv.Vote) hashx.Hash {
-	var buf [keys.AddressSize + hashx.Size + 8]byte
-	copy(buf[:], v.Rep[:])
-	copy(buf[keys.AddressSize:], v.Block[:])
-	for i := 0; i < 8; i++ {
-		buf[keys.AddressSize+hashx.Size+i] = byte(v.Seq >> (8 * i))
-	}
-	return hashx.Sum(buf[:])
+func voteKeyOf(v *orv.Vote) voteKey {
+	return voteKey{Rep: v.Rep, Block: v.Block, Seq: v.Seq}
 }
 
 // applyVote tallies a vote and reacts to the outcome: confirmation,
@@ -700,9 +702,9 @@ func voteID(v *orv.Vote) hashx.Hash {
 // It reports whether the vote was consumed (applied or buffered); false
 // means the pending-buffer caps dropped it.
 func (n *NanoNet) applyVote(node *nanoNode, v *orv.Vote) bool {
-	root, ok := node.rootOf[v.Block]
+	root, ok := n.electionRootOf(node, v.Block)
 	if !ok {
-		return bufferPendingVote(node, v)
+		return n.bufferPendingVote(node, v)
 	}
 	out, err := node.tracker.ProcessVote(root, v)
 	if err != nil {
@@ -730,7 +732,7 @@ func (n *NanoNet) applyVote(node *nanoNode, v *orv.Vote) bool {
 		myWeight += node.weights.WeightOf(n.ring.Addr(rep))
 	}
 	if tally > myWeight {
-		node.switches[root]++
+		lazyPut(&node.switches, root, node.switches[root]+1)
 		n.castVotes(node, root, leader, node.mySeq[root]+1)
 	}
 	return true
@@ -742,21 +744,21 @@ func (n *NanoNet) applyVote(node *nanoNode, v *orv.Vote) bool {
 // lands once the election exists), and a full candidate table evicts the
 // oldest buffered candidate — votes for blocks that never materialize
 // (rejected rivals, spam) cannot pin memory.
-func bufferPendingVote(node *nanoNode, v *orv.Vote) bool {
+func (n *NanoNet) bufferPendingVote(node *nanoNode, v *orv.Vote) bool {
 	waiting := node.pendingVotes[v.Block]
 	if len(waiting) >= maxPendingVotesPerCandidate {
 		return false
 	}
 	if len(waiting) == 0 {
 		if len(node.pendingVotes) >= maxPendingVoteCandidates {
-			evictOldestPendingCandidate(node)
+			n.evictOldestPendingCandidate(node)
 		}
 		node.pendingOrder = append(node.pendingOrder, v.Block)
 		if len(node.pendingOrder) > 2*maxPendingVoteCandidates {
 			compactPendingOrder(node)
 		}
 	}
-	node.pendingVotes[v.Block] = append(waiting, v)
+	lazyPut(&node.pendingVotes, v.Block, append(waiting, v))
 	return true
 }
 
@@ -764,13 +766,13 @@ func bufferPendingVote(node *nanoNode, v *orv.Vote) bool {
 // buffered votes, skipping order entries already replayed or evicted. The
 // dropped votes are forgotten from the seen set so rebroadcasts of them
 // are not silently ignored.
-func evictOldestPendingCandidate(node *nanoNode) {
+func (n *NanoNet) evictOldestPendingCandidate(node *nanoNode) {
 	for len(node.pendingOrder) > 0 {
 		c := node.pendingOrder[0]
 		node.pendingOrder = node.pendingOrder[1:]
 		if waiting, live := node.pendingVotes[c]; live {
 			for _, v := range waiting {
-				unmarkVoteSeen(node, voteID(v))
+				n.seenVotes.unmark(node.row(), n.voteIDs.id(voteKeyOf(v)))
 			}
 			delete(node.pendingVotes, c)
 			return
@@ -807,7 +809,7 @@ func (n *NanoNet) replayPendingVotes(node *nanoNode, candidate hashx.Hash) {
 // observer-side latency.
 func (n *NanoNet) onConfirmed(node *nanoNode, root, winner hashx.Hash) {
 	if prev, isFork := node.forkPrev[root]; isFork && !node.resolvedForks[root] {
-		node.resolvedForks[root] = true
+		lazyPut(&node.resolvedForks, root, true)
 		if err := node.lat.ResolveFork(prev, winner); err == nil && node == n.nodes[0] {
 			n.metrics.ForksResolved++
 			if t0, seen := n.forkSeenAt[prev]; seen {
@@ -842,7 +844,7 @@ func (n *NanoNet) maybeScheduleReceive(node *nanoNode, b *lattice.Block, h hashx
 	if node.issuedReceive[h] {
 		return
 	}
-	node.issuedReceive[h] = true
+	lazyPut(&node.issuedReceive, h, true)
 	n.rt.sim.After(n.cfg.ReceiveDelay, func() {
 		var (
 			settle *lattice.Block
@@ -865,7 +867,7 @@ func (n *NanoNet) maybeScheduleReceive(node *nanoNode, b *lattice.Block, h hashx
 func (n *NanoNet) publish(node *nanoNode, b *lattice.Block) {
 	h := b.Hash()
 	n.created[h] = n.rt.sim.Now()
-	node.seenBlocks[h] = true
+	n.seenBlocks.testSet(node.row(), n.blockIDs.id(h))
 	res := node.lat.Process(b)
 	if res.Status == lattice.Accepted {
 		n.onAttached(node, b, h)

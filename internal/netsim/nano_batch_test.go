@@ -202,28 +202,29 @@ func TestNanoSeenVoteSetBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node := net.nodes[1]
-	seen := func(id hashx.Hash) bool { return node.seenVotes[id] || node.prevSeenVotes[id] }
-	for i := 0; i < maxSeenVotes+maxSeenVotes/2; i++ {
-		var id hashx.Hash
-		id[0], id[1], id[2], id[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
-		if seen(id) {
+	row := net.nodes[1].row()
+	for i := int32(0); i < maxSeenVotes+maxSeenVotes/2; i++ {
+		if net.seenVotes.seen(row, i) {
 			t.Fatalf("fresh vote id %d reported as seen", i)
 		}
-		markVoteSeen(node, id)
+		net.seenVotes.mark(row, i)
 	}
-	if total := len(node.seenVotes) + len(node.prevSeenVotes); total > 2*maxSeenVotes {
-		t.Fatalf("dedup set holds %d ids, bound %d", total, 2*maxSeenVotes)
+	// The live generation's population is tracked exactly; the previous
+	// generation held at most one full generation when it rotated out.
+	if live := net.seenVotes.count[row]; live > maxSeenVotes {
+		t.Fatalf("live dedup generation holds %d ids, bound %d", live, maxSeenVotes)
 	}
-	var last hashx.Hash
-	i := maxSeenVotes + maxSeenVotes/2 - 1
-	last[0], last[1], last[2], last[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
-	if !seen(last) {
+	last := int32(maxSeenVotes + maxSeenVotes/2 - 1)
+	if !net.seenVotes.seen(row, last) {
 		t.Fatal("recently seen vote not deduplicated")
 	}
-	unmarkVoteSeen(node, last)
-	if seen(last) {
-		t.Fatal("unmarkVoteSeen did not forget the id")
+	net.seenVotes.unmark(row, last)
+	if net.seenVotes.seen(row, last) {
+		t.Fatal("unmark did not forget the id")
+	}
+	// Rotation must be per node: the other rows are untouched.
+	if net.seenVotes.seen(net.nodes[2].row(), 0) {
+		t.Fatal("vote ids leaked across node rows")
 	}
 }
 

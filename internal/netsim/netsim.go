@@ -31,6 +31,11 @@ type NetParams struct {
 	BytesPerSec float64
 	// Seed drives all randomness.
 	Seed int64
+	// Shards is the event-queue lane count (sim.NewSharded). Results are
+	// identical for every value — the lane merge preserves global event
+	// order — so it is a pure capacity knob for mega-scale runs. <= 0
+	// means 1 (the single-heap layout).
+	Shards int
 }
 
 // withDefaults fills unset values. Only fields that are actually zero
@@ -70,7 +75,7 @@ func (p NetParams) withDefaults() NetParams {
 
 // buildNetwork constructs the simulator, link model and gossip topology.
 func buildNetwork(p NetParams) (*sim.Simulator, *sim.Network) {
-	s := sim.New(p.Seed)
+	s := sim.NewSharded(p.Seed, p.Shards)
 	links := sim.UniformLinks{
 		MinLatency:  p.MinLatency,
 		MaxLatency:  p.MaxLatency,

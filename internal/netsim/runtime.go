@@ -210,13 +210,24 @@ type chainLedger interface {
 type chainRuntime struct {
 	rt      *NodeRuntime
 	ledgers []chainLedger
-	seen    []map[hashx.Hash]bool // per-node first-seen gossip dedup
 
-	created    map[hashx.Hash]time.Duration // block hash -> creation time
-	minedBy    map[hashx.Hash]sim.NodeID    // block hash -> producing node
-	reach      map[hashx.Hash]int           // block hash -> nodes reached
-	metrics    ChainMetrics
-	blockTimes []time.Duration
+	// Struct-of-arrays block state (soa.go): blocks get dense ids in
+	// first-sight order (blockIDs), per-node first-seen gossip dedup is
+	// one pooled bit matrix sized once per network (seen), and the
+	// per-block bookkeeping lives in id-indexed columns — replacing one
+	// hash map per node plus three network-wide hash-keyed maps.
+	blockIDs  *dex[hashx.Hash]
+	seen      *bitRows
+	createdAt []time.Duration // block id -> creation time
+	minedBy   []int32         // block id -> producing node, -1 = unattributed
+	reach     []int32         // block id -> nodes reached
+
+	metrics ChainMetrics
+	// Mean block interval needs only the span of production times, so the
+	// old append-per-block slice collapses to first/last/count.
+	firstBlockAt time.Duration
+	lastBlockAt  time.Duration
+	blockCount   int
 
 	// confirmedTxs maps the observer's (txsOnMain, blocksOnMain) to the
 	// confirmed-transaction count — Bitcoin discounts coinbases and the
@@ -226,17 +237,38 @@ type chainRuntime struct {
 	// selfish is the installed selfish-mining adversary, consulted by the
 	// production path for the γ side of the 1-1 race (nil = none).
 	selfish *SelfishMiningBehavior
+	// raceChances counts honest block wins while the adversary's 1-1 race
+	// was open (the γ coin's opportunities); raceTaken counts the wins
+	// that actually extended the adversary's published block. Their ratio
+	// is the measured "effective γ" E17 reports next to the configured
+	// value. Both stay zero in honest runs.
+	raceChances, raceTaken int
+
+	// consensusScratch is eclipseReport's reusable membership set.
+	consensusScratch *epochSet
 }
 
-// newChainRuntime builds the shared chain core over a fresh runtime.
-func newChainRuntime(s *sim.Simulator, net *sim.Network, confirmedTxs func(txsOnMain, blocksOnMain int) int) *chainRuntime {
+// newChainRuntime builds the shared chain core over a fresh runtime,
+// with the per-node dedup matrix sized for the network's node count.
+func newChainRuntime(s *sim.Simulator, net *sim.Network, nodes int, confirmedTxs func(txsOnMain, blocksOnMain int) int) *chainRuntime {
 	return &chainRuntime{
 		rt:           newNodeRuntime(s, net),
-		created:      make(map[hashx.Hash]time.Duration),
-		minedBy:      make(map[hashx.Hash]sim.NodeID),
-		reach:        make(map[hashx.Hash]int),
+		blockIDs:     newDex[hashx.Hash](256),
+		seen:         newBitRows(nodes, 256),
 		confirmedTxs: confirmedTxs,
 	}
+}
+
+// blockSlot returns h's dense id, growing the id-indexed bookkeeping
+// columns in lockstep so the slot is addressable.
+func (c *chainRuntime) blockSlot(h hashx.Hash) int32 {
+	id := c.blockIDs.id(h)
+	for int(id) >= len(c.reach) {
+		c.reach = append(c.reach, 0)
+		c.createdAt = append(c.createdAt, 0)
+		c.minedBy = append(c.minedBy, -1)
+	}
+	return id
 }
 
 // addNode registers one chain full node: first-seen blocks are counted
@@ -246,20 +278,18 @@ func newChainRuntime(s *sim.Simulator, net *sim.Network, confirmedTxs func(txsOn
 func (c *chainRuntime) addNode(l chainLedger) sim.NodeID {
 	idx := len(c.ledgers)
 	c.ledgers = append(c.ledgers, l)
-	c.seen = append(c.seen, make(map[hashx.Hash]bool))
 	return c.rt.AddNode(func(from sim.NodeID, payload any, size int) {
 		blk, ok := payload.(*chain.Block)
 		if !ok {
 			return
 		}
-		h := blk.Hash()
-		if c.seen[idx][h] {
+		id := c.blockSlot(blk.Hash())
+		if c.seen.testSet(idx, id) {
 			return
 		}
-		c.seen[idx][h] = true
-		c.reach[h]++
-		if c.reach[h] == len(c.ledgers) {
-			c.metrics.Propagation.AddDuration(c.rt.sim.Now() - c.created[h])
+		c.reach[id]++
+		if int(c.reach[id]) == len(c.ledgers) {
+			c.metrics.Propagation.AddDuration(c.rt.sim.Now() - c.createdAt[id])
 		}
 		// Processing errors mean a byzantine block; honest sims don't
 		// produce them, and a relay node still floods valid-looking data.
@@ -284,13 +314,18 @@ func (c *chainRuntime) produce(idx int, proposer keys.Address, difficulty float6
 // it to the producer's own ledger, and floods it unless the producer's
 // behavior withholds it.
 func (c *chainRuntime) publishProduced(idx int, blk *chain.Block) {
-	h := blk.Hash()
-	c.created[h] = c.rt.sim.Now()
-	c.minedBy[h] = sim.NodeID(idx)
+	id := c.blockSlot(blk.Hash())
+	now := c.rt.sim.Now()
+	c.createdAt[id] = now
+	c.minedBy[id] = int32(idx)
 	c.metrics.BlocksTotal++
-	c.blockTimes = append(c.blockTimes, c.rt.sim.Now())
-	c.seen[idx][h] = true
-	c.reach[h] = 1
+	if c.blockCount == 0 {
+		c.firstBlockAt = now
+	}
+	c.lastBlockAt = now
+	c.blockCount++
+	c.seen.testSet(idx, id)
+	c.reach[id] = 1
 	_, _ = c.ledgers[idx].ProcessBlock(blk)
 	if c.rt.produceAllowed(sim.NodeID(idx), blk) {
 		c.rt.Relay(sim.NodeID(idx), blk, blk.Size())
@@ -310,6 +345,10 @@ func (c *chainRuntime) raceProduce(idx int, proposer keys.Address, difficulty fl
 	if b == nil || b.gamma <= 0 || !b.raceOpen || sim.NodeID(idx) == b.node {
 		return false
 	}
+	// Every honest win past this point was a γ opportunity — including
+	// wins where the adversary's block had not yet propagated to the
+	// winner, which is exactly the gap between configured and effective γ.
+	c.raceChances++
 	node := c.ledgers[idx]
 	if _, ok := node.Store().Get(b.raceTip); !ok {
 		return false // the adversary's block has not reached this miner yet
@@ -323,6 +362,7 @@ func (c *chainRuntime) raceProduce(idx int, proposer keys.Address, difficulty fl
 	}
 	blk.Header.Difficulty = difficulty
 	c.publishProduced(idx, blk)
+	c.raceTaken++
 	return true
 }
 
@@ -376,9 +416,9 @@ func (c *chainRuntime) collect(duration time.Duration) ChainMetrics {
 	}
 	m.PendingAtEnd = obs.PoolLen()
 	m.LedgerBytes = obs.LedgerBytes()
-	if len(c.blockTimes) > 1 {
-		span := c.blockTimes[len(c.blockTimes)-1] - c.blockTimes[0]
-		m.MeanBlockInterval = span / time.Duration(len(c.blockTimes)-1)
+	if c.blockCount > 1 {
+		span := c.lastBlockAt - c.firstBlockAt
+		m.MeanBlockInterval = span / time.Duration(c.blockCount-1)
 	}
 	ns := c.rt.net.Stats()
 	m.MessagesSent = ns.MessagesSent
@@ -452,16 +492,23 @@ func (c *chainRuntime) convergedWithin(back int) bool {
 // attribution and is excluded).
 func (c *chainRuntime) minerShare(idx int) (mined, total int) {
 	for _, h := range c.ledgers[0].Store().MainChain() {
-		who, ok := c.minedBy[h]
-		if !ok {
-			continue
+		id, ok := c.blockIDs.lookup(h)
+		if !ok || int(id) >= len(c.minedBy) || c.minedBy[id] < 0 {
+			continue // genesis and injected blocks carry no attribution
 		}
 		total++
-		if who == sim.NodeID(idx) {
+		if c.minedBy[id] == int32(idx) {
 			mined++
 		}
 	}
 	return mined, total
+}
+
+// effectiveGamma reports the measured γ-race outcome: how many honest
+// wins happened while the adversary's race was open, and how many of
+// them extended the adversary's block.
+func (c *chainRuntime) effectiveGamma() (taken, chances int) {
+	return c.raceTaken, c.raceChances
 }
 
 // EclipseReport summarizes a victim's divergence from the rest of the
@@ -502,15 +549,21 @@ func (c *chainRuntime) eclipseReport(victim int) EclipseReport {
 	if r.ConsensusHeight > r.VictimHeight {
 		r.HeightLag = int(r.ConsensusHeight - r.VictimHeight)
 	}
-	onConsensus := make(map[hashx.Hash]bool)
+	// The consensus membership set is epoch-stamped scratch over the dense
+	// block ids — reused across calls, cleared in O(1).
+	if c.consensusScratch == nil {
+		c.consensusScratch = newEpochSet(c.blockIDs.size())
+	}
+	onConsensus := c.consensusScratch
+	onConsensus.clear()
 	for _, h := range c.ledgers[best].Store().MainChain() {
-		onConsensus[h] = true
+		onConsensus.add(c.blockSlot(h))
 	}
 	for i, h := range c.ledgers[victim].Store().MainChain() {
 		if i == 0 {
 			continue // shared genesis
 		}
-		if !onConsensus[h] {
+		if !onConsensus.has(c.blockSlot(h)) {
 			r.ExposedBlocks++
 		}
 	}

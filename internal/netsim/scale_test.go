@@ -1,0 +1,75 @@
+package netsim
+
+// Mega-scale regression pins: the struct-of-arrays node core exists so
+// a 10⁴-node network is cheap to build and hold. The bound is generous
+// (~3× the measured cost) — it catches a return to per-node map churn
+// or per-node setup replay, not normal drift.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// scaleHeapAlloc settles the heap and reads the live allocation count.
+func scaleHeapAlloc() int64 {
+	runtime.GC()
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return int64(m.HeapAlloc)
+}
+
+// A 10⁴-node ORV network must stay within a fixed per-node heap
+// budget. The dominant cost is the cloned per-node lattice (shared
+// immutable blocks, private bookkeeping); the SoA seen-state adds a
+// few words per node.
+func TestNanoMemoryPerNode10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node construction")
+	}
+	const nodes = 10_000
+	before := scaleHeapAlloc()
+	net, err := NewNano(NanoConfig{
+		Net: NetParams{
+			Nodes: nodes, PeerDegree: 4, Seed: 1,
+			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
+		},
+		Accounts: 16, Reps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := (scaleHeapAlloc() - before) / nodes
+	t.Logf("nano: %d bytes/node", perNode)
+	if perNode > 32<<10 {
+		t.Fatalf("nano node costs %d bytes of heap, budget is %d", perNode, 32<<10)
+	}
+	runtime.KeepAlive(net)
+}
+
+// The chain-side runtime shares the same budget: per-node state is one
+// ledger plus dense SoA columns, never per-node maps over all blocks.
+func TestBitcoinMemoryPerNode10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node construction")
+	}
+	const nodes = 10_000
+	before := scaleHeapAlloc()
+	net, err := NewBitcoin(BitcoinConfig{
+		Net: NetParams{
+			Nodes: nodes, PeerDegree: 4, Seed: 1,
+			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
+		},
+		BlockInterval: 30 * time.Second, Accounts: 16, InitialBalance: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := (scaleHeapAlloc() - before) / nodes
+	t.Logf("bitcoin: %d bytes/node", perNode)
+	if perNode > 32<<10 {
+		t.Fatalf("bitcoin node costs %d bytes of heap, budget is %d", perNode, 32<<10)
+	}
+	runtime.KeepAlive(net)
+}

@@ -60,7 +60,7 @@ type Report struct {
 	// Schema is SchemaVersion at encode time.
 	Schema int `json:"schema"`
 	// Baseline names the trajectory point, conventionally the PR number
-	// ("006" for BENCH_006.json).
+	// ("007" for BENCH_007.json).
 	Baseline string `json:"baseline"`
 	// Scale is the suite workload scale the report was generated at.
 	// Compare refuses to diff reports taken at different scales.

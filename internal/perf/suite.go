@@ -29,7 +29,7 @@ type Benchmark struct {
 
 // Options parameterizes Collect.
 type Options struct {
-	// Baseline names the trajectory point ("006" for BENCH_006.json).
+	// Baseline names the trajectory point ("007" for BENCH_007.json).
 	Baseline string
 	// Scale multiplies workload sizes; reports are only comparable at
 	// equal scale. Default 1.
@@ -53,6 +53,8 @@ func Suite() []Benchmark {
 		{Name: "lattice/process-batch", Kind: "micro", Op: benchProcessBatch},
 		{Name: "chain/store-add", Kind: "micro", Op: benchStoreAdd},
 		{Name: "netsim/nano-gossip", Kind: "micro", Op: benchNanoGossip},
+		{Name: "netsim/scale-gossip", Kind: "micro", Op: benchScaleGossip},
+		{Name: "sim/sharded-loop", Kind: "micro", Op: benchShardedLoop},
 		{Name: "e2e/E1", Kind: "e2e", Op: benchExperiment("E1")},
 		{Name: "e2e/E2", Kind: "e2e", Op: benchExperiment("E2")},
 		{Name: "e2e/E9", Kind: "e2e", Op: benchExperiment("E9")},
@@ -331,6 +333,61 @@ func benchNanoGossip(scale float64, n int) float64 {
 		tps = m.TPS
 	}
 	return tps
+}
+
+// benchScaleGossip is benchNanoGossip at mega-scale: a 512-node ORV
+// network settling a small fixed transfer schedule. Construction leans
+// on the cloned setup template and the run on the struct-of-arrays
+// seen-state — the two costs that used to grow with nodes × history.
+func benchScaleGossip(scale float64, n int) float64 {
+	nodes := scaled(512, scale)
+	if nodes < 8 {
+		nodes = 8
+	}
+	const horizon = 5 * time.Second
+	var tps float64
+	for op := 0; op < n; op++ {
+		net, err := netsim.NewNano(netsim.NanoConfig{
+			Net: netsim.NetParams{
+				Nodes: nodes, PeerDegree: 4, Seed: 17,
+				MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
+			},
+			Accounts: 16, Reps: 4, Workers: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(19))
+		ps := workload.Payments(rng, workload.Config{
+			Accounts: 16, Rate: 2, Duration: horizon,
+		})
+		m := net.RunWithTransfers(horizon+5*time.Second, ps)
+		tps = m.TPS
+	}
+	return tps
+}
+
+// benchShardedLoop is benchEventLoop on the K-lane sharded queue: the
+// same seeded timer burst spread round-robin over 4 lanes, paying the
+// deterministic cross-lane merge on every pop.
+func benchShardedLoop(scale float64, n int) float64 {
+	events := scaled(5000, scale)
+	for op := 0; op < n; op++ {
+		s := sim.NewSharded(1, 4)
+		rng := rand.New(rand.NewSource(7))
+		var cancel []sim.EventID
+		for i := 0; i < events; i++ {
+			id := s.At(time.Duration(rng.Intn(1000))*time.Millisecond, func() {})
+			if i%10 == 0 {
+				cancel = append(cancel, id)
+			}
+		}
+		for _, id := range cancel {
+			s.Cancel(id)
+		}
+		s.Run(0)
+	}
+	return 0
 }
 
 // benchExperiment regenerates one registered experiment table at a

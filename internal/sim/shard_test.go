@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// shardTrace runs a randomized schedule/cancel workload on a simulator
+// with the given shard count and returns the execution transcript: every
+// event appends its identity and the clock it saw. Any divergence across
+// shard counts shows up as a transcript mismatch.
+func shardTrace(t *testing.T, shards int) []string {
+	t.Helper()
+	s := NewSharded(42, shards)
+	if s.Shards() != shards && !(shards < 1 && s.Shards() == 1) {
+		t.Fatalf("Shards() = %d, want %d", s.Shards(), shards)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var trace []string
+	var ids []EventID
+	for i := 0; i < 5000; i++ {
+		i := i
+		at := time.Duration(rng.Intn(1000)) * time.Millisecond
+		id := s.At(at, func() {
+			trace = append(trace, fmt.Sprintf("%d@%v", i, s.Now()))
+		})
+		ids = append(ids, id)
+		// Cancel ~20% of earlier events, exercising stale lane heads.
+		if rng.Intn(5) == 0 {
+			s.Cancel(ids[rng.Intn(len(ids))])
+		}
+	}
+	// Mixed drain: part bounded-step, part RunUntil, part full drain.
+	s.Run(1000)
+	s.RunUntil(400 * time.Millisecond)
+	s.Run(0)
+	trace = append(trace, fmt.Sprintf("ran=%d pending=%d now=%v", s.EventsRun(), s.Pending(), s.Now()))
+	return trace
+}
+
+// TestShardCountInvariance pins the lane-merge determinism contract:
+// the execution transcript is identical for every shard count.
+func TestShardCountInvariance(t *testing.T) {
+	want := shardTrace(t, 1)
+	if len(want) < 3000 {
+		t.Fatalf("baseline ran only %d events", len(want))
+	}
+	for _, k := range []int{2, 3, 4, 7, 16, 64} {
+		got := shardTrace(t, k)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d trace entries, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: trace[%d] = %q, want %q", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNewShardedClampsShards pins the below-1 clamp.
+func TestNewShardedClampsShards(t *testing.T) {
+	for _, k := range []int{-4, 0} {
+		if got := NewSharded(1, k).Shards(); got != 1 {
+			t.Fatalf("NewSharded(1, %d).Shards() = %d, want 1", k, got)
+		}
+	}
+	if got := New(1).Shards(); got != 1 {
+		t.Fatalf("New(1).Shards() = %d, want 1", got)
+	}
+}
+
+// TestShardedNetworkInvariance runs a small gossip network on several
+// shard counts and compares traffic stats and handler transcripts.
+func TestShardedNetworkInvariance(t *testing.T) {
+	run := func(shards int) ([]string, NetStats) {
+		s := NewSharded(7, shards)
+		n := NewNetwork(s, UniformLinks{MinLatency: 5 * time.Millisecond, MaxLatency: 50 * time.Millisecond, DropRate: 0.1})
+		const nodes = 8
+		var trace []string
+		for i := 0; i < nodes; i++ {
+			i := i
+			n.AddNode(func(from NodeID, payload any, size int) {
+				trace = append(trace, fmt.Sprintf("%d<-%d:%v@%v", i, from, payload, s.Now()))
+				if v := payload.(int); v > 0 {
+					n.BroadcastAll(NodeID(i), v-1, size)
+				}
+			})
+		}
+		n.BroadcastAll(0, 3, 100)
+		s.Run(0)
+		return trace, n.Stats()
+	}
+	wantTrace, wantStats := run(1)
+	if len(wantTrace) == 0 {
+		t.Fatal("baseline network delivered nothing")
+	}
+	for _, k := range []int{2, 5, 16} {
+		gotTrace, gotStats := run(k)
+		if gotStats != wantStats {
+			t.Fatalf("shards=%d: stats %+v, want %+v", k, gotStats, wantStats)
+		}
+		if len(gotTrace) != len(wantTrace) {
+			t.Fatalf("shards=%d: %d deliveries, want %d", k, len(gotTrace), len(wantTrace))
+		}
+		for i := range wantTrace {
+			if gotTrace[i] != wantTrace[i] {
+				t.Fatalf("shards=%d: delivery[%d] = %q, want %q", k, i, gotTrace[i], wantTrace[i])
+			}
+		}
+	}
+}

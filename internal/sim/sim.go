@@ -14,6 +14,13 @@
 // An EventID is a slot index plus a generation counter, so Cancel is an
 // O(1) generation check — no per-event map, and canceling an event that
 // already ran (its slot's generation has moved on) is a safe no-op.
+//
+// The pending queue is sharded into K independent lane heaps (lane =
+// seq mod K, NewSharded). The dispatcher merges lanes by taking the
+// minimum (time, sequence) head across them — the exact order a single
+// heap yields — so results are bit-identical for every K; the shard
+// count only bounds individual heap depth, which is what keeps sift
+// costs flat at mega-scale event populations.
 package sim
 
 import (
@@ -71,7 +78,7 @@ func itemLess(a, b heapItem) bool {
 // random source shared by the whole simulation.
 type Simulator struct {
 	now     time.Duration
-	queue   []heapItem
+	lanes   [][]heapItem // lane heaps; an event lives in lane seq % len(lanes)
 	nextSeq uint64
 	slots   []slot
 	free    []int32
@@ -81,10 +88,26 @@ type Simulator struct {
 
 // New creates a simulator whose randomness derives entirely from seed.
 func New(seed int64) *Simulator {
+	return NewSharded(seed, 1)
+}
+
+// NewSharded creates a simulator whose pending queue is split across
+// shards independent lane heaps. Execution order — and therefore every
+// result — is identical for any shard count (the merge rule is pinned by
+// test, like worker counts); sharding only caps per-heap depth. Shard
+// counts below 1 are clamped to 1.
+func NewSharded(seed int64, shards int) *Simulator {
+	if shards < 1 {
+		shards = 1
+	}
 	return &Simulator{
-		rng: rand.New(rand.NewSource(seed)),
+		lanes: make([][]heapItem, shards),
+		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
+
+// Shards returns the lane count of the pending queue.
+func (s *Simulator) Shards() int { return len(s.lanes) }
 
 // Now returns the current virtual time (zero at simulation start).
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -152,25 +175,32 @@ func (s *Simulator) Cancel(id EventID) {
 	}
 }
 
-// liveHead reports whether the queue head refers to a still-scheduled
-// event, popping stale (canceled) entries as it goes.
-func (s *Simulator) liveHead() bool {
-	for len(s.queue) > 0 {
-		if s.slots[s.queue[0].slot].gen == s.queue[0].gen {
-			return true
+// minLane returns the lane whose live head is the global (time, sequence)
+// minimum, popping stale (canceled) entries off every lane head as it
+// scans; -1 means no live events remain. This merge IS the determinism
+// guarantee: any lane assignment yields the single-heap execution order.
+func (s *Simulator) minLane() int {
+	best := -1
+	for l := range s.lanes {
+		q := s.lanes[l]
+		for len(q) > 0 && s.slots[q[0].slot].gen != q[0].gen {
+			s.popLane(l)
+			q = s.lanes[l]
 		}
-		s.pop()
+		if len(q) == 0 {
+			continue
+		}
+		if best < 0 || itemLess(q[0], s.lanes[best][0]) {
+			best = l
+		}
 	}
-	return false
+	return best
 }
 
-// Step executes the next event, if any, advancing the clock to its time.
-func (s *Simulator) Step() bool {
-	if !s.liveHead() {
-		return false
-	}
-	item := s.queue[0]
-	s.pop()
+// stepLane executes the head event of lane l, advancing the clock.
+func (s *Simulator) stepLane(l int) {
+	item := s.lanes[l][0]
+	s.popLane(l)
 	run := s.slots[item.slot]
 	s.release(item.slot)
 	s.now = item.at
@@ -183,44 +213,58 @@ func (s *Simulator) Step() bool {
 	case kindHandler:
 		run.net.handlers[run.to](run.from, run.payload, run.size)
 	}
+}
+
+// Step executes the next event, if any, advancing the clock to its time.
+func (s *Simulator) Step() bool {
+	l := s.minLane()
+	if l < 0 {
+		return false
+	}
+	s.stepLane(l)
 	return true
 }
 
-// push appends an item and sifts it up; a hand-rolled heap keeps items
-// as values (container/heap would box every Push into an interface).
+// push routes an item to its lane heap and sifts it up; a hand-rolled
+// heap keeps items as values (container/heap would box every Push into
+// an interface).
 func (s *Simulator) push(it heapItem) {
-	s.queue = append(s.queue, it)
-	i := len(s.queue) - 1
+	l := int(it.seq % uint64(len(s.lanes)))
+	q := append(s.lanes[l], it)
+	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !itemLess(s.queue[i], s.queue[parent]) {
+		if !itemLess(q[i], q[parent]) {
 			break
 		}
-		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		q[i], q[parent] = q[parent], q[i]
 		i = parent
 	}
+	s.lanes[l] = q
 }
 
-// pop removes the head item and restores the heap order.
-func (s *Simulator) pop() {
-	n := len(s.queue) - 1
-	s.queue[0] = s.queue[n]
-	s.queue = s.queue[:n]
+// popLane removes lane l's head item and restores that heap's order.
+func (s *Simulator) popLane(l int) {
+	q := s.lanes[l]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
 	i := 0
 	for {
 		smallest := i
-		if l := 2*i + 1; l < n && itemLess(s.queue[l], s.queue[smallest]) {
+		if l := 2*i + 1; l < n && itemLess(q[l], q[smallest]) {
 			smallest = l
 		}
-		if r := 2*i + 2; r < n && itemLess(s.queue[r], s.queue[smallest]) {
+		if r := 2*i + 2; r < n && itemLess(q[r], q[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
-			return
+			break
 		}
-		s.queue[i], s.queue[smallest] = s.queue[smallest], s.queue[i]
+		q[i], q[smallest] = q[smallest], q[i]
 		i = smallest
 	}
+	s.lanes[l] = q
 }
 
 // Run executes events until the queue drains or maxEvents have run;
@@ -238,11 +282,12 @@ func (s *Simulator) Run(maxEvents uint64) uint64 {
 // RunUntil executes all events scheduled up to and including t, then sets
 // the clock to t.
 func (s *Simulator) RunUntil(t time.Duration) {
-	for s.liveHead() {
-		if s.queue[0].at > t {
+	for {
+		l := s.minLane()
+		if l < 0 || s.lanes[l][0].at > t {
 			break
 		}
-		s.Step()
+		s.stepLane(l)
 	}
 	if s.now < t {
 		s.now = t

@@ -57,6 +57,16 @@ type Tx struct {
 	Ins            []TxIn
 	Outs           []TxOut
 	CoinbaseHeight uint64
+
+	// memoSigSelf/memoSigsOK cache an all-inputs-signatures-valid verdict
+	// while memoSigSelf still points at this exact Tx value (a copied Tx
+	// re-verifies). The signatures cover SigHash — pure transaction
+	// content — so the verdict holds at every ledger the same pointer is
+	// submitted to; the state-dependent checks (output existence, owner
+	// binding, amounts) are NOT cached and re-run per ledger. Only
+	// success is cached: a failing input re-verifies on every call.
+	memoSigSelf *Tx
+	memoSigsOK  bool
 }
 
 // IsCoinbase reports whether the transaction mints the block reward.
@@ -270,7 +280,14 @@ func (s *Set) CheckTx(tx *Tx) (fee uint64, err error) {
 	if tx.IsCoinbase() {
 		return 0, errors.New("utxo: CheckTx does not accept coinbase transactions")
 	}
-	digest := tx.SigHash()
+	// Signatures cover pure transaction content, so one verified pass
+	// serves every ledger this pointer reaches (the memo); the state
+	// checks below always re-run against this set.
+	sigsMemoed := tx.memoSigSelf == tx && tx.memoSigsOK
+	var digest hashx.Hash
+	if !sigsMemoed {
+		digest = tx.SigHash()
+	}
 	var inSum uint64
 	seen := make(map[Outpoint]bool, len(tx.Ins))
 	for i, in := range tx.Ins {
@@ -285,7 +302,7 @@ func (s *Set) CheckTx(tx *Tx) (fee uint64, err error) {
 		if keys.AddressOf(in.PubKey) != out.Owner {
 			return 0, fmt.Errorf("%w: input %d", ErrWrongOwner, i)
 		}
-		if !keys.Verify(in.PubKey, digest[:], in.Sig) {
+		if !sigsMemoed && !keys.Verify(in.PubKey, digest[:], in.Sig) {
 			return 0, fmt.Errorf("%w: input %d", ErrBadSignature, i)
 		}
 		next := inSum + out.Value
@@ -294,6 +311,9 @@ func (s *Set) CheckTx(tx *Tx) (fee uint64, err error) {
 		}
 		inSum = next
 	}
+	// Every input signature verified (or was already memoed as valid).
+	tx.memoSigSelf = tx
+	tx.memoSigsOK = true
 	var outSum uint64
 	for _, out := range tx.Outs {
 		next := outSum + out.Value
