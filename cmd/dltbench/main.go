@@ -21,10 +21,12 @@
 //	dltbench -experiment E18 -double-spend-trials 10      # executed attacks
 //	dltbench -experiment E18 -depth-sweep                 # z = 1…6 merchant rules
 //	dltbench -experiment E19 -shards 4                    # sharded event lanes
+//	dltbench -experiment E20 -sync-pull-batch 8           # narrow cold-sync windows
+//	dltbench -experiment E20 -backlog-cap 256             # bounded backlog buffers
 //	dltbench -list               # show the registry
 //	dltbench -timing             # append the wall-clock/speedup table
-//	dltbench -bench-report -bench-out BENCH_007.json      # commit a perf baseline
-//	dltbench -bench-compare BENCH_007.json                # live regression gate
+//	dltbench -bench-report -bench-out BENCH_008.json      # commit a perf baseline
+//	dltbench -bench-compare BENCH_008.json                # live regression gate
 //	dltbench -bench-compare old.json -bench-candidate new.json  # diff two files
 package main
 
@@ -49,7 +51,7 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (E1…E19) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (E1…E20) or 'all'")
 		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
 		scale      = flag.Float64("scale", 1.0, "duration/workload scale factor")
 		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU core)")
@@ -76,6 +78,10 @@ func run() int {
 			"add E18's confirmation-depth sweep: the executed chain double spend rerun for merchant rules z = 1…6 against two attack-window lengths, with the analytic catch-up odds beside each")
 		shards = flag.Int("shards", 0,
 			"event-queue lanes per simulated network (<= 0 = 1); tables are identical for every value — a pure capacity knob for mega-scale runs")
+		syncPullBatch = flag.Int("sync-pull-batch", 0,
+			"E20 cold-start range-pull window: history blocks per sync request (0 = default 32)")
+		backlogCap = flag.Int("backlog-cap", 0,
+			"bound on E20's per-node backlog buffers — lattice gap buffer, ingest queue, chain orphan pool (0 = package defaults)")
 		timing  = flag.Bool("timing", false, "print the sweep wall-clock/speedup table (text format only)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		summary = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
@@ -83,7 +89,7 @@ func run() int {
 		benchReport = flag.Bool("bench-report", false,
 			"run the perf trajectory suite and write the canonical BENCH JSON (see PERFORMANCE.md)")
 		benchOut   = flag.String("bench-out", "", "path for the -bench-report output ('' = stdout)")
-		benchLabel = flag.String("bench-label", "007", "baseline label embedded in the -bench-report output")
+		benchLabel = flag.String("bench-label", "008", "baseline label embedded in the -bench-report output")
 		benchScale = flag.Float64("bench-scale", 1, "perf suite workload scale; reports only compare at equal scale")
 		benchTime  = flag.Duration("bench-time", time.Second,
 			"minimum measured duration per perf benchmark (CI turns this down, not -bench-scale)")
@@ -119,6 +125,7 @@ func run() int {
 		eclipseFrac: *eclipseFrac, selfishAlpha: *selfishAlpha, selfishGamma: *selfishGamma,
 		withholdWeight: *withholdWeight, partitionFrac: *partitionFrac,
 		churnNodes: *churnNodes, dsTrials: *dsTrials,
+		syncPullBatch: *syncPullBatch, backlogCap: *backlogCap,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -152,6 +159,8 @@ func run() int {
 		WithholdWeight:    *withholdWeight,
 		DepthSweep:        *depthSweep,
 		Shards:            *shards,
+		SyncPullBatch:     *syncPullBatch,
+		BacklogCap:        *backlogCap,
 	}
 	selected := core.Experiments()
 	if *experiment != "all" {
@@ -183,7 +192,7 @@ func run() int {
 // knobRanges carries the adversary/fault flag values into validation.
 type knobRanges struct {
 	eclipseFrac, selfishAlpha, selfishGamma, withholdWeight, partitionFrac float64
-	churnNodes, dsTrials                                                   int
+	churnNodes, dsTrials, syncPullBatch, backlogCap                        int
 }
 
 // validateKnobs rejects out-of-range adversary and fault knobs with the
@@ -209,6 +218,12 @@ func validateKnobs(k knobRanges) error {
 	}
 	if k.dsTrials < 0 {
 		return fmt.Errorf("-double-spend-trials %d out of range: want a non-negative trial count", k.dsTrials)
+	}
+	if k.syncPullBatch < 0 || k.syncPullBatch > 65536 {
+		return fmt.Errorf("-sync-pull-batch %d out of range: want a window of [0, 65536] blocks", k.syncPullBatch)
+	}
+	if k.backlogCap < 0 || k.backlogCap > 1<<20 {
+		return fmt.Errorf("-backlog-cap %d out of range: want a buffer bound in [0, %d]", k.backlogCap, 1<<20)
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ func TestValidateKnobs(t *testing.T) {
 	if err := validateKnobs(knobRanges{
 		eclipseFrac: 1, selfishAlpha: 0.45, selfishGamma: 1,
 		withholdWeight: 1, partitionFrac: 0.5, churnNodes: 3, dsTrials: 10,
+		syncPullBatch: 65536, backlogCap: 1 << 20,
 	}); err != nil {
 		t.Fatalf("in-range knobs rejected: %v", err)
 	}
@@ -34,6 +35,10 @@ func TestValidateKnobs(t *testing.T) {
 		{"-fault-partition-frac", knobRanges{partitionFrac: 1}},
 		{"-fault-churn-nodes", knobRanges{churnNodes: -1}},
 		{"-double-spend-trials", knobRanges{dsTrials: -5}},
+		{"-sync-pull-batch", knobRanges{syncPullBatch: -1}},
+		{"-sync-pull-batch", knobRanges{syncPullBatch: 65537}},
+		{"-backlog-cap", knobRanges{backlogCap: -8}},
+		{"-backlog-cap", knobRanges{backlogCap: 1<<20 + 1}},
 	}
 	for _, c := range bad {
 		err := validateKnobs(c.k)

@@ -145,7 +145,7 @@ func RunAllContext(ctx context.Context, cfg Config, workers int) (*Report, error
 	return core.RunAllContext(ctx, cfg, workers)
 }
 
-// Experiments returns the full registry (E1…E19) in paper order.
+// Experiments returns the full registry (E1…E20) in paper order.
 func Experiments() []Experiment { return core.Experiments() }
 
 // ExperimentByID looks up one experiment.

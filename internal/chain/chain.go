@@ -267,8 +267,11 @@ type Stats struct {
 	Reorgs        int
 	MaxReorgDepth int
 	OrphanedTotal int // blocks currently off the main chain
-	TxsOnMain     int
-	BytesOnMain   int
+	// OrphansEvicted counts orphan-pool blocks dropped by the backlog
+	// bound (see SetOrphanLimit) before their parent ever arrived.
+	OrphansEvicted int
+	TxsOnMain      int
+	BytesOnMain    int
 }
 
 // Store holds every block a node has seen and maintains the main chain
@@ -281,14 +284,23 @@ type Store struct {
 	children map[hashx.Hash][]hashx.Hash
 	cumWork  map[hashx.Hash]float64
 	orphans  map[hashx.Hash][]*Block // parent hash -> waiting blocks
-	genesis  hashx.Hash
-	tip      hashx.Hash
-	mainAt   map[uint64]hashx.Hash // height -> main chain hash
-	onMain   map[hashx.Hash]bool
-	reorgs   int
-	maxReorg int
-	sideSeen int
-	added    int
+	// orphanLimit bounds the orphan pool (<= 0 means DefaultOrphanLimit).
+	// orphanOrder is the FIFO arrival order driving eviction; entries go
+	// stale when their block is adopted or evicted, so eviction and
+	// compaction skip entries no longer present in the pool.
+	orphanLimit   int
+	orphanCount   int
+	orphanEvicted int
+	orphanOrder   []*Block
+	onOrphanEvict func(*Block)
+	genesis       hashx.Hash
+	tip           hashx.Hash
+	mainAt        map[uint64]hashx.Hash // height -> main chain hash
+	onMain        map[hashx.Hash]bool
+	reorgs        int
+	maxReorg      int
+	sideSeen      int
+	added         int
 }
 
 // ErrUnknownBlock is returned by queries for hashes the store never saw.
@@ -381,7 +393,7 @@ func (s *Store) addOne(b *Block) AddResult {
 	}
 	parent, haveParent := s.blocks[b.Header.Parent]
 	if !haveParent {
-		s.orphans[b.Header.Parent] = append(s.orphans[b.Header.Parent], b)
+		s.parkOrphan(b)
 		return AddResult{Status: Orphaned}
 	}
 	if b.Header.Height != parent.Header.Height+1 {
@@ -486,6 +498,7 @@ func (s *Store) adoptOrphansOf(h hashx.Hash) []AdoptedOrphan {
 			continue
 		}
 		delete(s.orphans, parent)
+		s.orphanCount -= len(waiting)
 		for _, b := range waiting {
 			res := s.addOne(b)
 			if res.Status == Accepted || res.Status == AcceptedSide || res.Status == AcceptedReorg {
@@ -505,6 +518,97 @@ func (s *Store) OrphanPoolSize() int {
 	}
 	return n
 }
+
+// DefaultOrphanLimit bounds the orphan pool when SetOrphanLimit was
+// never called. Honest gossip reorder parks a handful of blocks at a
+// time; only a flood of parentless blocks reaches the bound.
+const DefaultOrphanLimit = 512
+
+// parkOrphan buffers a parentless block and enforces the backlog bound,
+// evicting oldest-first past the cap.
+func (s *Store) parkOrphan(b *Block) {
+	s.orphans[b.Header.Parent] = append(s.orphans[b.Header.Parent], b)
+	s.orphanCount++
+	s.orphanOrder = append(s.orphanOrder, b)
+	limit := s.orphanLimit
+	if limit <= 0 {
+		limit = DefaultOrphanLimit
+	}
+	for s.orphanCount > limit {
+		if !s.evictOldestOrphan() {
+			break
+		}
+	}
+	if len(s.orphanOrder) > 2*limit {
+		s.compactOrphanOrder()
+	}
+}
+
+// orphanLive reports whether an order entry still sits in the pool.
+func (s *Store) orphanLive(b *Block) bool {
+	for _, w := range s.orphans[b.Header.Parent] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// evictOldestOrphan drops the oldest still-parked orphan, invoking the
+// eviction hook so the owner can unmark dedup state and re-pull. Returns
+// false if every order entry was stale.
+func (s *Store) evictOldestOrphan() bool {
+	for len(s.orphanOrder) > 0 {
+		b := s.orphanOrder[0]
+		s.orphanOrder = s.orphanOrder[1:]
+		if !s.orphanLive(b) {
+			continue
+		}
+		waiting := s.orphans[b.Header.Parent]
+		idx := 0
+		for i, w := range waiting {
+			if w == b {
+				idx = i
+				break
+			}
+		}
+		if len(waiting) == 1 {
+			delete(s.orphans, b.Header.Parent)
+		} else {
+			s.orphans[b.Header.Parent] = append(waiting[:idx:idx], waiting[idx+1:]...)
+		}
+		s.orphanCount--
+		s.orphanEvicted++
+		if s.onOrphanEvict != nil {
+			s.onOrphanEvict(b)
+		}
+		return true
+	}
+	return false
+}
+
+// compactOrphanOrder drops stale order entries so the FIFO slice stays
+// proportional to the live pool.
+func (s *Store) compactOrphanOrder() {
+	live := s.orphanOrder[:0]
+	for _, b := range s.orphanOrder {
+		if s.orphanLive(b) {
+			live = append(live, b)
+		}
+	}
+	s.orphanOrder = live
+}
+
+// SetOrphanLimit overrides the orphan-pool bound (n <= 0 restores
+// DefaultOrphanLimit). The new bound applies from the next parked block.
+func (s *Store) SetOrphanLimit(n int) { s.orphanLimit = n }
+
+// SetOrphanEvicted installs a hook invoked for each evicted orphan —
+// network layers use it to unmark dedup state and schedule a re-pull.
+func (s *Store) SetOrphanEvicted(fn func(*Block)) { s.onOrphanEvict = fn }
+
+// OrphanEvictions returns how many orphans the bound has evicted.
+func (s *Store) OrphanEvictions() int { return s.orphanEvicted }
 
 // IsOnMainChain reports whether h is part of the current main chain.
 func (s *Store) IsOnMainChain(h hashx.Hash) bool { return s.onMain[h] }
@@ -541,10 +645,11 @@ func (s *Store) MainChain() []hashx.Hash {
 // Stats summarizes the store's history and current main chain.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		BlocksAdded:   s.added,
-		SideBlocks:    s.sideSeen,
-		Reorgs:        s.reorgs,
-		MaxReorgDepth: s.maxReorg,
+		BlocksAdded:    s.added,
+		SideBlocks:     s.sideSeen,
+		Reorgs:         s.reorgs,
+		MaxReorgDepth:  s.maxReorg,
+		OrphansEvicted: s.orphanEvicted,
 	}
 	for h, b := range s.blocks {
 		if h == s.genesis {

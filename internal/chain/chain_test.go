@@ -269,6 +269,59 @@ func TestOrphanPoolAdoption(t *testing.T) {
 	}
 }
 
+// An orphan flood must not grow the pool without bound: the oldest
+// orphan is evicted FIFO, the eviction hook fires, and the counter
+// surfaces in Stats.
+func TestOrphanPoolBounded(t *testing.T) {
+	s, g := newStore(t, LongestChain)
+	s.SetOrphanLimit(4)
+	var evicted []*Block
+	s.SetOrphanEvicted(func(b *Block) { evicted = append(evicted, b) })
+
+	// Ten orphans: each child references a parent the store never sees,
+	// so every block parks in the pool.
+	var firstOrphan *Block
+	for i := 0; i < 10; i++ {
+		parent := mkBlock(g, byte(2*i+1), 1)
+		child := mkBlock(parent, byte(2*i+2), 1)
+		if res := s.Add(child); res.Status != Orphaned {
+			t.Fatalf("child %d = %v", i, res.Status)
+		}
+		if firstOrphan == nil {
+			firstOrphan = child
+		}
+	}
+	if got := s.OrphanPoolSize(); got > 4 {
+		t.Fatalf("orphan pool holds %d blocks, cap 4", got)
+	}
+	if s.OrphanEvictions() != 6 {
+		t.Fatalf("OrphanEvictions = %d, want 6", s.OrphanEvictions())
+	}
+	if st := s.Stats(); st.OrphansEvicted != 6 {
+		t.Fatalf("Stats().OrphansEvicted = %d, want 6", st.OrphansEvicted)
+	}
+	if len(evicted) != 6 || evicted[0].Hash() != firstOrphan.Hash() {
+		t.Fatalf("eviction hook saw %d blocks; FIFO order broken", len(evicted))
+	}
+	// An orphan adopted by its parent is no longer evictable: stale order
+	// entries are skipped, not double-counted.
+	p := mkBlock(g, 30, 1)
+	waiting := mkBlock(p, 31, 1)
+	if res := s.Add(waiting); res.Status != Orphaned {
+		t.Fatalf("waiting = %v", res.Status)
+	}
+	// Parking the 11th orphan evicted one more; adoption must not evict.
+	if res := s.Add(p); res.Status == Orphaned {
+		t.Fatalf("parent = %v", res.Status)
+	}
+	if _, ok := s.Get(waiting.Hash()); !ok {
+		t.Fatal("waiting orphan was not adopted with its parent")
+	}
+	if s.OrphanEvictions() != 7 {
+		t.Fatalf("OrphanEvictions after adoption = %d, want 7", s.OrphanEvictions())
+	}
+}
+
 func TestCumulativeWork(t *testing.T) {
 	s, g := newStore(t, HeaviestChain)
 	b1 := mkBlock(g, 1, 5)

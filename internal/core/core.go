@@ -104,6 +104,15 @@ type Config struct {
 	// each. False (the default) keeps the historical E18 table
 	// byte-identical.
 	DepthSweep bool
+	// SyncPullBatch is E20's cold-start range-pull window: how many
+	// history blocks one sync request asks a peer for. <= 0 means the
+	// sync manager's default (32).
+	SyncPullBatch int
+	// BacklogCap bounds the per-node backlog buffers in E20's networks —
+	// the lattice gap buffer, the gossip ingest queue and the chain
+	// orphan pool (netsim's BacklogCap knobs). <= 0 keeps the package
+	// defaults.
+	BacklogCap int
 }
 
 // withDefaults fills zero values.
@@ -157,7 +166,7 @@ func (c Config) count(base int) int {
 
 // Experiment reproduces one figure or quantitative claim of the paper.
 type Experiment struct {
-	// ID is the experiment key (E1…E19).
+	// ID is the experiment key (E1…E20).
 	ID string
 	// Title names the reproduced artifact.
 	Title string
@@ -191,6 +200,7 @@ func Experiments() []Experiment {
 		{ID: "E17", Title: "selfish mining & vote withholding vs adversary power", Section: "III/IV", Run: RunE17Strategy},
 		{ID: "E18", Title: "executed double-spends under combined adversaries (eclipse, hidden forks)", Section: "IV", Run: RunE18ExecutedDoubleSpend},
 		{ID: "E19", Title: "scaling law: throughput, finality & memory per node vs network size", Section: "VI", Run: RunE19ScalingLaw},
+		{ID: "E20", Title: "cold-start bootstrap: catch-up latency & pulled bytes vs ledger length", Section: "V", Run: RunE20ColdStart},
 	}
 }
 

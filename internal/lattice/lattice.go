@@ -283,9 +283,33 @@ type Lattice struct {
 	gapPrev map[hashx.Hash][]*Block
 	// gapSource buffers receives whose source send is missing.
 	gapSource map[hashx.Hash][]*Block
-	supply    uint64
-	genesis   hashx.Hash
+	// gapLimit bounds the total number of parked blocks across both gap
+	// buffers (<= 0 means DefaultGapLimit). gapOrder is the FIFO parking
+	// order driving eviction; entries go stale when their block drains or
+	// is evicted, so eviction and compaction skip entries that are no
+	// longer present in their buffer (same staleness-tolerant scheme as
+	// netsim's pendingOrder).
+	gapLimit   int
+	gapParked  int
+	gapEvicted int
+	gapOrder   []gapEntry
+	onGapEvict func(*Block)
+	supply     uint64
+	genesis    hashx.Hash
 }
+
+// gapEntry remembers where a parked block went: the gapSource buffer
+// (src) or the gapPrev buffer.
+type gapEntry struct {
+	b   *Block
+	src bool
+}
+
+// DefaultGapLimit bounds the gap buffers when SetGapLimit was never
+// called. It is generous — honest steady-state traffic parks at most a
+// handful of blocks per missing ancestor — so only a flood of orphaned
+// blocks (spam, or a node fallen catastrophically behind) evicts.
+const DefaultGapLimit = 4096
 
 // New creates a lattice whose genesis open block grants the entire supply
 // to the genesis account (§II-B: "The genesis transaction defines the
@@ -510,7 +534,7 @@ func (l *Lattice) processOpen(b *Block, h hashx.Hash) Result {
 		if l.settled[b.Source] {
 			return Result{Status: Rejected, Err: errors.New("lattice: source already settled")}
 		}
-		l.gapSource[b.Source] = append(l.gapSource[b.Source], b)
+		l.parkSource(b)
 		return Result{Status: GapSource}
 	}
 	if p.Destination != b.Account {
@@ -529,12 +553,12 @@ func (l *Lattice) processOpen(b *Block, h hashx.Hash) Result {
 func (l *Lattice) processChained(b *Block, h hashx.Hash) Result {
 	c, opened := l.chains[b.Account]
 	if !opened {
-		l.gapPrev[b.Prev] = append(l.gapPrev[b.Prev], b)
+		l.parkPrev(b)
 		return Result{Status: GapPrevious}
 	}
 	prev, known := l.byHash[b.Prev]
 	if !known || prev.Account != b.Account {
-		l.gapPrev[b.Prev] = append(l.gapPrev[b.Prev], b)
+		l.parkPrev(b)
 		return Result{Status: GapPrevious}
 	}
 	if b.Prev != c.head {
@@ -542,7 +566,7 @@ func (l *Lattice) processChained(b *Block, h hashx.Hash) Result {
 		// transactions may claim the same predecessor causing a fork").
 		if err := l.validateAgainstPrev(b, prev); err != nil {
 			if errors.Is(err, errGapSource) {
-				l.gapSource[b.Source] = append(l.gapSource[b.Source], b)
+				l.parkSource(b)
 				return Result{Status: GapSource}
 			}
 			return Result{Status: Rejected, Err: err}
@@ -561,7 +585,7 @@ func (l *Lattice) processChained(b *Block, h hashx.Hash) Result {
 	}
 	if err := l.validateAgainstPrev(b, prev); err != nil {
 		if errors.Is(err, errGapSource) {
-			l.gapSource[b.Source] = append(l.gapSource[b.Source], b)
+			l.parkSource(b)
 			return Result{Status: GapSource}
 		}
 		return Result{Status: Rejected, Err: err}
@@ -627,6 +651,112 @@ func (l *Lattice) attach(b *Block, h hashx.Hash, c *accountChain) Result {
 	return res
 }
 
+// parkPrev buffers a block whose predecessor is missing.
+func (l *Lattice) parkPrev(b *Block) {
+	l.gapPrev[b.Prev] = append(l.gapPrev[b.Prev], b)
+	l.parked(gapEntry{b: b})
+}
+
+// parkSource buffers a receive/open whose source send is missing.
+func (l *Lattice) parkSource(b *Block) {
+	l.gapSource[b.Source] = append(l.gapSource[b.Source], b)
+	l.parked(gapEntry{b: b, src: true})
+}
+
+// parked records the FIFO position of a freshly buffered gap block and
+// enforces the backlog bound, evicting oldest-first past the cap.
+func (l *Lattice) parked(e gapEntry) {
+	l.gapParked++
+	l.gapOrder = append(l.gapOrder, e)
+	limit := l.gapLimit
+	if limit <= 0 {
+		limit = DefaultGapLimit
+	}
+	for l.gapParked > limit {
+		if !l.evictOldestGap() {
+			break
+		}
+	}
+	if len(l.gapOrder) > 2*limit {
+		l.compactGapOrder()
+	}
+}
+
+// gapEntryLive reports whether an order entry still points at a parked
+// block (drained and evicted blocks leave stale order entries behind).
+func (l *Lattice) gapEntryLive(e gapEntry) bool {
+	m, key := l.gapPrev, e.b.Prev
+	if e.src {
+		m, key = l.gapSource, e.b.Source
+	}
+	for _, w := range m[key] {
+		if w == e.b {
+			return true
+		}
+	}
+	return false
+}
+
+// evictOldestGap drops the oldest still-parked gap block, invoking the
+// eviction hook so the owner can unmark dedup state and re-pull. Returns
+// false if every order entry was stale.
+func (l *Lattice) evictOldestGap() bool {
+	for len(l.gapOrder) > 0 {
+		e := l.gapOrder[0]
+		l.gapOrder = l.gapOrder[1:]
+		if !l.gapEntryLive(e) {
+			continue
+		}
+		m, key := l.gapPrev, e.b.Prev
+		if e.src {
+			m, key = l.gapSource, e.b.Source
+		}
+		waiting := m[key]
+		idx := 0
+		for i, w := range waiting {
+			if w == e.b {
+				idx = i
+				break
+			}
+		}
+		if len(waiting) == 1 {
+			delete(m, key)
+		} else {
+			m[key] = append(waiting[:idx:idx], waiting[idx+1:]...)
+		}
+		l.gapParked--
+		l.gapEvicted++
+		if l.onGapEvict != nil {
+			l.onGapEvict(e.b)
+		}
+		return true
+	}
+	return false
+}
+
+// compactGapOrder drops stale order entries so the FIFO slice stays
+// proportional to the live parked population.
+func (l *Lattice) compactGapOrder() {
+	live := l.gapOrder[:0]
+	for _, e := range l.gapOrder {
+		if l.gapEntryLive(e) {
+			live = append(live, e)
+		}
+	}
+	l.gapOrder = live
+}
+
+// SetGapLimit overrides the gap-buffer bound (n <= 0 restores
+// DefaultGapLimit). The new bound applies from the next parked block.
+func (l *Lattice) SetGapLimit(n int) { l.gapLimit = n }
+
+// SetGapEvicted installs a hook invoked for each evicted gap block —
+// network layers use it to unmark dedup state and schedule a re-pull.
+func (l *Lattice) SetGapEvicted(fn func(*Block)) { l.onGapEvict = fn }
+
+// GapEvictions returns how many parked blocks the bound has evicted.
+func (l *Lattice) GapEvictions() int { return l.gapEvicted }
+
 // drainGaps retries blocks that were waiting on the newly attached block,
 // appending every block that attaches to drained (in attachment order).
 func (l *Lattice) drainGaps(b *Block, drained []*Block) []*Block {
@@ -634,11 +764,13 @@ func (l *Lattice) drainGaps(b *Block, drained []*Block) []*Block {
 	queue := []*Block{}
 	if waiting, ok := l.gapPrev[h]; ok {
 		delete(l.gapPrev, h)
+		l.gapParked -= len(waiting)
 		queue = append(queue, waiting...)
 	}
 	if b.Type == Send {
 		if waiting, ok := l.gapSource[h]; ok {
 			delete(l.gapSource, h)
+			l.gapParked -= len(waiting)
 			queue = append(queue, waiting...)
 		}
 	}
@@ -750,20 +882,26 @@ func (l *Lattice) ResolveFork(prev, winner hashx.Hash) error {
 // simulations use it to stamp out one replica per node from a single
 // replayed template instead of re-validating the same setup stream N
 // times — at mega-scale node counts that replay is the entire setup
-// cost. The clone and the original evolve independently afterwards.
+// cost. The clone and the original evolve independently afterwards. The
+// eviction hook (SetGapEvicted) is per-replica state and is not carried
+// over — each owner installs its own.
 func (l *Lattice) Clone() *Lattice {
 	c := &Lattice{
-		workBits:  l.workBits,
-		chains:    make(map[keys.Address]*accountChain, len(l.chains)),
-		byHash:    make(map[hashx.Hash]*Block, len(l.byHash)),
-		pending:   make(map[hashx.Hash]Pending, len(l.pending)),
-		settled:   make(map[hashx.Hash]bool, len(l.settled)),
-		forks:     make(map[hashx.Hash][]*Block, len(l.forks)),
-		successor: make(map[hashx.Hash]hashx.Hash, len(l.successor)),
-		gapPrev:   make(map[hashx.Hash][]*Block, len(l.gapPrev)),
-		gapSource: make(map[hashx.Hash][]*Block, len(l.gapSource)),
-		supply:    l.supply,
-		genesis:   l.genesis,
+		workBits:   l.workBits,
+		chains:     make(map[keys.Address]*accountChain, len(l.chains)),
+		byHash:     make(map[hashx.Hash]*Block, len(l.byHash)),
+		pending:    make(map[hashx.Hash]Pending, len(l.pending)),
+		settled:    make(map[hashx.Hash]bool, len(l.settled)),
+		forks:      make(map[hashx.Hash][]*Block, len(l.forks)),
+		successor:  make(map[hashx.Hash]hashx.Hash, len(l.successor)),
+		gapPrev:    make(map[hashx.Hash][]*Block, len(l.gapPrev)),
+		gapSource:  make(map[hashx.Hash][]*Block, len(l.gapSource)),
+		gapLimit:   l.gapLimit,
+		gapParked:  l.gapParked,
+		gapEvicted: l.gapEvicted,
+		gapOrder:   append([]gapEntry(nil), l.gapOrder...),
+		supply:     l.supply,
+		genesis:    l.genesis,
 	}
 	for addr, ch := range l.chains {
 		blocks := make([]*Block, len(ch.blocks))

@@ -28,6 +28,10 @@ type BitcoinConfig struct {
 	Accounts int
 	// InitialBalance funds each account at genesis.
 	InitialBalance uint64
+	// BacklogCap bounds each node's orphan pool; oldest orphans are
+	// evicted FIFO (and re-pulled when the sync manager is armed).
+	// <= 0 keeps the chain package default.
+	BacklogCap int
 }
 
 func (c BitcoinConfig) withDefaults() BitcoinConfig {
@@ -110,6 +114,9 @@ func NewBitcoin(cfg BitcoinConfig) (*BitcoinNet, error) {
 		}
 		b.ledgers = append(b.ledgers, ledger)
 		b.chain.addNode(ledger)
+		if cfg.BacklogCap > 0 {
+			ledger.Store().SetOrphanLimit(cfg.BacklogCap)
+		}
 	}
 	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))
 	return b, nil
@@ -131,6 +138,22 @@ func (b *BitcoinNet) Net() *sim.Network { return b.chain.rt.net }
 // Runtime exposes the node runtime, the seam custom Behaviors install
 // through.
 func (b *BitcoinNet) Runtime() *NodeRuntime { return b.chain.rt }
+
+// ScheduleColdStart detaches node at detachAt and rejoins it at
+// rejoinAt, range-pulling the main chain from a live peer in windows of
+// batch blocks (E20's bootstrap scenario). Arms sync recovery mode.
+func (b *BitcoinNet) ScheduleColdStart(node int, detachAt, rejoinAt time.Duration, batch int) {
+	b.chain.scheduleColdStart(node, detachAt, rejoinAt, batch)
+}
+
+// SyncStats reports the sync manager's pull/serve/eviction counters.
+func (b *BitcoinNet) SyncStats() SyncStats { return b.chain.sync.stats }
+
+// ColdSyncDone reports whether node's cold sync finished, and how long
+// it took from rejoin to the final range window.
+func (b *BitcoinNet) ColdSyncDone(node int) (time.Duration, bool) {
+	return b.chain.sync.coldSyncDone(sim.NodeID(node))
+}
 
 // scheduleMining arms the next global block-discovery event.
 func (b *BitcoinNet) scheduleMining() {

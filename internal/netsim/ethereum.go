@@ -56,6 +56,10 @@ type EthereumConfig struct {
 	// Accounts and InitialBalance shape the funded user population.
 	Accounts       int
 	InitialBalance uint64
+	// BacklogCap bounds each node's orphan pool; oldest orphans are
+	// evicted FIFO (and re-pulled when the sync manager is armed).
+	// <= 0 keeps the chain package default.
+	BacklogCap int
 }
 
 func (c EthereumConfig) withDefaults() EthereumConfig {
@@ -157,6 +161,9 @@ func NewEthereum(cfg EthereumConfig) (*EthereumNet, error) {
 		}
 		e.ledgers = append(e.ledgers, ledger)
 		e.chain.addNode(ledger)
+		if cfg.BacklogCap > 0 {
+			ledger.Store().SetOrphanLimit(cfg.BacklogCap)
+		}
 	}
 	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))
 
@@ -216,6 +223,22 @@ func (e *EthereumNet) Registry() *pos.Registry { return e.registry }
 
 // FFG returns the finality gadget (nil in PoW mode).
 func (e *EthereumNet) FFG() *pos.FFG { return e.ffg }
+
+// ScheduleColdStart detaches node at detachAt and rejoins it at
+// rejoinAt, range-pulling the main chain from a live peer in windows of
+// batch blocks (E20's bootstrap scenario). Arms sync recovery mode.
+func (e *EthereumNet) ScheduleColdStart(node int, detachAt, rejoinAt time.Duration, batch int) {
+	e.chain.scheduleColdStart(node, detachAt, rejoinAt, batch)
+}
+
+// SyncStats reports the sync manager's pull/serve/eviction counters.
+func (e *EthereumNet) SyncStats() SyncStats { return e.chain.sync.stats }
+
+// ColdSyncDone reports whether node's cold sync finished, and how long
+// it took from rejoin to the final range window.
+func (e *EthereumNet) ColdSyncDone(node int) (time.Duration, bool) {
+	return e.chain.sync.coldSyncDone(sim.NodeID(node))
+}
 
 // produceAt lets a node extend its view and flood the block. An honest
 // producer racing an installed selfish miner follows the γ rule first

@@ -74,6 +74,12 @@ type NanoConfig struct {
 	// unfaulted pipeline byte for byte. Node 0 (the observer) is always
 	// honest, so the cap is Nodes-1.
 	ByzantineNodes int
+	// BacklogCap bounds the per-node backlog buffers — the lattice gap
+	// buffer and the gossip ingest queue (<= 0 keeps the defaults:
+	// lattice.DefaultGapLimit and maxIngestBacklog). Evicted blocks
+	// unmark their dedup bit and, when the sync manager is armed,
+	// schedule a re-pull.
+	BacklogCap int
 }
 
 func (c NanoConfig) withDefaults() NanoConfig {
@@ -127,23 +133,12 @@ const (
 	maxSeenVotes = 1 << 16
 )
 
-// Gap repair (the bootstrapping pull real nodes run): a node that
-// gap-buffers a block asks the sender for the missing ancestor, retrying
-// until it attaches or the attempt budget runs out. Only enabled when a
-// fault schedule is applied — the unfaulted pipeline's event stream (and
-// therefore its tables) stays byte-identical to the historical output.
-const (
-	gapRepairDelay       = 150 * time.Millisecond
-	maxGapRepairAttempts = 64
-)
-
-// blockRequest asks a peer to serve one block by hash.
-type blockRequest struct {
-	Hash hashx.Hash
-}
-
-// blockRequestSize is the modeled wire size of a block request.
-const blockRequestSize = hashx.Size + 8
+// maxIngestBacklog bounds the gossip ingest queue when
+// NanoConfig.BacklogCap is unset. The count-triggered flush already
+// empties the queue at BatchSize, so the default bound only matters if a
+// cap below BatchSize is configured — then eviction, not the count
+// flush, holds the line (the window timer still settles the remainder).
+const maxIngestBacklog = 4096
 
 // nanoNode is one full node: lattice replica, vote tracker, dedup state.
 // Hot-path dedup (seen blocks, seen votes) lives in the network-level
@@ -180,8 +175,6 @@ type nanoNode struct {
 	ingest     []ingestEntry
 	flushTimer sim.EventID
 	flushArmed bool
-	// repairing tracks missing-block hashes with a live gap-repair chain.
-	repairing map[hashx.Hash]bool
 	// myVote tracks this node's reps' current choice and switch count.
 	myVote   map[hashx.Hash]hashx.Hash
 	mySeq    map[hashx.Hash]uint64
@@ -274,8 +267,10 @@ type NanoNet struct {
 	advPreferred map[hashx.Hash]bool
 	advContested map[hashx.Hash]bool
 	forkSeenAt   map[hashx.Hash]time.Duration
-	// gapRepair arms the bootstrapping pull; set by FaultSchedule.
-	gapRepair bool
+	// sync runs the pull side of catch-up (syncmgr.go): single-block gap
+	// pulls, cold-start range pulls, backlog-eviction accounting. Armed
+	// by FaultSchedule or StartColdSync; disarmed it adds no events.
+	sync *syncManager
 }
 
 // ingestEntry is one queued gossip block plus the node that sent it.
@@ -284,11 +279,22 @@ type ingestEntry struct {
 	from sim.NodeID
 }
 
-// EnableGapRepair turns on the pull-based bootstrapping that lets nodes
-// recover ancestors they missed (partitions, churn, lossy periods). Off
-// by default: the repair timers would reorder the event sequence of
-// healthy runs and perturb their byte-exact tables.
-func (n *NanoNet) EnableGapRepair() { n.gapRepair = true }
+// EnableGapRepair arms the sync manager's pull-based bootstrapping that
+// lets nodes recover ancestors they missed (partitions, churn, lossy
+// periods), at the legacy-compatible level: pulls pin to the original
+// sender and give up when the attempt budget is spent, replaying the
+// historical event stream byte for byte (the pinned fault tables depend
+// on it). Off by default: the repair timers would reorder the event
+// sequence of healthy runs and perturb their byte-exact tables.
+func (n *NanoNet) EnableGapRepair() { n.sync.arm() }
+
+// EnableSyncRecovery arms the sync manager with the repaired failure
+// handling on top: pulls whose target churns out re-target to a live
+// peer, and exhausted attempt budgets re-arm with capped backoff
+// instead of abandoning the gap forever. Runs armed this way trade
+// byte-compatibility with the historical fault tables for actually
+// recovering.
+func (n *NanoNet) EnableSyncRecovery() { n.sync.armRecovery() }
 
 // NewNano builds the network: identical genesis on every node, an even
 // initial distribution processed everywhere at setup, and weight tables
@@ -346,6 +352,10 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 		advContested: make(map[hashx.Hash]bool),
 		forkSeenAt:   make(map[hashx.Hash]time.Duration),
 	}
+	n.sync = newSyncManager(n.rt, func(id sim.NodeID, h hashx.Hash) bool {
+		_, ok := n.nodes[id].lat.Get(h)
+		return ok
+	})
 
 	repWeightTable := seedLat.RepWeights()
 	for i := 0; i < cfg.Net.Nodes; i++ {
@@ -367,6 +377,10 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 		}
 		node.id = n.rt.AddNode(n.handlerFor(node))
 		n.nodes = append(n.nodes, node)
+		if cfg.BacklogCap > 0 {
+			node.lat.SetGapLimit(cfg.BacklogCap)
+		}
+		node.lat.SetGapEvicted(n.gapEvictedHook(node))
 	}
 	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))
 
@@ -413,6 +427,32 @@ func (n *NanoNet) Net() *sim.Network { return n.rt.net }
 // through.
 func (n *NanoNet) Runtime() *NodeRuntime { return n.rt }
 
+// SyncStats returns the sync manager's pull and backlog counters.
+func (n *NanoNet) SyncStats() SyncStats { return n.sync.stats }
+
+// ScheduleColdStart detaches a node at detachAt and rejoins it at
+// rejoinAt through the sync manager: the node pulls the canonical
+// history stream from a live peer in windows of batch blocks (E20's
+// bootstrap scenario). The sync manager arms itself at rejoin.
+func (n *NanoNet) ScheduleColdStart(node int, detachAt, rejoinAt time.Duration, batch int) {
+	id := n.nodes[node].id
+	n.rt.sim.At(detachAt, func() { n.rt.net.Detach(id) })
+	n.rt.sim.At(rejoinAt, func() {
+		n.rt.net.Attach(id)
+		target := n.sync.rotateTarget(id, id)
+		if target == id {
+			return // no live peer to sync from
+		}
+		n.sync.StartColdSync(id, target, batch)
+	})
+}
+
+// ColdSyncDone reports how long the node's cold-start catch-up took to
+// drain the server's history stream; ok is false while it is running.
+func (n *NanoNet) ColdSyncDone(node int) (time.Duration, bool) {
+	return n.sync.coldSyncDone(n.nodes[node].id)
+}
+
 // handlerFor dispatches gossip messages.
 func (n *NanoNet) handlerFor(node *nanoNode) sim.Handler {
 	return func(from sim.NodeID, payload any, size int) {
@@ -423,6 +463,10 @@ func (n *NanoNet) handlerFor(node *nanoNode) sim.Handler {
 			n.onVote(node, msg)
 		case *blockRequest:
 			n.onBlockRequest(node, from, msg)
+		case *rangeRequest:
+			n.onRangeRequest(node, from, msg)
+		case *rangeReply:
+			n.sync.onRangeReply(node.id, msg)
 		}
 	}
 }
@@ -447,30 +491,39 @@ func (n *NanoNet) onBlock(node *nanoNode, from sim.NodeID, b *lattice.Block) {
 // onBlockRequest serves a block the requester is missing (gap repair).
 func (n *NanoNet) onBlockRequest(node *nanoNode, from sim.NodeID, req *blockRequest) {
 	if blk, ok := node.lat.Get(req.Hash); ok {
+		n.sync.stats.BlocksServed++
+		n.sync.stats.BytesServed += int64(blk.EncodedSize())
 		n.rt.Unicast(node.id, from, blk, blk.EncodedSize())
 	}
 }
 
-// scheduleGapRepair starts (at most one) repair chain for a missing
-// ancestor: ask the node that sent the gapped block, retry until the
-// ancestor attaches or the attempt budget is spent. The sender processed
-// the block it relayed, so it either holds the ancestor or is repairing
-// it itself — the request walk terminates at the block's creator.
-func (n *NanoNet) scheduleGapRepair(node *nanoNode, missing hashx.Hash, from sim.NodeID) {
-	if !n.gapRepair || from == node.id || node.repairing[missing] {
-		return
-	}
-	lazyPut(&node.repairing, missing, true)
-	n.repairTick(node, missing, from, 0)
+// onRangeRequest serves one window of this node's canonical history — the
+// deterministic account-ordered block stream — to a cold-syncing puller.
+func (n *NanoNet) onRangeRequest(node *nanoNode, from sim.NodeID, req *rangeRequest) {
+	blocks := node.lat.AllBlocks()
+	n.sync.serveRange(node.id, from, req, len(blocks), func(i int) (any, int) {
+		return blocks[i], blocks[i].EncodedSize()
+	})
 }
 
-func (n *NanoNet) repairTick(node *nanoNode, missing hashx.Hash, from sim.NodeID, attempt int) {
-	if _, attached := node.lat.Get(missing); attached || attempt >= maxGapRepairAttempts {
-		delete(node.repairing, missing)
-		return
+// gapEvictedHook wires one node's lattice gap-buffer eviction into the
+// sync manager: the evicted block's dedup bit is cleared so gossip (or a
+// served pull) can re-deliver it, and when the manager is armed a
+// deferred re-pull fetches the block back from a live peer.
+func (n *NanoNet) gapEvictedHook(node *nanoNode) func(*lattice.Block) {
+	return func(b *lattice.Block) {
+		n.sync.stats.BacklogEvicted++
+		h := b.Hash()
+		n.seenBlocks.clear(node.row(), n.blockIDs.id(h))
+		if !n.sync.armed {
+			return
+		}
+		n.rt.sim.After(gapRepairDelay, func() {
+			if tgt := n.sync.rotateTarget(node.id, node.id); tgt != node.id {
+				n.sync.Pull(node.id, h, tgt)
+			}
+		})
 	}
-	n.rt.Unicast(node.id, from, &blockRequest{Hash: missing}, blockRequestSize)
-	n.rt.sim.After(gapRepairDelay, func() { n.repairTick(node, missing, from, attempt+1) })
 }
 
 // reactToResult applies the post-attach handling for one processed
@@ -496,10 +549,10 @@ func (n *NanoNet) reactToResult(node *nanoNode, b *lattice.Block, h hashx.Hash, 
 		n.startForkElection(node, b, res.ForkRivals)
 	case lattice.GapPrevious:
 		// Buffered inside the lattice; still relay so peers catch up,
-		// and pull the missing ancestor when repair is armed.
-		n.scheduleGapRepair(node, b.Prev, from)
+		// and pull the missing ancestor when the sync manager is armed.
+		n.sync.Pull(node.id, b.Prev, from)
 	case lattice.GapSource:
-		n.scheduleGapRepair(node, b.Source, from)
+		n.sync.Pull(node.id, b.Source, from)
 	case lattice.Rejected:
 		return false // do not relay invalid blocks
 	}
@@ -513,6 +566,23 @@ func (n *NanoNet) enqueueIngest(node *nanoNode, b *lattice.Block, from sim.NodeI
 	if len(node.ingest) >= n.cfg.BatchSize {
 		n.flushIngest(node)
 		return
+	}
+	cap := n.cfg.BacklogCap
+	if cap <= 0 {
+		cap = maxIngestBacklog
+	}
+	if len(node.ingest) > cap {
+		// Bounded ingest: drop the oldest queued block, unmark its dedup
+		// bit so it can be re-delivered, and re-pull it when armed.
+		evicted := node.ingest[0]
+		node.ingest = node.ingest[1:]
+		n.sync.stats.BacklogEvicted++
+		h := evicted.b.Hash()
+		n.seenBlocks.clear(node.row(), n.blockIDs.id(h))
+		if n.sync.armed {
+			from := evicted.from
+			n.rt.sim.After(gapRepairDelay, func() { n.sync.Pull(node.id, h, from) })
+		}
 	}
 	if !node.flushArmed {
 		node.flushArmed = true

@@ -246,17 +246,27 @@ type chainRuntime struct {
 
 	// consensusScratch is eclipseReport's reusable membership set.
 	consensusScratch *epochSet
+
+	// sync runs the pull side of catch-up (syncmgr.go): single-block
+	// pulls for orphan-eviction re-fetch and cold-start range pulls over
+	// the main chain. Armed only by a cold start; disarmed it adds no
+	// events, keeping honest runs byte-identical.
+	sync *syncManager
 }
 
 // newChainRuntime builds the shared chain core over a fresh runtime,
 // with the per-node dedup matrix sized for the network's node count.
 func newChainRuntime(s *sim.Simulator, net *sim.Network, nodes int, confirmedTxs func(txsOnMain, blocksOnMain int) int) *chainRuntime {
-	return &chainRuntime{
+	c := &chainRuntime{
 		rt:           newNodeRuntime(s, net),
 		blockIDs:     newDex[hashx.Hash](256),
 		seen:         newBitRows(nodes, 256),
 		confirmedTxs: confirmedTxs,
 	}
+	c.sync = newSyncManager(c.rt, func(node sim.NodeID, h hashx.Hash) bool {
+		return c.ledgers[node].Store().HasBlock(h)
+	})
+	return c
 }
 
 // blockSlot returns h's dense id, growing the id-indexed bookkeeping
@@ -278,23 +288,82 @@ func (c *chainRuntime) blockSlot(h hashx.Hash) int32 {
 func (c *chainRuntime) addNode(l chainLedger) sim.NodeID {
 	idx := len(c.ledgers)
 	c.ledgers = append(c.ledgers, l)
+	l.Store().SetOrphanEvicted(func(b *chain.Block) {
+		// Bounded orphan pool: the evicted block's dedup bit is cleared
+		// so gossip (or a served pull) can re-deliver it, and when the
+		// sync manager is armed a deferred re-pull fetches it back from
+		// a live peer that adopted it.
+		c.sync.stats.BacklogEvicted++
+		h := b.Hash()
+		c.seen.clear(idx, c.blockSlot(h))
+		if !c.sync.armed {
+			return
+		}
+		c.rt.sim.After(gapRepairDelay, func() {
+			if tgt := c.sync.rotateTarget(sim.NodeID(idx), sim.NodeID(idx)); tgt != sim.NodeID(idx) {
+				c.sync.Pull(sim.NodeID(idx), h, tgt)
+			}
+		})
+	})
 	return c.rt.AddNode(func(from sim.NodeID, payload any, size int) {
-		blk, ok := payload.(*chain.Block)
-		if !ok {
-			return
+		switch msg := payload.(type) {
+		case *chain.Block:
+			id := c.blockSlot(msg.Hash())
+			if c.seen.testSet(idx, id) {
+				return
+			}
+			c.reach[id]++
+			if int(c.reach[id]) == len(c.ledgers) {
+				c.metrics.Propagation.AddDuration(c.rt.sim.Now() - c.createdAt[id])
+			}
+			// Processing errors mean a byzantine block; honest sims don't
+			// produce them, and a relay node still floods valid-looking data.
+			_, _ = l.ProcessBlock(msg)
+			c.rt.Relay(sim.NodeID(idx), msg, msg.Size())
+		case *blockRequest:
+			c.serveBlock(idx, from, msg)
+		case *rangeRequest:
+			c.serveMainRange(idx, from, msg)
+		case *rangeReply:
+			c.sync.onRangeReply(sim.NodeID(idx), msg)
 		}
-		id := c.blockSlot(blk.Hash())
-		if c.seen.testSet(idx, id) {
-			return
+	})
+}
+
+// serveBlock answers a single-block pull from this node's store (side
+// and orphan-adopted blocks included — anything attached is servable).
+func (c *chainRuntime) serveBlock(idx int, to sim.NodeID, req *blockRequest) {
+	if blk, ok := c.ledgers[idx].Store().Get(req.Hash); ok {
+		c.sync.stats.BlocksServed++
+		c.sync.stats.BytesServed += int64(blk.Size())
+		c.rt.Unicast(sim.NodeID(idx), to, blk, blk.Size())
+	}
+}
+
+// serveMainRange streams one window of this node's main chain — the
+// canonical height-ordered history — to a cold-syncing puller.
+func (c *chainRuntime) serveMainRange(idx int, to sim.NodeID, req *rangeRequest) {
+	st := c.ledgers[idx].Store()
+	main := st.MainChain()
+	c.sync.serveRange(sim.NodeID(idx), to, req, len(main), func(i int) (any, int) {
+		blk, _ := st.Get(main[i])
+		return blk, blk.Size()
+	})
+}
+
+// scheduleColdStart detaches a node at detachAt and rejoins it at
+// rejoinAt through the sync manager: the node pulls the main chain from
+// a live peer in windows of batch blocks (E20's bootstrap scenario).
+func (c *chainRuntime) scheduleColdStart(node int, detachAt, rejoinAt time.Duration, batch int) {
+	id := sim.NodeID(node)
+	c.rt.sim.At(detachAt, func() { c.rt.net.Detach(id) })
+	c.rt.sim.At(rejoinAt, func() {
+		c.rt.net.Attach(id)
+		target := c.sync.rotateTarget(id, id)
+		if target == id {
+			return // no live peer to sync from
 		}
-		c.reach[id]++
-		if int(c.reach[id]) == len(c.ledgers) {
-			c.metrics.Propagation.AddDuration(c.rt.sim.Now() - c.createdAt[id])
-		}
-		// Processing errors mean a byzantine block; honest sims don't
-		// produce them, and a relay node still floods valid-looking data.
-		_, _ = l.ProcessBlock(blk)
-		c.rt.Relay(sim.NodeID(idx), blk, blk.Size())
+		c.sync.StartColdSync(id, target, batch)
 	})
 }
 

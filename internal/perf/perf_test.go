@@ -207,7 +207,7 @@ func TestCompareCalibrationNormalizes(t *testing.T) {
 // inject a 2x ns/op slowdown into every entry, and require the gate to
 // fail — and require the untouched baseline to pass against itself.
 func TestGateFailsOnInjectedSlowdown(t *testing.T) {
-	data, err := os.ReadFile("../../BENCH_007.json")
+	data, err := os.ReadFile("../../BENCH_008.json")
 	if err != nil {
 		t.Fatalf("committed baseline missing: %v", err)
 	}
@@ -245,7 +245,7 @@ func TestGateFailsOnInjectedSlowdown(t *testing.T) {
 // The committed baseline must be in canonical byte form (Encode of its
 // Decode), or diffs against regenerated baselines churn.
 func TestCommittedBaselineIsCanonical(t *testing.T) {
-	data, err := os.ReadFile("../../BENCH_007.json")
+	data, err := os.ReadFile("../../BENCH_008.json")
 	if err != nil {
 		t.Fatalf("committed baseline missing: %v", err)
 	}
@@ -258,7 +258,7 @@ func TestCommittedBaselineIsCanonical(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(data, out) {
-		t.Fatal("BENCH_007.json is not in canonical encoding; regenerate with make bench-commit")
+		t.Fatal("BENCH_008.json is not in canonical encoding; regenerate with make bench-commit")
 	}
 }
 

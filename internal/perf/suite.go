@@ -54,6 +54,7 @@ func Suite() []Benchmark {
 		{Name: "chain/store-add", Kind: "micro", Op: benchStoreAdd},
 		{Name: "netsim/nano-gossip", Kind: "micro", Op: benchNanoGossip},
 		{Name: "netsim/scale-gossip", Kind: "micro", Op: benchScaleGossip},
+		{Name: "netsim/cold-start", Kind: "micro", Op: benchColdStart},
 		{Name: "sim/sharded-loop", Kind: "micro", Op: benchShardedLoop},
 		{Name: "e2e/E1", Kind: "e2e", Op: benchExperiment("E1")},
 		{Name: "e2e/E2", Kind: "e2e", Op: benchExperiment("E2")},
@@ -362,6 +363,47 @@ func benchScaleGossip(scale float64, n int) float64 {
 			Accounts: 16, Rate: 2, Duration: horizon,
 		})
 		m := net.RunWithTransfers(horizon+5*time.Second, ps)
+		tps = m.TPS
+	}
+	return tps
+}
+
+// benchColdStart drives the sync-manager bootstrap path: an 8-node ORV
+// network builds a short history while one node sits detached, then the
+// cold node rejoins and range-pulls the canonical stream window by
+// window. The measured cost is the pull/serve machinery plus the gap
+// repair that backstops out-of-order window delivery.
+func benchColdStart(scale float64, n int) float64 {
+	transfers := scaled(30, scale)
+	const span = 4 * time.Second
+	var tps float64
+	for op := 0; op < n; op++ {
+		net, err := netsim.NewNano(netsim.NanoConfig{
+			Net: netsim.NetParams{
+				Nodes: 8, PeerDegree: 4, Seed: 23,
+				MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
+			},
+			Accounts: 16, Reps: 4, Workers: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(29))
+		var ps []workload.TimedPayment
+		for _, p := range workload.Payments(rng, workload.Config{
+			Accounts: 16, Rate: float64(transfers) / span.Seconds(), Duration: span,
+		}) {
+			// The cold node (7) owns accounts 7 and 15; keep them out of
+			// the workload so the pulled history is complete.
+			if p.From%8 != 7 && p.To%8 != 7 {
+				ps = append(ps, p)
+			}
+		}
+		net.ScheduleColdStart(7, 0, span+2*time.Second, 8)
+		m := net.RunWithTransfers(span+6*time.Second, ps)
+		if _, ok := net.ColdSyncDone(7); !ok {
+			panic("perf: cold sync incomplete")
+		}
 		tps = m.TPS
 	}
 	return tps
