@@ -21,12 +21,15 @@
 //	dltbench -experiment E18 -double-spend-trials 10      # executed attacks
 //	dltbench -experiment E18 -depth-sweep                 # z = 1…6 merchant rules
 //	dltbench -experiment E19 -shards 4                    # sharded event lanes
+//	dltbench -queue calendar                              # calendar-queue scheduler
+//	dltbench -experiment E19 -mega-nodes 1000000          # million-node frontier point
 //	dltbench -experiment E20 -sync-pull-batch 8           # narrow cold-sync windows
 //	dltbench -experiment E20 -backlog-cap 256             # bounded backlog buffers
+//	dltbench -experiment E20 -backlog-ttl 30s             # age-based backlog eviction
 //	dltbench -list               # show the registry
 //	dltbench -timing             # append the wall-clock/speedup table
-//	dltbench -bench-report -bench-out BENCH_008.json      # commit a perf baseline
-//	dltbench -bench-compare BENCH_008.json                # live regression gate
+//	dltbench -bench-report -bench-out BENCH_009.json      # commit a perf baseline
+//	dltbench -bench-compare BENCH_009.json                # live regression gate
 //	dltbench -bench-compare old.json -bench-candidate new.json  # diff two files
 package main
 
@@ -43,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/perf"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -78,10 +82,16 @@ func run() int {
 			"add E18's confirmation-depth sweep: the executed chain double spend rerun for merchant rules z = 1…6 against two attack-window lengths, with the analytic catch-up odds beside each")
 		shards = flag.Int("shards", 0,
 			"event-queue lanes per simulated network (<= 0 = 1); tables are identical for every value — a pure capacity knob for mega-scale runs")
+		queue = flag.String("queue", "",
+			"event-queue backend: heap (binary heap, default) or calendar (O(1) calendar queue); tables are identical under either — a pure scheduler choice")
+		megaNodes = flag.Int("mega-nodes", 0,
+			"append an unscaled frontier point of this many nodes to E19's sweep when it extends it (0 = default 10^2…10^5 sweep)")
 		syncPullBatch = flag.Int("sync-pull-batch", 0,
 			"E20 cold-start range-pull window: history blocks per sync request (0 = default 32)")
 		backlogCap = flag.Int("backlog-cap", 0,
 			"bound on E20's per-node backlog buffers — lattice gap buffer, ingest queue, chain orphan pool (0 = package defaults)")
+		backlogTTL = flag.Duration("backlog-ttl", 0,
+			"age bound on E20's parked backlog blocks in simulation time, e.g. 30s — stale gaps/orphans evict on the next arrival even under -backlog-cap (0 = disabled)")
 		timing  = flag.Bool("timing", false, "print the sweep wall-clock/speedup table (text format only)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		summary = flag.Bool("summary", false, "print the §VII five-dimension comparison and exit")
@@ -89,7 +99,7 @@ func run() int {
 		benchReport = flag.Bool("bench-report", false,
 			"run the perf trajectory suite and write the canonical BENCH JSON (see PERFORMANCE.md)")
 		benchOut   = flag.String("bench-out", "", "path for the -bench-report output ('' = stdout)")
-		benchLabel = flag.String("bench-label", "008", "baseline label embedded in the -bench-report output")
+		benchLabel = flag.String("bench-label", "009", "baseline label embedded in the -bench-report output")
 		benchScale = flag.Float64("bench-scale", 1, "perf suite workload scale; reports only compare at equal scale")
 		benchTime  = flag.Duration("bench-time", time.Second,
 			"minimum measured duration per perf benchmark (CI turns this down, not -bench-scale)")
@@ -125,7 +135,8 @@ func run() int {
 		eclipseFrac: *eclipseFrac, selfishAlpha: *selfishAlpha, selfishGamma: *selfishGamma,
 		withholdWeight: *withholdWeight, partitionFrac: *partitionFrac,
 		churnNodes: *churnNodes, dsTrials: *dsTrials,
-		syncPullBatch: *syncPullBatch, backlogCap: *backlogCap,
+		syncPullBatch: *syncPullBatch, backlogCap: *backlogCap, backlogTTL: *backlogTTL,
+		queue: *queue, megaNodes: *megaNodes,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -159,8 +170,11 @@ func run() int {
 		WithholdWeight:    *withholdWeight,
 		DepthSweep:        *depthSweep,
 		Shards:            *shards,
+		Queue:             *queue,
+		MegaNodes:         *megaNodes,
 		SyncPullBatch:     *syncPullBatch,
 		BacklogCap:        *backlogCap,
+		BacklogTTL:        *backlogTTL,
 	}
 	selected := core.Experiments()
 	if *experiment != "all" {
@@ -192,7 +206,9 @@ func run() int {
 // knobRanges carries the adversary/fault flag values into validation.
 type knobRanges struct {
 	eclipseFrac, selfishAlpha, selfishGamma, withholdWeight, partitionFrac float64
-	churnNodes, dsTrials, syncPullBatch, backlogCap                        int
+	churnNodes, dsTrials, syncPullBatch, backlogCap, megaNodes             int
+	backlogTTL                                                             time.Duration
+	queue                                                                  string
 }
 
 // validateKnobs rejects out-of-range adversary and fault knobs with the
@@ -224,6 +240,15 @@ func validateKnobs(k knobRanges) error {
 	}
 	if k.backlogCap < 0 || k.backlogCap > 1<<20 {
 		return fmt.Errorf("-backlog-cap %d out of range: want a buffer bound in [0, %d]", k.backlogCap, 1<<20)
+	}
+	if k.backlogTTL < 0 || k.backlogTTL > 24*time.Hour {
+		return fmt.Errorf("-backlog-ttl %v out of range: want an age bound in [0, 24h]", k.backlogTTL)
+	}
+	if _, err := sim.ParseQueue(k.queue); err != nil {
+		return fmt.Errorf("-queue %q unknown: want heap or calendar", k.queue)
+	}
+	if k.megaNodes < 0 || k.megaNodes > 10_000_000 {
+		return fmt.Errorf("-mega-nodes %d out of range: want a node count in [0, 10000000]", k.megaNodes)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // Out-of-range adversary knobs must be rejected with the flag name in
@@ -16,9 +17,13 @@ func TestValidateKnobs(t *testing.T) {
 	if err := validateKnobs(knobRanges{
 		eclipseFrac: 1, selfishAlpha: 0.45, selfishGamma: 1,
 		withholdWeight: 1, partitionFrac: 0.5, churnNodes: 3, dsTrials: 10,
-		syncPullBatch: 65536, backlogCap: 1 << 20,
+		syncPullBatch: 65536, backlogCap: 1 << 20, backlogTTL: 24 * time.Hour,
+		queue: "calendar", megaNodes: 10_000_000,
 	}); err != nil {
 		t.Fatalf("in-range knobs rejected: %v", err)
+	}
+	if err := validateKnobs(knobRanges{queue: "heap"}); err != nil {
+		t.Fatalf("-queue heap rejected: %v", err)
 	}
 	bad := []struct {
 		flag string
@@ -39,6 +44,11 @@ func TestValidateKnobs(t *testing.T) {
 		{"-sync-pull-batch", knobRanges{syncPullBatch: 65537}},
 		{"-backlog-cap", knobRanges{backlogCap: -8}},
 		{"-backlog-cap", knobRanges{backlogCap: 1<<20 + 1}},
+		{"-backlog-ttl", knobRanges{backlogTTL: -time.Second}},
+		{"-backlog-ttl", knobRanges{backlogTTL: 25 * time.Hour}},
+		{"-queue", knobRanges{queue: "fibonacci"}},
+		{"-mega-nodes", knobRanges{megaNodes: -1}},
+		{"-mega-nodes", knobRanges{megaNodes: 10_000_001}},
 	}
 	for _, c := range bad {
 		err := validateKnobs(c.k)

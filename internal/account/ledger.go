@@ -224,7 +224,7 @@ func (m *Mempool) Candidates(state *State) []*Tx {
 		if a.GasPrice != b.GasPrice {
 			return a.GasPrice > b.GasPrice
 		}
-		return a.From.Hex() < b.From.Hex()
+		return a.From.Less(b.From)
 	})
 	var out []*Tx
 	for _, r := range runs {
@@ -257,7 +257,7 @@ func NewLedger(alloc map[keys.Address]uint64, params Params) (*Ledger, error) {
 	for a := range alloc {
 		addrs = append(addrs, a)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Hex() < addrs[j].Hex() })
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
 	for _, a := range addrs {
 		state.SetAccount(a, Account{Balance: alloc[a]})
 	}

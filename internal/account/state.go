@@ -26,11 +26,13 @@ type Account struct {
 // IsContract reports whether the account carries code.
 func (a Account) IsContract() bool { return len(a.Code) > 0 }
 
-// encode serializes an account for trie storage.
-func (a Account) encode() []byte {
-	buf := make([]byte, 16, 16+len(a.Code))
-	binary.BigEndian.PutUint64(buf[0:], a.Nonce)
-	binary.BigEndian.PutUint64(buf[8:], a.Balance)
+// appendEncode serializes an account for trie storage into buf. Hot
+// callers pass a stack scratch; the trie copies what it stores.
+func (a Account) appendEncode(buf []byte) []byte {
+	var fixed [16]byte
+	binary.BigEndian.PutUint64(fixed[0:], a.Nonce)
+	binary.BigEndian.PutUint64(fixed[8:], a.Balance)
+	buf = append(buf, fixed[:]...)
 	return append(buf, a.Code...)
 }
 
@@ -55,19 +57,25 @@ const (
 	storagePrefix = 0x0B
 )
 
-func accountKey(addr keys.Address) []byte {
-	key := make([]byte, 1+keys.AddressSize)
-	key[0] = accountPrefix
-	copy(key[1:], addr[:])
-	return key
+// Key buffers live on the caller's stack: the trie never retains the
+// key slice (it expands keys to nibbles), so per-access heap keys were
+// pure allocator churn on the state's hottest paths.
+
+type accountKeyBuf [1 + keys.AddressSize]byte
+
+func accountKey(buf *accountKeyBuf, addr keys.Address) []byte {
+	buf[0] = accountPrefix
+	copy(buf[1:], addr[:])
+	return buf[:]
 }
 
-func storageKey(addr keys.Address, slot uint64) []byte {
-	key := make([]byte, 1+keys.AddressSize+8)
-	key[0] = storagePrefix
-	copy(key[1:], addr[:])
-	binary.BigEndian.PutUint64(key[1+keys.AddressSize:], slot)
-	return key
+type storageKeyBuf [1 + keys.AddressSize + 8]byte
+
+func storageKey(buf *storageKeyBuf, addr keys.Address, slot uint64) []byte {
+	buf[0] = storagePrefix
+	copy(buf[1:], addr[:])
+	binary.BigEndian.PutUint64(buf[1+keys.AddressSize:], slot)
+	return buf[:]
 }
 
 // State is a mutable view over the persistent state trie. Mutations
@@ -78,8 +86,12 @@ type State struct {
 	t *trie.Trie
 }
 
-// NewState returns an empty world state.
-func NewState() *State { return &State{t: trie.Empty()} }
+// NewState returns an empty world state. The trie lineage is arena-
+// backed: every snapshot and checkpoint derived from it carves nodes
+// from shared slabs, which cuts the per-transaction allocation count by
+// an order of magnitude. Ledgers mutate state single-threaded (Copy
+// checkpoints included), which is what the shared arena requires.
+func NewState() *State { return &State{t: trie.EmptyArena()} }
 
 // StateAt wraps an existing trie snapshot.
 func StateAt(t *trie.Trie) *State { return &State{t: t} }
@@ -95,7 +107,8 @@ func (s *State) Root() hashx.Hash { return s.t.Root() }
 
 // GetAccount fetches an account; missing accounts read as zero.
 func (s *State) GetAccount(addr keys.Address) Account {
-	raw, ok := s.t.Get(accountKey(addr))
+	var kb accountKeyBuf
+	raw, ok := s.t.Get(accountKey(&kb, addr))
 	if !ok {
 		return Account{}
 	}
@@ -105,11 +118,13 @@ func (s *State) GetAccount(addr keys.Address) Account {
 // SetAccount stores an account. Zero-valued accounts without code are
 // deleted, keeping the trie canonical.
 func (s *State) SetAccount(addr keys.Address, a Account) {
+	var kb accountKeyBuf
 	if a.Nonce == 0 && a.Balance == 0 && len(a.Code) == 0 {
-		s.t = s.t.Delete(accountKey(addr))
+		s.t = s.t.Delete(accountKey(&kb, addr))
 		return
 	}
-	s.t = s.t.Put(accountKey(addr), a.encode())
+	var vb [64]byte
+	s.t = s.t.Put(accountKey(&kb, addr), a.appendEncode(vb[:0]))
 }
 
 // Balance returns an address's balance.
@@ -141,7 +156,8 @@ func (s *State) BumpNonce(addr keys.Address) {
 
 // GetStorage reads a contract storage slot (zero when unset).
 func (s *State) GetStorage(addr keys.Address, slot uint64) uint64 {
-	raw, ok := s.t.Get(storageKey(addr, slot))
+	var kb storageKeyBuf
+	raw, ok := s.t.Get(storageKey(&kb, addr, slot))
 	if !ok || len(raw) != 8 {
 		return 0
 	}
@@ -150,7 +166,8 @@ func (s *State) GetStorage(addr keys.Address, slot uint64) uint64 {
 
 // SetStorage writes a contract storage slot; zero deletes the entry.
 func (s *State) SetStorage(addr keys.Address, slot, value uint64) {
-	key := storageKey(addr, slot)
+	var kb storageKeyBuf
+	key := storageKey(&kb, addr, slot)
 	if value == 0 {
 		s.t = s.t.Delete(key)
 		return

@@ -40,9 +40,10 @@ const txWireOverhead = keys.AddressSize + 8 + keys.AddressSize + 8 + 8 + 8 +
 // EncodedSize returns the modeled wire size.
 func (tx *Tx) EncodedSize() int { return txWireOverhead + len(tx.Data) }
 
-// sigBytes serializes the signed portion.
-func (tx *Tx) sigBytes() []byte {
-	buf := make([]byte, 0, txWireOverhead+len(tx.Data))
+// appendSigBytes serializes the signed portion into buf. Callers hand
+// in a stack scratch sized for data-free transactions — SigHash and ID
+// run per signature check, so a heap buffer each was allocator churn.
+func (tx *Tx) appendSigBytes(buf []byte) []byte {
 	buf = append(buf, tx.From[:]...)
 	var scratch [8]byte
 	binary.BigEndian.PutUint64(scratch[:], tx.Nonce)
@@ -60,12 +61,20 @@ func (tx *Tx) sigBytes() []byte {
 	return append(buf, tx.Data...)
 }
 
+// sigScratch holds a data-free transaction's full wire form (signature
+// fields included) without spilling to the heap.
+type sigScratch [txWireOverhead + 64]byte
+
 // SigHash is the digest the sender signs.
-func (tx *Tx) SigHash() hashx.Hash { return hashx.Sum(tx.sigBytes()) }
+func (tx *Tx) SigHash() hashx.Hash {
+	var sb sigScratch
+	return hashx.Sum(tx.appendSigBytes(sb[:0]))
+}
 
 // ID is the transaction identifier (covers the signature).
 func (tx *Tx) ID() hashx.Hash {
-	buf := tx.sigBytes()
+	var sb sigScratch
+	buf := tx.appendSigBytes(sb[:0])
 	buf = append(buf, tx.PubKey...)
 	buf = append(buf, tx.Sig...)
 	return hashx.Sum(buf)
@@ -110,9 +119,8 @@ func (r *Receipt) receiptWireSize() int {
 	return hashx.Size + 1 + 8 + 8 + 8*len(r.Logs) + keys.AddressSize
 }
 
-// encode serializes the receipt for Merkle commitment.
-func (r *Receipt) encode() []byte {
-	buf := make([]byte, 0, r.receiptWireSize())
+// appendEncode serializes the receipt for Merkle commitment into buf.
+func (r *Receipt) appendEncode(buf []byte) []byte {
 	buf = append(buf, r.TxID[:]...)
 	buf = append(buf, r.Status)
 	var scratch [8]byte
@@ -127,11 +135,14 @@ func (r *Receipt) encode() []byte {
 	return append(buf, r.Contract[:]...)
 }
 
-// ReceiptsRoot is the Merkle root over encoded receipts.
+// ReceiptsRoot is the Merkle root over encoded receipts. One scratch
+// buffer serves the whole batch — HashLeaf consumes, never retains.
 func ReceiptsRoot(receipts []*Receipt) hashx.Hash {
 	leaves := make([]hashx.Hash, len(receipts))
+	var buf []byte
 	for i, r := range receipts {
-		leaves[i] = merkle.HashLeaf(r.encode())
+		buf = r.appendEncode(buf[:0])
+		leaves[i] = merkle.HashLeaf(buf)
 	}
 	return merkle.RootOfHashes(leaves)
 }

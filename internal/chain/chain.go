@@ -291,16 +291,21 @@ type Store struct {
 	orphanLimit   int
 	orphanCount   int
 	orphanEvicted int
-	orphanOrder   []*Block
+	orphanOrder   []orphanEntry
 	onOrphanEvict func(*Block)
-	genesis       hashx.Hash
-	tip           hashx.Hash
-	mainAt        map[uint64]hashx.Hash // height -> main chain hash
-	onMain        map[hashx.Hash]bool
-	reorgs        int
-	maxReorg      int
-	sideSeen      int
-	added         int
+	// orphanTTL evicts orphans by age instead of only by count: a block
+	// parked longer than the TTL is dropped even while the pool is under
+	// its count bound. Zero (or a nil clock) disables it.
+	orphanTTL time.Duration
+	clock     func() time.Duration
+	genesis   hashx.Hash
+	tip       hashx.Hash
+	mainAt    map[uint64]hashx.Hash // height -> main chain hash
+	onMain    map[hashx.Hash]bool
+	reorgs    int
+	maxReorg  int
+	sideSeen  int
+	added     int
 }
 
 // ErrUnknownBlock is returned by queries for hashes the store never saw.
@@ -379,6 +384,7 @@ func (s *Store) CumulativeWork(h hashx.Hash) (float64, error) {
 // describe the first block, and Adopted lists every orphan the insertion
 // cascaded in so state layers can replay their effects too.
 func (s *Store) Add(b *Block) AddResult {
+	s.expireOrphans()
 	res := s.addOne(b)
 	if res.Status == Accepted || res.Status == AcceptedSide || res.Status == AcceptedReorg {
 		res.Adopted = s.adoptOrphansOf(b.Hash())
@@ -524,12 +530,23 @@ func (s *Store) OrphanPoolSize() int {
 // time; only a flood of parentless blocks reaches the bound.
 const DefaultOrphanLimit = 512
 
+// orphanEntry pairs a parked block with its arrival time (clock time,
+// meaningful only while a clock is installed).
+type orphanEntry struct {
+	b  *Block
+	at time.Duration
+}
+
 // parkOrphan buffers a parentless block and enforces the backlog bound,
 // evicting oldest-first past the cap.
 func (s *Store) parkOrphan(b *Block) {
+	e := orphanEntry{b: b}
+	if s.clock != nil {
+		e.at = s.clock()
+	}
 	s.orphans[b.Header.Parent] = append(s.orphans[b.Header.Parent], b)
 	s.orphanCount++
-	s.orphanOrder = append(s.orphanOrder, b)
+	s.orphanOrder = append(s.orphanOrder, e)
 	limit := s.orphanLimit
 	if limit <= 0 {
 		limit = DefaultOrphanLimit
@@ -559,7 +576,7 @@ func (s *Store) orphanLive(b *Block) bool {
 // false if every order entry was stale.
 func (s *Store) evictOldestOrphan() bool {
 	for len(s.orphanOrder) > 0 {
-		b := s.orphanOrder[0]
+		b := s.orphanOrder[0].b
 		s.orphanOrder = s.orphanOrder[1:]
 		if !s.orphanLive(b) {
 			continue
@@ -591,17 +608,48 @@ func (s *Store) evictOldestOrphan() bool {
 // proportional to the live pool.
 func (s *Store) compactOrphanOrder() {
 	live := s.orphanOrder[:0]
-	for _, b := range s.orphanOrder {
-		if s.orphanLive(b) {
-			live = append(live, b)
+	for _, e := range s.orphanOrder {
+		if s.orphanLive(e.b) {
+			live = append(live, e)
 		}
 	}
 	s.orphanOrder = live
 }
 
+// expireOrphans evicts parked blocks whose age exceeds the TTL. FIFO
+// order is also time order (the clock is monotonic), so only the front
+// is ever inspected — O(1) amortized per call.
+func (s *Store) expireOrphans() {
+	if s.orphanTTL <= 0 || s.clock == nil {
+		return
+	}
+	cutoff := s.clock() - s.orphanTTL
+	for len(s.orphanOrder) > 0 {
+		e := s.orphanOrder[0]
+		if !s.orphanLive(e.b) {
+			s.orphanOrder = s.orphanOrder[1:]
+			continue
+		}
+		if e.at > cutoff {
+			return
+		}
+		s.evictOldestOrphan()
+	}
+}
+
 // SetOrphanLimit overrides the orphan-pool bound (n <= 0 restores
 // DefaultOrphanLimit). The new bound applies from the next parked block.
 func (s *Store) SetOrphanLimit(n int) { s.orphanLimit = n }
+
+// SetOrphanTTL enables age-based orphan eviction: a parked block older
+// than ttl is dropped on the next Add, even while the pool is under its
+// count bound (ttl <= 0 disables). Requires a clock (SetClock).
+func (s *Store) SetOrphanTTL(ttl time.Duration) { s.orphanTTL = ttl }
+
+// SetClock installs the time source TTL eviction stamps and expires
+// against — simulation time in the network layers, so eviction stays
+// deterministic.
+func (s *Store) SetClock(now func() time.Duration) { s.clock = now }
 
 // SetOrphanEvicted installs a hook invoked for each evicted orphan —
 // network layers use it to unmark dedup state and schedule a re-pull.

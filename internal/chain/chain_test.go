@@ -322,6 +322,58 @@ func TestOrphanPoolBounded(t *testing.T) {
 	}
 }
 
+// An orphan whose parent never shows up must not wait forever: once its
+// age exceeds the TTL it is evicted on the next Add, even while the
+// pool is far under its count bound.
+func TestOrphanTTLEviction(t *testing.T) {
+	s, g := newStore(t, LongestChain)
+	now := time.Duration(0)
+	s.SetClock(func() time.Duration { return now })
+	s.SetOrphanTTL(10 * time.Second)
+	var evicted []*Block
+	s.SetOrphanEvicted(func(b *Block) { evicted = append(evicted, b) })
+
+	// child arrives without its parent and parks at t=0.
+	parent := mkBlock(g, 1, 1)
+	child := mkBlock(parent, 2, 1)
+	if res := s.Add(child); res.Status != Orphaned {
+		t.Fatalf("child = %v", res.Status)
+	}
+
+	// Under the TTL, unrelated arrivals leave the orphan alone.
+	now = 9 * time.Second
+	b1 := mkBlock(g, 3, 1)
+	if res := s.Add(b1); res.Status != Accepted {
+		t.Fatalf("b1 = %v", res.Status)
+	}
+	if s.OrphanPoolSize() != 1 {
+		t.Fatalf("orphan pool = %d before the TTL elapsed", s.OrphanPoolSize())
+	}
+
+	// Past the TTL, the next arrival expires it.
+	now = 20 * time.Second
+	b2 := mkBlock(b1, 4, 1)
+	if res := s.Add(b2); res.Status != Accepted {
+		t.Fatalf("b2 = %v", res.Status)
+	}
+	if s.OrphanPoolSize() != 0 {
+		t.Fatalf("orphan pool = %d after the TTL elapsed", s.OrphanPoolSize())
+	}
+	if s.OrphanEvictions() != 1 {
+		t.Fatalf("OrphanEvictions = %d, want 1", s.OrphanEvictions())
+	}
+	if len(evicted) != 1 || evicted[0].Hash() != child.Hash() {
+		t.Fatalf("eviction hook saw %d blocks", len(evicted))
+	}
+	// The parent arriving later must not resurrect the evicted child.
+	if res := s.Add(parent); res.Status == Orphaned {
+		t.Fatalf("parent = %v", res.Status)
+	}
+	if _, ok := s.Get(child.Hash()); ok {
+		t.Fatal("evicted orphan was adopted after its TTL expiry")
+	}
+}
+
 func TestCumulativeWork(t *testing.T) {
 	s, g := newStore(t, HeaviestChain)
 	b1 := mkBlock(g, 1, 5)

@@ -391,7 +391,7 @@ func NewNetwork() *Network {
 }
 
 func pairKey(x, y keys.Address) [2]keys.Address {
-	if x.Hex() > y.Hex() {
+	if y.Less(x) {
 		x, y = y, x
 	}
 	return [2]keys.Address{x, y}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/sim"
 )
 
 // Paradigm tags which side of the comparison a system belongs to.
@@ -98,6 +99,22 @@ type Config struct {
 	// identical for every value — pinned by test, like Workers — so it is
 	// a pure capacity knob for mega-scale runs. <= 0 means 1.
 	Shards int
+	// Queue selects the event-queue backend every simulated network runs
+	// on: "heap" (the default, also "") or "calendar" (sim.ParseQueue).
+	// Both backends pop in the identical (time, sequence) order — pinned
+	// by invariance and fuzz tests — so every table is byte-identical
+	// under either; the calendar queue keeps per-operation cost flat at
+	// mega-scale pending-event populations. Unknown spellings fall back
+	// to the heap (dltbench validates user input before it gets here).
+	Queue string
+	// MegaNodes appends one extra node-count point to E19's sweep on
+	// both paradigms — the 10⁶-node frontier. The point is time- and
+	// memory-budgeted: it reuses the fixed sweep workload, keeps the
+	// sweep's scaled horizon, and caps latency-histogram storage via
+	// streaming quantiles, so it completes under a pinned memory-per-
+	// node budget (pinned by test). <= 0 (the default) keeps the
+	// historical sweep byte-identical.
+	MegaNodes int
 	// DepthSweep adds E18's confirmation-depth sweep rows: the executed
 	// chain double spend rerun for merchant rules z = 1…6 against two
 	// attack-window lengths, with the E15 analytic catch-up odds beside
@@ -113,6 +130,12 @@ type Config struct {
 	// orphan pool (netsim's BacklogCap knobs). <= 0 keeps the package
 	// defaults.
 	BacklogCap int
+	// BacklogTTL evicts E20's parked backlog blocks by age (simulation
+	// time): a gap or orphan older than the TTL is dropped on the next
+	// arrival even while its buffer is under BacklogCap. <= 0 (the
+	// default) disables age-based eviction and keeps tables
+	// byte-identical.
+	BacklogTTL time.Duration
 }
 
 // withDefaults fills zero values.
@@ -147,7 +170,20 @@ func (c Config) withDefaults() Config {
 	if c.Shards < 1 {
 		c.Shards = 1
 	}
+	if c.MegaNodes < 0 {
+		c.MegaNodes = 0
+	}
+	if c.BacklogTTL < 0 {
+		c.BacklogTTL = 0
+	}
 	return c
+}
+
+// queue resolves the Queue knob to its sim backend; unknown spellings
+// fall back to the heap default.
+func (c Config) queue() sim.QueueBackend {
+	b, _ := sim.ParseQueue(c.Queue)
+	return b
 }
 
 // dur scales a baseline duration.

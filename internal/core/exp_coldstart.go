@@ -52,15 +52,16 @@ func e20Chain(cfg Config, factor int) ([]string, error) {
 	}
 	net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
 		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(100+factor), Shards: cfg.Shards,
+			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(100+factor), Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
+			SampleBudget: e19SampleBudget,
 		},
 		HashRates:     rates,
 		BlockInterval: cfg.dur(10 * time.Second),
 		// Accounts stop short of the cold node's index: every home ledger
 		// building payments is a live one.
 		Accounts: 8, InitialBalance: 1 << 30,
-		BacklogCap: cfg.BacklogCap,
+		BacklogCap: cfg.BacklogCap, BacklogTTL: cfg.BacklogTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -89,11 +90,12 @@ func e20Nano(cfg Config, factor int) ([]string, error) {
 	const nodes, cold = 8, 7
 	net, err := netsim.NewNano(netsim.NanoConfig{
 		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(200+factor), Shards: cfg.Shards,
+			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(200+factor), Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
+			SampleBudget: e19SampleBudget,
 		},
 		Accounts: e19Accounts, Reps: 4, Workers: cfg.Workers,
-		BacklogCap: cfg.BacklogCap,
+		BacklogCap: cfg.BacklogCap, BacklogTTL: cfg.BacklogTTL,
 	})
 	if err != nil {
 		return nil, err

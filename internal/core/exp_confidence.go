@@ -28,7 +28,7 @@ func RunE4Forks(ctx context.Context, cfg Config) (*metrics.Table, error) {
 		}
 		net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
 			Net: netsim.NetParams{
-				Nodes: 12, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards,
+				Nodes: 12, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards, Queue: cfg.queue(),
 				MinLatency: 200 * time.Millisecond,
 				MaxLatency: 2 * time.Second,
 			},
@@ -98,7 +98,7 @@ func RunE6VoteConfirmation(ctx context.Context, cfg Config) (*metrics.Table, err
 			}
 			net, err := netsim.NewNano(netsim.NanoConfig{
 				Net: netsim.NetParams{
-					Nodes: 10, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards,
+					Nodes: 10, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards, Queue: cfg.queue(),
 					MinLatency: 20 * time.Millisecond, MaxLatency: 120 * time.Millisecond,
 				},
 				Accounts:       24,

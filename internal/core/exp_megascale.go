@@ -26,9 +26,18 @@ import (
 // e19BaseCounts is the unscaled node-count sweep (10² → 10⁵).
 var e19BaseCounts = []int{100, 1_000, 10_000, 100_000}
 
+// e19SampleBudget caps exact latency-sample storage per histogram. The
+// golden-scale and default sweeps stay far below it — their histograms
+// remain exact and the tables byte-identical — while the 10⁵/10⁶-node
+// points, whose propagation columns would otherwise hold one float64
+// per node per block, collapse into O(1)-memory streaming quantiles.
+const e19SampleBudget = 1 << 18
+
 // e19NodeCounts scales the sweep by cfg.Scale, floors every point at 8
 // nodes (the smallest network with the standard peer degree) and drops
-// collapsed duplicates, keeping ascending order.
+// collapsed duplicates, keeping ascending order. A positive
+// cfg.MegaNodes appends the unscaled frontier point (10⁶ in the
+// mega-scale runs) when it extends the sweep.
 func e19NodeCounts(cfg Config) []int {
 	var out []int
 	for _, base := range e19BaseCounts {
@@ -39,6 +48,9 @@ func e19NodeCounts(cfg Config) []int {
 		if len(out) == 0 || n > out[len(out)-1] {
 			out = append(out, n)
 		}
+	}
+	if n := cfg.MegaNodes; n >= 8 && (len(out) == 0 || n > out[len(out)-1]) {
+		out = append(out, n)
 	}
 	return out
 }
@@ -95,8 +107,9 @@ func e19Row(system string, nodes int, events uint64, msgs int, traffic int64, tp
 func e19Chain(cfg Config, nodes int) ([]string, error) {
 	net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
 		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(nodes), Shards: cfg.Shards,
+			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(nodes), Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
+			SampleBudget: e19SampleBudget,
 		},
 		BlockInterval: cfg.dur(30 * time.Second), Accounts: e19Accounts, InitialBalance: 1 << 30,
 	})
@@ -125,8 +138,9 @@ func e19Chain(cfg Config, nodes int) ([]string, error) {
 func e19Nano(cfg Config, nodes int) ([]string, error) {
 	net, err := netsim.NewNano(netsim.NanoConfig{
 		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(nodes) + 1, Shards: cfg.Shards,
+			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(nodes) + 1, Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
+			SampleBudget: e19SampleBudget,
 		},
 		Accounts: e19Accounts, Reps: 4, Workers: cfg.Workers,
 	})

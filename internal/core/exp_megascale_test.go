@@ -8,8 +8,12 @@ package core
 
 import (
 	"context"
+	"os"
+	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func renderE19(t *testing.T, cfg Config) string {
@@ -62,6 +66,66 @@ func TestE19RowsCarryTraffic(t *testing.T) {
 		if row[7] == "0" {
 			t.Fatalf("zero-event sweep row: %v", row)
 		}
+	}
+}
+
+// MegaNodes must append exactly one unscaled frontier point, and only
+// when it actually extends the sweep.
+func TestE19MegaNodesAppendsPoint(t *testing.T) {
+	counts := e19NodeCounts(Config{Scale: 0.02, MegaNodes: 1_000_000}.withDefaults())
+	if counts[len(counts)-1] != 1_000_000 {
+		t.Fatalf("sweep %v missing the 10^6 frontier point", counts)
+	}
+	// A frontier point inside the existing sweep is dropped, not inserted.
+	counts = e19NodeCounts(Config{Scale: 1, MegaNodes: 50_000}.withDefaults())
+	if counts[len(counts)-1] != 100_000 {
+		t.Fatalf("non-extending MegaNodes altered the sweep: %v", counts)
+	}
+}
+
+// e19MegaBudgetPerNode bounds the heap high-water mark, in bytes per
+// node, of the 10^6-node chain-side frontier point. The measured cost
+// is ~37 KB/node — every node owns a full UTXO ledger replica (store,
+// utxo set, mempool) on top of the struct-of-arrays network state, and
+// HeapSys carries the GC's ~2x headroom over live bytes. The budget
+// leaves ~25% for allocator variance while still failing loudly if a
+// layout change regresses per-node cost — at a million nodes, every
+// stray KB/node is another GB of RAM.
+const e19MegaBudgetPerNode = 48 << 10
+
+// TestE19MegaFrontier drives the chain-side sweep to the million-node
+// frontier and pins the per-node memory budget. The point costs minutes
+// of wall clock on one core, so it only runs when DLT_MEGA=1 (the CI
+// e19-smoke lane sets it).
+func TestE19MegaFrontier(t *testing.T) {
+	if os.Getenv("DLT_MEGA") == "" {
+		t.Skip("set DLT_MEGA=1 to run the 10^6-node frontier point")
+	}
+	const nodes = 1_000_000
+	cfg := Config{Seed: 11, Scale: 0.02, MegaNodes: nodes}.withDefaults()
+	row, err := e19Chain(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[1] != metrics.I(nodes) {
+		t.Fatalf("frontier row reports %s nodes, want %s", row[1], metrics.I(nodes))
+	}
+	if row[2] == "0.00" {
+		t.Fatalf("frontier point settled no traffic: %v", row)
+	}
+
+	// HeapSys is the high-water mark of heap address space the run ever
+	// asked the OS for — the number that decides whether the frontier
+	// fits a machine, unlike post-GC live bytes.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	perNode := float64(ms.HeapSys) / nodes
+	t.Logf("frontier row: %v", row)
+	t.Logf("heap high-water: %.0f MiB total, %.0f B/node (budget %d B/node)",
+		float64(ms.HeapSys)/(1<<20), perNode, e19MegaBudgetPerNode)
+	if perNode > e19MegaBudgetPerNode {
+		t.Fatalf("heap high-water %.0f B/node exceeds the %d B/node budget",
+			perNode, e19MegaBudgetPerNode)
 	}
 }
 

@@ -41,7 +41,7 @@ func e9Bitcoin(cfg Config, faults *netsim.FaultSchedule) (netsim.ChainMetrics, b
 	btcParams.GenesisOutputsPerAccount = 64
 	btc, err := netsim.NewBitcoin(netsim.BitcoinConfig{
 		Net: netsim.NetParams{
-			Nodes: 8, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards,
+			Nodes: 8, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 50 * time.Millisecond, MaxLatency: 500 * time.Millisecond,
 		},
 		Ledger: btcParams, BlockInterval: 30 * time.Second,
@@ -73,7 +73,7 @@ func e9Nano(cfg Config, batch int, window time.Duration, faults *netsim.FaultSch
 	nanoDur := e9NanoDur(cfg)
 	nano, err := netsim.NewNano(netsim.NanoConfig{
 		Net: netsim.NetParams{
-			Nodes: 8, PeerDegree: 3, Seed: cfg.Seed + 3, Shards: cfg.Shards,
+			Nodes: 8, PeerDegree: 3, Seed: cfg.Seed + 3, Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 10 * time.Millisecond, MaxLatency: 80 * time.Millisecond,
 		},
 		Accounts: 64, Reps: 4, Workers: cfg.Workers,
@@ -132,7 +132,7 @@ func RunE9Throughput(ctx context.Context, cfg Config) (*metrics.Table, error) {
 
 	net8 := func(seed int64) netsim.NetParams {
 		return netsim.NetParams{
-			Nodes: 8, PeerDegree: 3, Seed: seed, Shards: cfg.Shards,
+			Nodes: 8, PeerDegree: 3, Seed: seed, Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 50 * time.Millisecond, MaxLatency: 500 * time.Millisecond,
 		}
 	}
@@ -256,7 +256,7 @@ func RunE10BlockSize(ctx context.Context, cfg Config) (*metrics.Table, error) {
 		params.GenesisOutputsPerAccount = 64
 		net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
 			Net: netsim.NetParams{
-				Nodes: 10, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards,
+				Nodes: 10, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards, Queue: cfg.queue(),
 				MinLatency:  50 * time.Millisecond,
 				MaxLatency:  300 * time.Millisecond,
 				BytesPerSec: 100_000, // consumer-grade links
@@ -452,7 +452,7 @@ func RunE12Sharding(ctx context.Context, cfg Config) (*metrics.Table, error) {
 		pt := points[idx]
 		net, err := netsim.NewNano(netsim.NanoConfig{
 			Net: netsim.NetParams{
-				Nodes: 8, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards,
+				Nodes: 8, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards, Queue: cfg.queue(),
 				MinLatency: 10 * time.Millisecond, MaxLatency: 60 * time.Millisecond,
 			},
 			Accounts: 64, Reps: 4, Workers: cfg.Workers,

@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/pow"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -57,7 +58,7 @@ func e16Fracs(cfg Config) []float64 {
 func e16Bitcoin(cfg Config, frac float64) ([]string, error) {
 	net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
 		Net: netsim.NetParams{
-			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 11, Shards: cfg.Shards,
+			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 11, Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 20 * time.Millisecond, MaxLatency: 150 * time.Millisecond,
 		},
 		BlockInterval: 15 * time.Second, Accounts: 64, InitialBalance: 1 << 32,
@@ -88,7 +89,7 @@ func e16Bitcoin(cfg Config, frac float64) ([]string, error) {
 func e16Nano(cfg Config, frac float64) ([]string, error) {
 	net, err := netsim.NewNano(netsim.NanoConfig{
 		Net: netsim.NetParams{
-			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 13, Shards: cfg.Shards,
+			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 13, Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 10 * time.Millisecond, MaxLatency: 60 * time.Millisecond,
 		},
 		Accounts: 40, Reps: 4, Workers: cfg.Workers,
@@ -175,7 +176,7 @@ const e17SelfishNodes = 8
 // The threshold test reuses this constructor at longer horizons, so the
 // network the classic-threshold assertions run on is exactly the one the
 // E17 table sweeps.
-func e17SelfishNet(seed int64, alpha float64, shards int) (*netsim.BitcoinNet, error) {
+func e17SelfishNet(seed int64, alpha float64, shards int, queue sim.QueueBackend) (*netsim.BitcoinNet, error) {
 	const nodes = e17SelfishNodes
 	rates := make([]float64, nodes)
 	for i := 0; i < nodes-1; i++ {
@@ -187,7 +188,7 @@ func e17SelfishNet(seed int64, alpha float64, shards int) (*netsim.BitcoinNet, e
 	}
 	return netsim.NewBitcoin(netsim.BitcoinConfig{
 		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 3, Seed: seed, Shards: shards,
+			Nodes: nodes, PeerDegree: 3, Seed: seed, Shards: shards, Queue: queue,
 			MinLatency: 20 * time.Millisecond, MaxLatency: 150 * time.Millisecond,
 		},
 		BlockInterval: 10 * time.Second, Accounts: 32, InitialBalance: 1 << 32,
@@ -203,7 +204,7 @@ func e17SelfishNet(seed int64, alpha float64, shards int) (*netsim.BitcoinNet, e
 // itself.
 func e17Selfish(cfg Config, alpha float64) ([]string, error) {
 	const nodes = e17SelfishNodes
-	net, err := e17SelfishNet(cfg.Seed+17, alpha, cfg.Shards)
+	net, err := e17SelfishNet(cfg.Seed+17, alpha, cfg.Shards, cfg.queue())
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +256,7 @@ func e17Selfish(cfg Config, alpha float64) ([]string, error) {
 func e17Withhold(cfg Config, w float64) ([]string, error) {
 	net, err := netsim.NewNano(netsim.NanoConfig{
 		Net: netsim.NetParams{
-			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 19, Shards: cfg.Shards,
+			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 19, Shards: cfg.Shards, Queue: cfg.queue(),
 			MinLatency: 10 * time.Millisecond, MaxLatency: 60 * time.Millisecond,
 		},
 		Accounts: 40, Reps: 8, Workers: cfg.Workers,

@@ -6,6 +6,7 @@
 package keys
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"encoding/binary"
 	"encoding/hex"
@@ -34,6 +35,13 @@ func (a Address) Hex() string { return hex.EncodeToString(a[:]) }
 
 // IsZero reports whether a is the zero address.
 func (a Address) IsZero() bool { return a == ZeroAddress }
+
+// Less orders addresses bytewise — the same order as comparing Hex()
+// strings, without the per-comparison encoding. Sort comparators in the
+// deterministic-ordering hot paths use this.
+func (a Address) Less(b Address) bool {
+	return bytes.Compare(a[:], b[:]) < 0
+}
 
 // Bytes returns the address as a fresh byte slice.
 func (a Address) Bytes() []byte {

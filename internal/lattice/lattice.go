@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/hashx"
 	"repro/internal/keys"
@@ -294,14 +295,21 @@ type Lattice struct {
 	gapEvicted int
 	gapOrder   []gapEntry
 	onGapEvict func(*Block)
-	supply     uint64
-	genesis    hashx.Hash
+	// gapTTL evicts parked blocks by age instead of only by count: a
+	// block parked longer than the TTL is dropped even while the buffer
+	// is under its count bound. Zero (or a nil clock) disables it.
+	gapTTL  time.Duration
+	clock   func() time.Duration
+	supply  uint64
+	genesis hashx.Hash
 }
 
-// gapEntry remembers where a parked block went: the gapSource buffer
-// (src) or the gapPrev buffer.
+// gapEntry remembers where a parked block went — the gapSource buffer
+// (src) or the gapPrev buffer — and when it was parked (clock time,
+// meaningful only while a clock is installed).
 type gapEntry struct {
 	b   *Block
+	at  time.Duration
 	src bool
 }
 
@@ -482,8 +490,11 @@ func (l *Lattice) PendingTotal() uint64 {
 }
 
 // Process validates and attaches a block, buffering it on gaps and
-// recording forks for representative voting.
+// recording forks for representative voting. Aged-out gap blocks are
+// expired first, so TTL eviction advances with every processed block
+// even when nothing new parks.
 func (l *Lattice) Process(b *Block) Result {
+	l.expireGaps()
 	res := l.processOne(b)
 	if res.Status == Accepted {
 		res.Drained = l.drainGaps(b, nil)
@@ -666,6 +677,9 @@ func (l *Lattice) parkSource(b *Block) {
 // parked records the FIFO position of a freshly buffered gap block and
 // enforces the backlog bound, evicting oldest-first past the cap.
 func (l *Lattice) parked(e gapEntry) {
+	if l.clock != nil {
+		e.at = l.clock()
+	}
 	l.gapParked++
 	l.gapOrder = append(l.gapOrder, e)
 	limit := l.gapLimit
@@ -746,9 +760,41 @@ func (l *Lattice) compactGapOrder() {
 	l.gapOrder = live
 }
 
+// expireGaps evicts parked blocks whose age exceeds the TTL. The FIFO
+// order is also time order (the clock is monotonic), so expiry only
+// ever inspects the front — O(1) amortized per call.
+func (l *Lattice) expireGaps() {
+	if l.gapTTL <= 0 || l.clock == nil {
+		return
+	}
+	cutoff := l.clock() - l.gapTTL
+	for len(l.gapOrder) > 0 {
+		e := l.gapOrder[0]
+		if !l.gapEntryLive(e) {
+			l.gapOrder = l.gapOrder[1:]
+			continue
+		}
+		if e.at > cutoff {
+			return
+		}
+		l.evictOldestGap()
+	}
+}
+
 // SetGapLimit overrides the gap-buffer bound (n <= 0 restores
 // DefaultGapLimit). The new bound applies from the next parked block.
 func (l *Lattice) SetGapLimit(n int) { l.gapLimit = n }
+
+// SetGapTTL enables age-based gap eviction: a parked block older than
+// ttl is dropped on the next Process or park, even while the buffer is
+// under its count bound (ttl <= 0 disables). Requires a clock
+// (SetClock); count-triggered eviction keeps working either way.
+func (l *Lattice) SetGapTTL(ttl time.Duration) { l.gapTTL = ttl }
+
+// SetClock installs the time source TTL eviction stamps and expires
+// against — simulation time in the network layers, so eviction stays
+// deterministic.
+func (l *Lattice) SetClock(now func() time.Duration) { l.clock = now }
 
 // SetGapEvicted installs a hook invoked for each evicted gap block —
 // network layers use it to unmark dedup state and schedule a re-pull.
@@ -900,6 +946,8 @@ func (l *Lattice) Clone() *Lattice {
 		gapParked:  l.gapParked,
 		gapEvicted: l.gapEvicted,
 		gapOrder:   append([]gapEntry(nil), l.gapOrder...),
+		gapTTL:     l.gapTTL,
+		clock:      l.clock,
 		supply:     l.supply,
 		genesis:    l.genesis,
 	}

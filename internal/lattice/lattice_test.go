@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/hashx"
 	"repro/internal/keys"
@@ -283,6 +284,59 @@ func TestGapPreviousRecovery(t *testing.T) {
 	}
 	if e.l.ChainLen(e.r.Addr(0)) != 3 { // genesis + send1 + send2
 		t.Fatalf("chain length = %d, want 3", e.l.ChainLen(e.r.Addr(0)))
+	}
+	if err := e.l.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A parked gap block must not wait forever for a parent that was lost:
+// once its age exceeds the TTL it is evicted on the next Process call,
+// even while the buffer is far under its count bound.
+func TestGapTTLEviction(t *testing.T) {
+	e := newEnv(t, 0)
+	now := time.Duration(0)
+	e.l.SetClock(func() time.Duration { return now })
+	e.l.SetGapTTL(10 * time.Second)
+	var evicted []*Block
+	e.l.SetGapEvicted(func(b *Block) { evicted = append(evicted, b) })
+
+	// send2 arrives without its parent send1 and parks at t=0.
+	send1, _ := e.l.NewSend(e.r.Pair(0), e.r.Addr(1), 100)
+	send2 := &Block{
+		Type:           Send,
+		Account:        e.r.Addr(0),
+		Prev:           send1.Hash(),
+		Representative: e.gen.Representative,
+		Balance:        send1.Balance - 200,
+		Destination:    e.r.Addr(2),
+	}
+	send2.sign(e.r.Pair(0))
+	if res := e.l.Process(send2); res.Status != GapPrevious {
+		t.Fatalf("out-of-order block status = %v", res.Status)
+	}
+
+	// Under the TTL, unrelated traffic leaves the parked block alone.
+	now = 9 * time.Second
+	e.transfer(t, 0, 1, 50)
+	if e.l.GapCount() != 1 {
+		t.Fatalf("GapCount = %d before the TTL elapsed", e.l.GapCount())
+	}
+	if e.l.GapEvictions() != 0 {
+		t.Fatal("premature eviction")
+	}
+
+	// Past the TTL, the next processed block expires it.
+	now = 20 * time.Second
+	e.transfer(t, 0, 1, 50)
+	if e.l.GapCount() != 0 {
+		t.Fatalf("GapCount = %d after the TTL elapsed", e.l.GapCount())
+	}
+	if e.l.GapEvictions() != 1 {
+		t.Fatalf("GapEvictions = %d, want 1", e.l.GapEvictions())
+	}
+	if len(evicted) != 1 || evicted[0].Hash() != send2.Hash() {
+		t.Fatalf("eviction hook saw %d blocks", len(evicted))
 	}
 	if err := e.l.CheckInvariant(); err != nil {
 		t.Fatal(err)

@@ -17,18 +17,67 @@ import (
 )
 
 // Histogram accumulates float64 samples and answers distribution queries.
-// The zero value is ready to use.
+// The zero value is ready to use and stores every sample exactly;
+// SetBudget caps the exact storage for mega-scale runs.
 type Histogram struct {
 	samples []float64
 	sorted  bool
 	sum     float64
+	budget  int
+	stream  *Streaming
+}
+
+// SetBudget caps exact sample storage at n: past the budget the
+// histogram collapses into a Streaming estimator and runs in O(1)
+// memory, with count/sum/mean/min/max still exact and quantiles P²
+// estimates. Until the budget is crossed every query is exact, so a
+// budgeted histogram renders byte-identically to an unbudgeted one on
+// any run that stays below it — which is how the golden tables survive
+// the mega-scale budget. n <= 0 removes the cap (the default);
+// budgets below 32 are clamped up so the P² markers always have a
+// real distribution to warm-start from.
+func (h *Histogram) SetBudget(n int) {
+	if n > 0 && n < 32 {
+		n = 32
+	}
+	h.budget = n
+	if n > 0 && len(h.samples) > n && h.stream == nil {
+		h.collapse()
+	}
+}
+
+// collapse hands the exact samples to a warm-started Streaming
+// estimator and drops them.
+func (h *Histogram) collapse() {
+	h.ensureSorted()
+	st := NewStreaming(len(h.samples))
+	st.exact = h.samples
+	st.sorted = true
+	st.n = int64(len(h.samples))
+	st.sum = h.sum
+	for _, v := range h.samples {
+		st.sumsq += v * v
+	}
+	st.min = h.samples[0]
+	st.max = h.samples[len(h.samples)-1]
+	st.collapse()
+	h.samples = nil
+	h.sorted = false
+	h.stream = st
 }
 
 // Add records one sample.
 func (h *Histogram) Add(v float64) {
+	h.sum += v
+	if h.stream != nil {
+		h.stream.Add(v)
+		return
+	}
 	h.samples = append(h.samples, v)
 	h.sorted = false
-	h.sum += v
+	if h.budget > 0 && len(h.samples) > h.budget {
+		h.collapse()
+	}
 }
 
 // AddDuration records a duration sample in seconds.
@@ -36,25 +85,61 @@ func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
 
 // Merge folds another histogram's samples into h — pooling per-trial
 // distributions so quantiles and means are computed over every sample,
-// not averaged over summaries.
+// not averaged over summaries. Merging histograms that have collapsed
+// into streaming estimators keeps counts, sums and extremes exact but
+// merges quantile state approximately (marker feeding); budgeted
+// mega-runs only ever merge at summary accuracy.
 func (h *Histogram) Merge(other *Histogram) {
-	h.samples = append(h.samples, other.samples...)
-	h.sorted = false
 	h.sum += other.sum
+	switch {
+	case h.stream == nil && other.stream == nil:
+		h.samples = append(h.samples, other.samples...)
+		h.sorted = false
+		if h.budget > 0 && len(h.samples) > h.budget {
+			h.collapse()
+		}
+	case h.stream == nil:
+		if len(h.samples) < 32 {
+			// Too few exact samples to warm-start markers from: fold
+			// them into a copy of the other side's estimator instead.
+			st := other.stream.clone()
+			for _, v := range h.samples {
+				st.Add(v)
+			}
+			h.samples = nil
+			h.sorted = false
+			h.stream = st
+		} else {
+			h.collapse()
+			h.stream.absorb(other.stream)
+		}
+	case other.stream == nil:
+		for _, v := range other.samples {
+			h.stream.Add(v)
+		}
+	default:
+		h.stream.absorb(other.stream)
+	}
 }
 
 // N returns the number of samples.
-func (h *Histogram) N() int { return len(h.samples) }
+func (h *Histogram) N() int {
+	if h.stream != nil {
+		return int(h.stream.N())
+	}
+	return len(h.samples)
+}
 
 // Sum returns the sum of all samples.
 func (h *Histogram) Sum() float64 { return h.sum }
 
 // Mean returns the sample mean, or 0 with no samples.
 func (h *Histogram) Mean() float64 {
-	if len(h.samples) == 0 {
+	n := h.N()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(n)
 }
 
 func (h *Histogram) ensureSorted() {
@@ -65,8 +150,11 @@ func (h *Histogram) ensureSorted() {
 }
 
 // Quantile returns the p-quantile (0 ≤ p ≤ 1) by nearest-rank, or 0 with
-// no samples.
+// no samples. Past a SetBudget collapse it is the streaming estimate.
 func (h *Histogram) Quantile(p float64) float64 {
+	if h.stream != nil {
+		return h.stream.Quantile(p)
+	}
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -90,8 +178,15 @@ func (h *Histogram) Min() float64 { return h.Quantile(0) }
 // Max returns the largest sample, or 0 with no samples.
 func (h *Histogram) Max() float64 { return h.Quantile(1) }
 
+// P999 returns the 0.999 quantile — the deep-tail latency column the
+// workload-realism experiments report next to p50/p99.
+func (h *Histogram) P999() float64 { return h.Quantile(0.999) }
+
 // Stddev returns the population standard deviation.
 func (h *Histogram) Stddev() float64 {
+	if h.stream != nil {
+		return h.stream.Stddev()
+	}
 	n := len(h.samples)
 	if n == 0 {
 		return 0

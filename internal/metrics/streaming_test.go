@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStreamingExactBelowBudget pins the fixed-budget contract: until
+// the budget is crossed, every Streaming answer equals the exact
+// Histogram's, bit for bit.
+func TestStreamingExactBelowBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewStreaming(1000)
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*3 + 10
+		s.Add(v)
+		h.Add(v)
+	}
+	if s.Estimating() {
+		t.Fatal("estimator collapsed below its budget")
+	}
+	for _, p := range []float64{0, 0.1, 0.5, 0.95, 0.99, 0.999, 1} {
+		if got, want := s.Quantile(p), h.Quantile(p); got != want {
+			t.Fatalf("Quantile(%v) = %v, want exact %v", p, got, want)
+		}
+	}
+	if s.Mean() != h.Mean() || s.Sum() != h.Sum() || int(s.N()) != h.N() {
+		t.Fatal("exact-phase moments diverged from Histogram")
+	}
+	if s.Stddev() != h.Stddev() {
+		t.Fatalf("Stddev = %v, want %v", s.Stddev(), h.Stddev())
+	}
+}
+
+// TestStreamingEstimateAccuracy feeds 200k uniform samples — far past
+// the budget — and requires the P² estimates to land near the true
+// quantiles while moments and extremes stay exact.
+func TestStreamingEstimateAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewStreaming(4096)
+	var h Histogram
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 100
+		s.Add(v)
+		h.Add(v)
+	}
+	if !s.Estimating() {
+		t.Fatal("estimator never collapsed")
+	}
+	if int(s.N()) != n || s.Sum() != h.Sum() || s.Min() != h.Min() || s.Max() != h.Max() {
+		t.Fatal("moments/extremes must stay exact past the budget")
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99, 0.999} {
+		got, want := s.Quantile(p), h.Quantile(p)
+		if math.Abs(got-want) > 1.5 { // 1.5% of the range on 200k uniforms
+			t.Fatalf("Quantile(%v) = %v, want ~%v", p, got, want)
+		}
+	}
+	if d := math.Abs(s.Stddev() - h.Stddev()); d > 0.05 {
+		t.Fatalf("Stddev drifted %v from exact", d)
+	}
+}
+
+// TestStreamingDeterminism pins that identical inputs give identical
+// estimates — the property that keeps budgeted tables shard- and
+// worker-invariant.
+func TestStreamingDeterminism(t *testing.T) {
+	run := func() []float64 {
+		rng := rand.New(rand.NewSource(11))
+		s := NewStreaming(64)
+		for i := 0; i < 10_000; i++ {
+			s.Add(rng.ExpFloat64())
+		}
+		return []float64{s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99), s.Quantile(0.999), s.Stddev()}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHistogramBudgetCollapse pins the SetBudget integration: exact
+// below the budget (byte-identical rendering), streaming past it with
+// exact count/sum/extremes, including a retroactive SetBudget on an
+// already-overfull histogram.
+func TestHistogramBudgetCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var budgeted, exact Histogram
+	budgeted.SetBudget(256)
+	for i := 0; i < 100; i++ {
+		v := rng.Float64()
+		budgeted.Add(v)
+		exact.Add(v)
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if budgeted.Quantile(p) != exact.Quantile(p) {
+			t.Fatalf("below budget, Quantile(%v) diverged", p)
+		}
+	}
+	for i := 0; i < 10_000; i++ {
+		v := rng.Float64()
+		budgeted.Add(v)
+		exact.Add(v)
+	}
+	if budgeted.N() != exact.N() || budgeted.Sum() != exact.Sum() {
+		t.Fatal("count/sum must stay exact past the budget")
+	}
+	if budgeted.Min() != exact.Min() || budgeted.Max() != exact.Max() {
+		t.Fatal("extremes must stay exact past the budget")
+	}
+	if d := math.Abs(budgeted.Quantile(0.5) - exact.Quantile(0.5)); d > 0.03 {
+		t.Fatalf("p50 estimate off by %v", d)
+	}
+
+	var retro Histogram
+	for i := 0; i < 5000; i++ {
+		retro.Add(rng.Float64())
+	}
+	retro.SetBudget(64)
+	if retro.N() != 5000 {
+		t.Fatalf("retroactive budget lost samples: N = %d", retro.N())
+	}
+	if retro.Quantile(0.5) < 0.3 || retro.Quantile(0.5) > 0.7 {
+		t.Fatalf("retroactive collapse p50 = %v, want ~0.5", retro.Quantile(0.5))
+	}
+
+	// SetBudget clamps tiny budgets so markers can warm-start.
+	var tiny Histogram
+	tiny.SetBudget(1)
+	for i := 0; i < 40; i++ {
+		tiny.Add(float64(i))
+	}
+	if tiny.Max() != 39 {
+		t.Fatalf("tiny-budget Max = %v, want 39", tiny.Max())
+	}
+}
+
+// TestHistogramBudgetMerge exercises every Merge combination of exact
+// and collapsed sides.
+func TestHistogramBudgetMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	build := func(n, budget int) *Histogram {
+		var h Histogram
+		if budget > 0 {
+			h.SetBudget(budget)
+		}
+		for i := 0; i < n; i++ {
+			h.Add(rng.Float64())
+		}
+		return &h
+	}
+	cases := []struct {
+		name string
+		a, b *Histogram
+	}{
+		{"exact+exact", build(500, 0), build(700, 0)},
+		{"exact+collapsed", build(500, 0), build(900, 64)},
+		{"collapsed+exact", build(900, 64), build(500, 0)},
+		{"collapsed+collapsed", build(900, 64), build(900, 64)},
+		{"tiny-exact+collapsed", build(3, 0), build(900, 64)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantN := tc.a.N() + tc.b.N()
+			wantSum := tc.a.Sum() + tc.b.Sum()
+			tc.a.Merge(tc.b)
+			if tc.a.N() != wantN {
+				t.Fatalf("N = %d, want %d", tc.a.N(), wantN)
+			}
+			if math.Abs(tc.a.Sum()-wantSum) > 1e-9 {
+				t.Fatalf("Sum = %v, want %v", tc.a.Sum(), wantSum)
+			}
+			if p := tc.a.Quantile(0.5); p < 0.3 || p > 0.7 {
+				t.Fatalf("merged p50 = %v, want ~0.5 on uniforms", p)
+			}
+		})
+	}
+}
+
+// TestQuantileEdgeCases pins the nearest-rank boundary behavior the
+// tail columns rely on: empty, single sample, p=0 and p=1.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, p := range []float64{0, 0.5, 0.999, 1} {
+		if got := empty.Quantile(p); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", p, got)
+		}
+	}
+	if empty.P999() != 0 {
+		t.Fatalf("empty P999 = %v, want 0", empty.P999())
+	}
+
+	var single Histogram
+	single.Add(42)
+	for _, p := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := single.Quantile(p); got != 42 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 42", p, got)
+		}
+	}
+	if single.P999() != 42 || single.Min() != 42 || single.Max() != 42 {
+		t.Fatal("single-sample accessors must all return the sample")
+	}
+
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want the minimum", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("Quantile(1) = %v, want the maximum", got)
+	}
+	// Nearest-rank on 1000 ordered samples: p999 is sample 999.
+	if got := h.P999(); got != 999 {
+		t.Fatalf("P999 = %v, want 999", got)
+	}
+	if got := h.Quantile(0.5); got != 500 {
+		t.Fatalf("Quantile(0.5) = %v, want 500", got)
+	}
+}

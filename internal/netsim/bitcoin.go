@@ -32,6 +32,11 @@ type BitcoinConfig struct {
 	// evicted FIFO (and re-pulled when the sync manager is armed).
 	// <= 0 keeps the chain package default.
 	BacklogCap int
+	// BacklogTTL evicts parked orphans by age (simulation time) rather
+	// than count: any orphan older than the TTL is dropped on the next
+	// block arrival, even while the pool is under BacklogCap. <= 0
+	// disables age-based eviction.
+	BacklogTTL time.Duration
 }
 
 func (c BitcoinConfig) withDefaults() BitcoinConfig {
@@ -106,6 +111,7 @@ func NewBitcoin(cfg BitcoinConfig) (*BitcoinNet, error) {
 		lottery: lottery,
 	}
 	b.difficulty = lottery.DifficultyForInterval(cfg.BlockInterval)
+	b.chain.metrics.Propagation.SetBudget(cfg.Net.SampleBudget)
 
 	for i := 0; i < cfg.Net.Nodes; i++ {
 		ledger, err := utxo.NewLedger(alloc, cfg.Ledger)
@@ -116,6 +122,10 @@ func NewBitcoin(cfg BitcoinConfig) (*BitcoinNet, error) {
 		b.chain.addNode(ledger)
 		if cfg.BacklogCap > 0 {
 			ledger.Store().SetOrphanLimit(cfg.BacklogCap)
+		}
+		if cfg.BacklogTTL > 0 {
+			ledger.Store().SetClock(s.Now)
+			ledger.Store().SetOrphanTTL(cfg.BacklogTTL)
 		}
 	}
 	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))

@@ -60,6 +60,11 @@ type EthereumConfig struct {
 	// evicted FIFO (and re-pulled when the sync manager is armed).
 	// <= 0 keeps the chain package default.
 	BacklogCap int
+	// BacklogTTL evicts parked orphans by age (simulation time) rather
+	// than count: any orphan older than the TTL is dropped on the next
+	// block arrival, even while the pool is under BacklogCap. <= 0
+	// disables age-based eviction.
+	BacklogTTL time.Duration
 }
 
 func (c EthereumConfig) withDefaults() EthereumConfig {
@@ -153,6 +158,7 @@ func NewEthereum(cfg EthereumConfig) (*EthereumNet, error) {
 		nonces:    make(map[int]uint64),
 		cpCreated: make(map[hashx.Hash]time.Duration),
 	}
+	e.chain.metrics.Propagation.SetBudget(cfg.Net.SampleBudget)
 
 	for i := 0; i < cfg.Net.Nodes; i++ {
 		ledger, err := account.NewLedger(alloc, cfg.Ledger)
@@ -163,6 +169,10 @@ func NewEthereum(cfg EthereumConfig) (*EthereumNet, error) {
 		e.chain.addNode(ledger)
 		if cfg.BacklogCap > 0 {
 			ledger.Store().SetOrphanLimit(cfg.BacklogCap)
+		}
+		if cfg.BacklogTTL > 0 {
+			ledger.Store().SetClock(s.Now)
+			ledger.Store().SetOrphanTTL(cfg.BacklogTTL)
 		}
 	}
 	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))

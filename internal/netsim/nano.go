@@ -80,6 +80,11 @@ type NanoConfig struct {
 	// unmark their dedup bit and, when the sync manager is armed,
 	// schedule a re-pull.
 	BacklogCap int
+	// BacklogTTL evicts parked gap blocks by age (simulation time)
+	// rather than count: any parked block older than the TTL is dropped
+	// on the node's next Process call, even while the buffer is under
+	// BacklogCap. <= 0 disables age-based eviction.
+	BacklogTTL time.Duration
 }
 
 func (c NanoConfig) withDefaults() NanoConfig {
@@ -356,6 +361,8 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 		_, ok := n.nodes[id].lat.Get(h)
 		return ok
 	})
+	n.metrics.ConfirmLatency.SetBudget(cfg.Net.SampleBudget)
+	n.metrics.ForkResolveLatency.SetBudget(cfg.Net.SampleBudget)
 
 	repWeightTable := seedLat.RepWeights()
 	for i := 0; i < cfg.Net.Nodes; i++ {
@@ -379,6 +386,10 @@ func NewNano(cfg NanoConfig) (*NanoNet, error) {
 		n.nodes = append(n.nodes, node)
 		if cfg.BacklogCap > 0 {
 			node.lat.SetGapLimit(cfg.BacklogCap)
+		}
+		if cfg.BacklogTTL > 0 {
+			node.lat.SetClock(s.Now)
+			node.lat.SetGapTTL(cfg.BacklogTTL)
 		}
 		node.lat.SetGapEvicted(n.gapEvictedHook(node))
 	}

@@ -36,6 +36,16 @@ type NetParams struct {
 	// order — so it is a pure capacity knob for mega-scale runs. <= 0
 	// means 1 (the single-heap layout).
 	Shards int
+	// Queue selects the event-queue backend per lane (sim.QueueHeap or
+	// sim.QueueCalendar). Like Shards it is a pure performance knob:
+	// both backends pop in the identical (time, sequence) order.
+	Queue sim.QueueBackend
+	// SampleBudget caps the exact sample storage of the per-run latency
+	// histograms (propagation, confirmation); beyond it they switch to
+	// streaming P² estimation with O(1) memory. <= 0 keeps exact
+	// histograms, the default — golden-scale runs stay below any
+	// reasonable budget, so budgeted runs render identical tables.
+	SampleBudget int
 }
 
 // withDefaults fills unset values. Only fields that are actually zero
@@ -75,7 +85,7 @@ func (p NetParams) withDefaults() NetParams {
 
 // buildNetwork constructs the simulator, link model and gossip topology.
 func buildNetwork(p NetParams) (*sim.Simulator, *sim.Network) {
-	s := sim.NewSharded(p.Seed, p.Shards)
+	s := sim.NewQueued(p.Seed, p.Shards, p.Queue)
 	links := sim.UniformLinks{
 		MinLatency:  p.MinLatency,
 		MaxLatency:  p.MaxLatency,

@@ -135,14 +135,16 @@ const voteWireSize = keys.AddressSize + hashx.Size + 8 + ed25519.PublicKeySize +
 // EncodedSize returns the modeled wire size of the vote.
 func (v *Vote) EncodedSize() int { return voteWireSize }
 
+// voteDigest computes the signed vote content digest. The buffer is a
+// stack array: this runs once per vote per receiving node (every
+// Verify re-derives it to guard the memo), so a heap buffer here was
+// one allocation per delivered vote network-wide.
 func voteDigest(v *Vote) hashx.Hash {
-	buf := make([]byte, 0, keys.AddressSize+hashx.Size+8)
-	buf = append(buf, v.Rep[:]...)
-	buf = append(buf, v.Block[:]...)
-	var scratch [8]byte
-	binary.BigEndian.PutUint64(scratch[:], v.Seq)
-	buf = append(buf, scratch[:]...)
-	return hashx.Sum(buf)
+	var buf [keys.AddressSize + hashx.Size + 8]byte
+	copy(buf[:keys.AddressSize], v.Rep[:])
+	copy(buf[keys.AddressSize:], v.Block[:])
+	binary.BigEndian.PutUint64(buf[keys.AddressSize+hashx.Size:], v.Seq)
+	return hashx.Sum(buf[:])
 }
 
 // NewVote builds a signed vote by the representative key.

@@ -39,6 +39,11 @@ type Delta struct {
 	// ratio is undefined (missing/new, or zero-alloc baseline).
 	NsRatio    float64
 	AllocRatio float64
+	// SimTPSRatio is candidate/baseline simulated throughput — purely
+	// informational, never gated: sim-TPS moves with workload semantics
+	// (horizons, batch knobs), not host speed, so a drop is a prompt to
+	// look, not a failure. Zero when either side reports no sim clock.
+	SimTPSRatio float64
 	// Why carries the human-readable reason for a non-ok status.
 	Why string
 }
@@ -77,6 +82,9 @@ func Compare(baseline, candidate *Report, threshold float64) ([]Delta, bool, err
 			continue
 		}
 		d := Delta{Name: be.Name, Status: StatusOK}
+		if be.SimTPS > 0 && ce.SimTPS > 0 {
+			d.SimTPSRatio = ce.SimTPS / be.SimTPS
+		}
 		if be.NsPerOp > 0 {
 			d.NsRatio = ce.NsPerOp / be.NsPerOp
 			if normalize {
@@ -116,23 +124,28 @@ func Compare(baseline, candidate *Report, threshold float64) ([]Delta, bool, err
 	return deltas, ok, nil
 }
 
-// RenderDeltas writes the comparison as an aligned table.
+// RenderDeltas writes the comparison as an aligned table. The sim_tps
+// column is informational only — it reflects simulated-throughput drift
+// between reports and never moves the gate.
 func RenderDeltas(w io.Writer, deltas []Delta) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\tns/op ratio\tallocs ratio\tstatus")
+	fmt.Fprintln(tw, "benchmark\tns/op ratio\tallocs ratio\tsim_tps ratio\tstatus")
 	for _, d := range deltas {
-		ns, al := "-", "-"
+		ns, al, tps := "-", "-", "-"
 		if d.NsRatio > 0 {
 			ns = fmt.Sprintf("%.3f", d.NsRatio)
 		}
 		if d.AllocRatio > 0 {
 			al = fmt.Sprintf("%.3f", d.AllocRatio)
 		}
+		if d.SimTPSRatio > 0 {
+			tps = fmt.Sprintf("%.3f", d.SimTPSRatio)
+		}
 		status := string(d.Status)
 		if d.Why != "" {
 			status += " (" + d.Why + ")"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", d.Name, ns, al, status)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", d.Name, ns, al, tps, status)
 	}
 	return tw.Flush()
 }

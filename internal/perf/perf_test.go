@@ -172,6 +172,48 @@ func TestCompareNewBenchmarkPasses(t *testing.T) {
 	}
 }
 
+// The sim_tps column is informational: a halved simulated throughput
+// renders in the delta table but never fails the gate, and benchmarks
+// without a sim clock show the dash.
+func TestCompareSimTPSInformational(t *testing.T) {
+	base := sampleReport()
+	cur := mutate(base, "e2e/E9", func(e *Entry) { e.SimTPS /= 2 })
+	deltas, ok, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("a sim_tps drop alone must not fail the gate")
+	}
+	var e9 Delta
+	for _, d := range deltas {
+		if d.Name == "e2e/E9" {
+			e9 = d
+		}
+	}
+	if e9.SimTPSRatio < 0.499 || e9.SimTPSRatio > 0.501 {
+		t.Fatalf("SimTPSRatio = %v, want 0.5", e9.SimTPSRatio)
+	}
+	var buf bytes.Buffer
+	if err := RenderDeltas(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sim_tps ratio") {
+		t.Fatalf("delta table missing the sim_tps column:\n%s", out)
+	}
+	if !strings.Contains(out, "0.500") {
+		t.Fatalf("delta table missing the 0.500 sim_tps ratio:\n%s", out)
+	}
+	// sim/event-loop has no sim clock on either side: its row keeps the
+	// dash, and its delta carries no ratio.
+	for _, d := range deltas {
+		if d.Name == "sim/event-loop" && d.SimTPSRatio != 0 {
+			t.Fatalf("clockless benchmark grew a SimTPSRatio: %+v", d)
+		}
+	}
+}
+
 func TestCompareScaleMismatchRejected(t *testing.T) {
 	base := sampleReport()
 	cur := sampleReport()
@@ -207,7 +249,7 @@ func TestCompareCalibrationNormalizes(t *testing.T) {
 // inject a 2x ns/op slowdown into every entry, and require the gate to
 // fail — and require the untouched baseline to pass against itself.
 func TestGateFailsOnInjectedSlowdown(t *testing.T) {
-	data, err := os.ReadFile("../../BENCH_008.json")
+	data, err := os.ReadFile("../../BENCH_009.json")
 	if err != nil {
 		t.Fatalf("committed baseline missing: %v", err)
 	}
@@ -245,7 +287,7 @@ func TestGateFailsOnInjectedSlowdown(t *testing.T) {
 // The committed baseline must be in canonical byte form (Encode of its
 // Decode), or diffs against regenerated baselines churn.
 func TestCommittedBaselineIsCanonical(t *testing.T) {
-	data, err := os.ReadFile("../../BENCH_008.json")
+	data, err := os.ReadFile("../../BENCH_009.json")
 	if err != nil {
 		t.Fatalf("committed baseline missing: %v", err)
 	}
@@ -258,7 +300,7 @@ func TestCommittedBaselineIsCanonical(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(data, out) {
-		t.Fatal("BENCH_008.json is not in canonical encoding; regenerate with make bench-commit")
+		t.Fatal("BENCH_009.json is not in canonical encoding; regenerate with make bench-commit")
 	}
 }
 

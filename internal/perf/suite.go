@@ -13,6 +13,7 @@ import (
 	"repro/internal/hashx"
 	"repro/internal/keys"
 	"repro/internal/lattice"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -56,6 +57,8 @@ func Suite() []Benchmark {
 		{Name: "netsim/scale-gossip", Kind: "micro", Op: benchScaleGossip},
 		{Name: "netsim/cold-start", Kind: "micro", Op: benchColdStart},
 		{Name: "sim/sharded-loop", Kind: "micro", Op: benchShardedLoop},
+		{Name: "sim/calendar-loop", Kind: "micro", Op: benchCalendarLoop},
+		{Name: "metrics/streaming-quantile", Kind: "micro", Op: benchStreamingQuantile},
 		{Name: "e2e/E1", Kind: "e2e", Op: benchExperiment("E1")},
 		{Name: "e2e/E2", Kind: "e2e", Op: benchExperiment("E2")},
 		{Name: "e2e/E9", Kind: "e2e", Op: benchExperiment("E9")},
@@ -428,6 +431,50 @@ func benchShardedLoop(scale float64, n int) float64 {
 			s.Cancel(id)
 		}
 		s.Run(0)
+	}
+	return 0
+}
+
+// benchCalendarLoop is benchEventLoop on the calendar-queue backend:
+// the same seeded timer burst (cancels included) through the bucketed
+// O(1) scheduler instead of the binary heap — the pop/push cost the
+// mega-scale runs pay per event.
+func benchCalendarLoop(scale float64, n int) float64 {
+	events := scaled(5000, scale)
+	for op := 0; op < n; op++ {
+		s := sim.NewQueued(1, 1, sim.QueueCalendar)
+		rng := rand.New(rand.NewSource(7))
+		var cancel []sim.EventID
+		for i := 0; i < events; i++ {
+			id := s.At(time.Duration(rng.Intn(1000))*time.Millisecond, func() {})
+			if i%10 == 0 {
+				cancel = append(cancel, id)
+			}
+		}
+		for _, id := range cancel {
+			s.Cancel(id)
+		}
+		s.Run(0)
+	}
+	return 0
+}
+
+// benchStreamingQuantile drives the fixed-budget estimator through its
+// collapse: a seeded sample stream four times the budget is absorbed
+// and the tracked quantiles read back — the per-sample cost of the
+// mega-scale histograms that no longer store one float64 per node.
+func benchStreamingQuantile(scale float64, n int) float64 {
+	budget := scaled(4096, scale)
+	samples := 4 * budget
+	for op := 0; op < n; op++ {
+		st := metrics.NewStreaming(budget)
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; i < samples; i++ {
+			st.Add(rng.Float64() * 100)
+		}
+		for _, p := range []float64{0.5, 0.95, 0.99, 0.999} {
+			_ = st.Quantile(p)
+		}
 	}
 	return 0
 }

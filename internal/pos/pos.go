@@ -62,7 +62,7 @@ func (r *Registry) Deposit(pub ed25519.PublicKey, amount uint64) error {
 		v = &Validator{Addr: addr, Pub: pub}
 		r.vals[addr] = v
 		r.order = append(r.order, addr)
-		sort.Slice(r.order, func(i, j int) bool { return r.order[i].Hex() < r.order[j].Hex() })
+		sort.Slice(r.order, func(i, j int) bool { return r.order[i].Less(r.order[j]) })
 	}
 	if v.Slashed {
 		return ErrSlashed

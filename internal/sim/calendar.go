@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// QueueBackend selects the pending-queue implementation a Simulator runs
+// on. Both backends execute events in the exact same (time, sequence)
+// order — the choice is a pure performance knob, pinned by invariance
+// and fuzz tests, so every experiment table is byte-identical under
+// either.
+type QueueBackend uint8
+
+const (
+	// QueueHeap is the default backend: sharded binary-heap lanes over
+	// the slot arena, O(log n) per operation.
+	QueueHeap QueueBackend = iota
+	// QueueCalendar is a Brown-style calendar queue per lane: events
+	// hash into time buckets of adaptive width, giving amortized O(1)
+	// schedule/pop on queues with millions of pending events — the
+	// regime where heap sift costs dominate the 10⁶-node profile.
+	QueueCalendar
+)
+
+// String returns the knob spelling of the backend.
+func (b QueueBackend) String() string {
+	if b == QueueCalendar {
+		return "calendar"
+	}
+	return "heap"
+}
+
+// ParseQueue maps a -queue knob spelling to a backend. The empty string
+// selects the default heap backend.
+func ParseQueue(s string) (QueueBackend, error) {
+	switch s {
+	case "", "heap":
+		return QueueHeap, nil
+	case "calendar":
+		return QueueCalendar, nil
+	}
+	return QueueHeap, fmt.Errorf("sim: unknown queue backend %q (want heap or calendar)", s)
+}
+
+const (
+	// calMinBuckets is the smallest (and initial) bucket count; counts
+	// stay powers of two so bucket selection is a mask, not a modulo.
+	calMinBuckets = 4
+	// calInitWidth is the starting bucket width before the first
+	// adaptive resize has seen the event population's real spacing.
+	calInitWidth = 500 * time.Microsecond
+)
+
+// calLane is one lane of the calendar-queue backend: a Brown calendar
+// queue storing heapItems in time buckets. Each bucket is kept sorted
+// by (time, sequence), so the bucket head is its minimum and the
+// year-scan below always yields the exact global (time, sequence)
+// minimum — the same total order the heap lanes produce.
+//
+// The cursor is a virtual bucket number vcur (monotonic, not wrapped):
+// bucket index = vcur & mask, and the cursor's current window is
+// [vcur·width, (vcur+1)·width). Two invariants make the scan exact:
+//
+//  1. Every stored item has at ≥ vcur·width, or sits in the cursor's
+//     bucket (late inserts whose window already passed are clamped
+//     there; being below the window start they sort to its front and
+//     pop first).
+//  2. The scan visits bucket (vcur+i) & mask with threshold
+//     (vcur+i+1)·width, so an item is accepted only inside its own
+//     year — future-year items in the same bucket fail the threshold.
+type calLane struct {
+	buckets [][]heapItem
+	width   time.Duration
+	mask    uint64
+	vcur    uint64
+	// size counts stored entries, including canceled ones not yet
+	// dropped; it only drives resize thresholds, never correctness.
+	size int
+}
+
+func newCalLane() calLane {
+	return calLane{
+		buckets: make([][]heapItem, calMinBuckets),
+		width:   calInitWidth,
+		mask:    calMinBuckets - 1,
+	}
+}
+
+// push stores an item, clamping late inserts into the cursor's bucket
+// (invariant 1), and doubles the bucket array when the population
+// outgrows it.
+func (c *calLane) push(it heapItem) {
+	vb := uint64(it.at / c.width)
+	if c.size == 0 {
+		c.vcur = vb
+	} else if vb < c.vcur {
+		vb = c.vcur
+	}
+	c.bucketInsert(int(vb&c.mask), it)
+	c.size++
+	if c.size > 2*len(c.buckets) {
+		c.resize(2 * len(c.buckets))
+	}
+}
+
+// bucketInsert places an item into bucket b, keeping it sorted by
+// (time, sequence).
+func (c *calLane) bucketInsert(b int, it heapItem) {
+	q := c.buckets[b]
+	lo, hi := 0, len(q)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if itemLess(q[mid], it) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q = append(q, heapItem{})
+	copy(q[lo+1:], q[lo:])
+	q[lo] = it
+	c.buckets[b] = q
+}
+
+// dropStale removes canceled entries from the front of bucket b —
+// exactly the lazy deletion the heap lanes do at their heads — and
+// returns the bucket.
+func (c *calLane) dropStale(s *Simulator, b int) []heapItem {
+	q := c.buckets[b]
+	i := 0
+	for i < len(q) && s.slots[q[i].slot].gen != q[i].gen {
+		i++
+	}
+	if i > 0 {
+		q = q[:copy(q, q[i:])]
+		c.size -= i
+		c.buckets[b] = q
+	}
+	return q
+}
+
+// peek locates the lane's earliest live entry and leaves the cursor on
+// its bucket, so pop is O(1). The year scan accepts a bucket head only
+// inside its own window (invariant 2); when a whole year is empty — a
+// sparse queue — it falls back to a direct minimum search. At that
+// point no clamped items can exist (a live clamped item would have
+// been accepted at scan step 0), so every item is in its natural
+// bucket and re-anchoring the cursor at the minimum's window is exact.
+func (c *calLane) peek(s *Simulator) (heapItem, bool) {
+	nb := uint64(len(c.buckets))
+	for i := uint64(0); i < nb; i++ {
+		b := int((c.vcur + i) & c.mask)
+		q := c.dropStale(s, b)
+		if len(q) == 0 {
+			continue
+		}
+		if thr := time.Duration(c.vcur+i+1) * c.width; q[0].at < thr {
+			c.vcur += i
+			return q[0], true
+		}
+	}
+	best := -1
+	for b := range c.buckets {
+		q := c.dropStale(s, b)
+		if len(q) == 0 {
+			continue
+		}
+		if best < 0 || itemLess(q[0], c.buckets[best][0]) {
+			best = b
+		}
+	}
+	if best < 0 {
+		return heapItem{}, false
+	}
+	c.vcur = uint64(c.buckets[best][0].at / c.width)
+	return c.buckets[best][0], true
+}
+
+// pop removes and returns the head of the cursor's bucket. Call only
+// after a successful peek has positioned the cursor on the minimum.
+func (c *calLane) pop() heapItem {
+	b := int(c.vcur & c.mask)
+	q := c.buckets[b]
+	it := q[0]
+	c.buckets[b] = q[:copy(q, q[1:])]
+	c.size--
+	if nb := len(c.buckets); nb > calMinBuckets && c.size < nb/2 {
+		c.resize(nb / 2)
+	}
+	return it
+}
+
+// resize rebuilds the calendar with nb buckets, re-deriving the bucket
+// width from the stored population's spacing (span / count, doubled so
+// a bucket holds a few items) and re-anchoring the cursor at the
+// earliest item's window. Everything re-buckets naturally — clamped
+// items regain their own windows — and per-bucket sorting restores the
+// (time, sequence) order, so the rebuild is invisible to pop order.
+func (c *calLane) resize(nb int) {
+	all := make([]heapItem, 0, c.size)
+	var minAt, maxAt time.Duration
+	for _, q := range c.buckets {
+		for _, it := range q {
+			if len(all) == 0 || it.at < minAt {
+				minAt = it.at
+			}
+			if len(all) == 0 || it.at > maxAt {
+				maxAt = it.at
+			}
+			all = append(all, it)
+		}
+	}
+	if len(all) > 0 {
+		if w := 2 * (maxAt - minAt) / time.Duration(len(all)); w > c.width {
+			c.width = w
+		} else if w > 0 && 4*w < c.width {
+			c.width = 4 * w
+		}
+	}
+	c.buckets = make([][]heapItem, nb)
+	c.mask = uint64(nb - 1)
+	c.vcur = uint64(minAt / c.width)
+	c.size = len(all)
+	for _, it := range all {
+		vb := uint64(it.at / c.width)
+		c.bucketInsert(int(vb&c.mask), it)
+	}
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// backendTrace is shardTrace generalized over the queue backend: the
+// same randomized schedule/cancel workload, executed on the chosen
+// backend, returning the execution transcript.
+func backendTrace(t *testing.T, backend QueueBackend, shards int) []string {
+	t.Helper()
+	s := NewQueued(42, shards, backend)
+	if s.Backend() != backend {
+		t.Fatalf("Backend() = %v, want %v", s.Backend(), backend)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var trace []string
+	var ids []EventID
+	for i := 0; i < 5000; i++ {
+		i := i
+		at := time.Duration(rng.Intn(1000)) * time.Millisecond
+		id := s.At(at, func() {
+			trace = append(trace, fmt.Sprintf("%d@%v", i, s.Now()))
+		})
+		ids = append(ids, id)
+		if rng.Intn(5) == 0 {
+			s.Cancel(ids[rng.Intn(len(ids))])
+		}
+	}
+	s.Run(1000)
+	s.RunUntil(400 * time.Millisecond)
+	s.Run(0)
+	trace = append(trace, fmt.Sprintf("ran=%d pending=%d now=%v", s.EventsRun(), s.Pending(), s.Now()))
+	return trace
+}
+
+// TestCalendarBackendInvariance pins the tentpole contract: the
+// calendar backend executes the exact transcript the heap backend
+// does, for every shard count.
+func TestCalendarBackendInvariance(t *testing.T) {
+	want := backendTrace(t, QueueHeap, 1)
+	if len(want) < 3000 {
+		t.Fatalf("baseline ran only %d events", len(want))
+	}
+	for _, k := range []int{1, 2, 3, 4, 7, 16, 64} {
+		got := backendTrace(t, QueueCalendar, k)
+		if len(got) != len(want) {
+			t.Fatalf("calendar shards=%d: %d trace entries, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("calendar shards=%d: trace[%d] = %q, want %q", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCalendarNetworkInvariance runs the gossip network of
+// TestShardedNetworkInvariance on the calendar backend and compares
+// stats and delivery transcripts against the heap run — link-model
+// randomness consumption must line up event for event.
+func TestCalendarNetworkInvariance(t *testing.T) {
+	run := func(backend QueueBackend, shards int) ([]string, NetStats) {
+		s := NewQueued(7, shards, backend)
+		n := NewNetwork(s, UniformLinks{MinLatency: 5 * time.Millisecond, MaxLatency: 50 * time.Millisecond, DropRate: 0.1})
+		const nodes = 8
+		var trace []string
+		for i := 0; i < nodes; i++ {
+			i := i
+			n.AddNode(func(from NodeID, payload any, size int) {
+				trace = append(trace, fmt.Sprintf("%d<-%d:%v@%v", i, from, payload, s.Now()))
+				if v := payload.(int); v > 0 {
+					n.BroadcastAll(NodeID(i), v-1, size)
+				}
+			})
+		}
+		n.BroadcastAll(0, 3, 100)
+		s.Run(0)
+		return trace, n.Stats()
+	}
+	wantTrace, wantStats := run(QueueHeap, 1)
+	if len(wantTrace) == 0 {
+		t.Fatal("baseline network delivered nothing")
+	}
+	for _, k := range []int{1, 2, 5, 16} {
+		gotTrace, gotStats := run(QueueCalendar, k)
+		if gotStats != wantStats {
+			t.Fatalf("calendar shards=%d: stats %+v, want %+v", k, gotStats, wantStats)
+		}
+		if len(gotTrace) != len(wantTrace) {
+			t.Fatalf("calendar shards=%d: %d deliveries, want %d", k, len(gotTrace), len(wantTrace))
+		}
+		for i := range wantTrace {
+			if gotTrace[i] != wantTrace[i] {
+				t.Fatalf("calendar shards=%d: delivery[%d] = %q, want %q", k, i, gotTrace[i], wantTrace[i])
+			}
+		}
+	}
+}
+
+// TestCalendarWideSpread forces adaptive resizes in both directions:
+// a burst of microsecond-spaced events, a sparse hour-spaced tail, and
+// heavy same-timestamp ties (the seq tie-break), cross-checked against
+// the heap order.
+func TestCalendarWideSpread(t *testing.T) {
+	run := func(backend QueueBackend) []string {
+		s := NewQueued(3, 1, backend)
+		rng := rand.New(rand.NewSource(11))
+		var trace []string
+		record := func(tag int) func() {
+			return func() { trace = append(trace, fmt.Sprintf("%d@%v", tag, s.Now())) }
+		}
+		for i := 0; i < 2000; i++ {
+			s.At(time.Duration(rng.Intn(500))*time.Microsecond, record(i))
+		}
+		for i := 0; i < 50; i++ {
+			s.At(time.Duration(1+rng.Intn(10))*time.Hour, record(10_000+i))
+		}
+		for i := 0; i < 300; i++ {
+			s.At(42*time.Millisecond, record(20_000+i))
+		}
+		s.Run(0)
+		return trace
+	}
+	want := run(QueueHeap)
+	got := run(QueueCalendar)
+	if len(got) != len(want) {
+		t.Fatalf("calendar ran %d events, heap ran %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestParseQueue pins the knob spellings.
+func TestParseQueue(t *testing.T) {
+	for s, want := range map[string]QueueBackend{"": QueueHeap, "heap": QueueHeap, "calendar": QueueCalendar} {
+		got, err := ParseQueue(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseQueue(%q) = %v, %v; want %v, nil", s, got, err, want)
+		}
+	}
+	if _, err := ParseQueue("splay"); err == nil {
+		t.Fatal("ParseQueue accepted an unknown backend")
+	}
+	if QueueHeap.String() != "heap" || QueueCalendar.String() != "calendar" {
+		t.Fatalf("String() spellings diverged: %q, %q", QueueHeap, QueueCalendar)
+	}
+}
+
+// TestPendingCancelAcrossLanes pins the Pending/Cancel interaction the
+// sharded loop adds: canceling an event that lives in one lane while
+// another lane's head pops must leave the stale entry invisible to
+// execution and Pending consistent, on both backends.
+func TestPendingCancelAcrossLanes(t *testing.T) {
+	for _, backend := range []QueueBackend{QueueHeap, QueueCalendar} {
+		t.Run(backend.String(), func(t *testing.T) {
+			s := NewQueued(5, 4, backend)
+			var fired []string
+			// Four events, one per lane (seq 0..3). Lane 1's event is
+			// canceled from inside lane 0's event — after lane 0 popped,
+			// while lane 1 still holds its (now stale) head.
+			var laneB EventID
+			s.At(10*time.Millisecond, func() {
+				fired = append(fired, "A")
+				s.Cancel(laneB)
+				if got := s.Pending(); got != 2 {
+					t.Errorf("Pending() inside A = %d, want 2 (B canceled, C and D left)", got)
+				}
+			})
+			laneB = s.At(20*time.Millisecond, func() { fired = append(fired, "B") })
+			s.At(30*time.Millisecond, func() { fired = append(fired, "C") })
+			s.At(40*time.Millisecond, func() { fired = append(fired, "D") })
+			if got := s.Pending(); got != 4 {
+				t.Fatalf("Pending() = %d, want 4", got)
+			}
+			s.Run(0)
+			if fmt.Sprintf("%v", fired) != "[A C D]" {
+				t.Fatalf("fired = %v, want [A C D]", fired)
+			}
+			if got := s.Pending(); got != 0 {
+				t.Fatalf("Pending() after drain = %d, want 0", got)
+			}
+			// Stale cancel of an already-run event stays a no-op.
+			s.Cancel(laneB)
+			if got := s.Pending(); got != 0 {
+				t.Fatalf("Pending() after stale cancel = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestPendingCancelUnderDrain cancels future cross-lane events from a
+// popping lane mid-drain at larger scale and checks the executed set
+// and Pending bookkeeping match between backends.
+func TestPendingCancelUnderDrain(t *testing.T) {
+	run := func(backend QueueBackend) []string {
+		s := NewQueued(9, 8, backend)
+		rng := rand.New(rand.NewSource(13))
+		var trace []string
+		ids := make([]EventID, 0, 4000)
+		for i := 0; i < 4000; i++ {
+			i := i
+			at := time.Duration(rng.Intn(2000)) * time.Millisecond
+			ids = append(ids, s.At(at, func() {
+				trace = append(trace, fmt.Sprintf("%d@%v", i, s.Now()))
+				// Every 7th event reaches across lanes and cancels a
+				// random later-scheduled one while its own lane pops.
+				if i%7 == 0 {
+					s.Cancel(ids[rng.Intn(len(ids))])
+				}
+			}))
+		}
+		s.Run(0)
+		trace = append(trace, fmt.Sprintf("ran=%d pending=%d", s.EventsRun(), s.Pending()))
+		return trace
+	}
+	want := run(QueueHeap)
+	got := run(QueueCalendar)
+	if len(got) != len(want) {
+		t.Fatalf("calendar trace has %d entries, heap %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if got[len(got)-1] != want[len(want)-1] {
+		t.Fatalf("tail bookkeeping diverged: %q vs %q", got[len(got)-1], want[len(want)-1])
+	}
+}

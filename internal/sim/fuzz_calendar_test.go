@@ -1,0 +1,62 @@
+package sim
+
+// Fuzz cross-check for the calendar-queue backend: a byte-driven
+// schedule/cancel/drain workload runs on both backends and the pop
+// transcripts must match exactly. The heap lanes are the reference
+// (time, sequence) order; any calendar bucket-math or cursor bug —
+// clamped late inserts, adaptive resizes, year wraparound, stale-head
+// laziness — shows up as a transcript divergence.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func FuzzCalendarPopOrder(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, int64(1), uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 128, 7, 9, 200}, int64(42), uint8(4))
+	f.Add([]byte{250, 250, 251, 252, 1, 1, 1, 90, 90, 90, 90, 13}, int64(7), uint8(3))
+
+	f.Fuzz(func(t *testing.T, ops []byte, seed int64, shards uint8) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		run := func(backend QueueBackend) []string {
+			s := NewQueued(seed, int(shards%8)+1, backend)
+			var trace []string
+			var ids []EventID
+			for i, op := range ops {
+				i := i
+				switch {
+				case op >= 64:
+					// Schedule: the byte picks a time; clustered values
+					// exercise seq tie-breaks, large ones sparse years.
+					at := time.Duration(op-64) * time.Duration(op%5+1) * time.Millisecond
+					ids = append(ids, s.At(at, func() {
+						trace = append(trace, fmt.Sprintf("%d@%v", i, s.Now()))
+					}))
+				case op >= 16 && len(ids) > 0:
+					s.Cancel(ids[int(op)%len(ids)])
+				case op >= 8:
+					s.Run(uint64(op % 8))
+				default:
+					s.RunUntil(time.Duration(op) * 40 * time.Millisecond)
+				}
+			}
+			s.Run(0)
+			trace = append(trace, fmt.Sprintf("ran=%d pending=%d now=%v", s.EventsRun(), s.Pending(), s.Now()))
+			return trace
+		}
+		want := run(QueueHeap)
+		got := run(QueueCalendar)
+		if len(got) != len(want) {
+			t.Fatalf("calendar trace has %d entries, heap %d:\nheap %v\ncal  %v", len(got), len(want), want, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trace[%d]: calendar %q, heap %q", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -15,12 +15,18 @@
 // O(1) generation check — no per-event map, and canceling an event that
 // already ran (its slot's generation has moved on) is a safe no-op.
 //
-// The pending queue is sharded into K independent lane heaps (lane =
+// The pending queue is sharded into K independent lanes (lane =
 // seq mod K, NewSharded). The dispatcher merges lanes by taking the
 // minimum (time, sequence) head across them — the exact order a single
 // heap yields — so results are bit-identical for every K; the shard
-// count only bounds individual heap depth, which is what keeps sift
+// count only bounds individual lane depth, which is what keeps sift
 // costs flat at mega-scale event populations.
+//
+// Each lane is either a binary heap (QueueHeap, the default) or a
+// Brown-style calendar queue (QueueCalendar, NewQueued) with amortized
+// O(1) schedule/pop. The backends produce the identical (time,
+// sequence) pop order — selecting one is a pure performance choice,
+// pinned by invariance tests and a fuzz cross-check.
 package sim
 
 import (
@@ -78,7 +84,8 @@ func itemLess(a, b heapItem) bool {
 // random source shared by the whole simulation.
 type Simulator struct {
 	now     time.Duration
-	lanes   [][]heapItem // lane heaps; an event lives in lane seq % len(lanes)
+	lanes   [][]heapItem // heap lanes; an event lives in lane seq % len(lanes)
+	cals    []calLane    // calendar lanes; non-nil iff backend is QueueCalendar
 	nextSeq uint64
 	slots   []slot
 	free    []int32
@@ -97,17 +104,43 @@ func New(seed int64) *Simulator {
 // test, like worker counts); sharding only caps per-heap depth. Shard
 // counts below 1 are clamped to 1.
 func NewSharded(seed int64, shards int) *Simulator {
+	return NewQueued(seed, shards, QueueHeap)
+}
+
+// NewQueued creates a simulator with an explicit pending-queue backend.
+// Backends pop in the identical (time, sequence) order, so results are
+// byte-for-byte the same under either; only the cost profile differs.
+func NewQueued(seed int64, shards int, backend QueueBackend) *Simulator {
 	if shards < 1 {
 		shards = 1
 	}
-	return &Simulator{
-		lanes: make([][]heapItem, shards),
-		rng:   rand.New(rand.NewSource(seed)),
+	s := &Simulator{rng: rand.New(rand.NewSource(seed))}
+	if backend == QueueCalendar {
+		s.cals = make([]calLane, shards)
+		for i := range s.cals {
+			s.cals[i] = newCalLane()
+		}
+	} else {
+		s.lanes = make([][]heapItem, shards)
 	}
+	return s
 }
 
 // Shards returns the lane count of the pending queue.
-func (s *Simulator) Shards() int { return len(s.lanes) }
+func (s *Simulator) Shards() int {
+	if s.cals != nil {
+		return len(s.cals)
+	}
+	return len(s.lanes)
+}
+
+// Backend returns the pending-queue backend the simulator runs on.
+func (s *Simulator) Backend() QueueBackend {
+	if s.cals != nil {
+		return QueueCalendar
+	}
+	return QueueHeap
+}
 
 // Now returns the current virtual time (zero at simulation start).
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -180,6 +213,9 @@ func (s *Simulator) Cancel(id EventID) {
 // scans; -1 means no live events remain. This merge IS the determinism
 // guarantee: any lane assignment yields the single-heap execution order.
 func (s *Simulator) minLane() int {
+	if s.cals != nil {
+		return s.minCalLane()
+	}
 	best := -1
 	for l := range s.lanes {
 		q := s.lanes[l]
@@ -197,10 +233,44 @@ func (s *Simulator) minLane() int {
 	return best
 }
 
+// minCalLane is minLane for the calendar backend: each lane's peek
+// drops stale heads and caches the lane minimum at its cursor, and the
+// same cross-lane (time, sequence) merge picks the winner.
+func (s *Simulator) minCalLane() int {
+	best := -1
+	var bestIt heapItem
+	for l := range s.cals {
+		it, ok := s.cals[l].peek(s)
+		if !ok {
+			continue
+		}
+		if best < 0 || itemLess(it, bestIt) {
+			best, bestIt = l, it
+		}
+	}
+	return best
+}
+
+// laneHeadAt returns the timestamp of lane l's head. Call only after
+// minLane returned l: both backends then hold a live head (for the
+// calendar, peek has positioned the cursor on it).
+func (s *Simulator) laneHeadAt(l int) time.Duration {
+	if s.cals != nil {
+		c := &s.cals[l]
+		return c.buckets[c.vcur&c.mask][0].at
+	}
+	return s.lanes[l][0].at
+}
+
 // stepLane executes the head event of lane l, advancing the clock.
 func (s *Simulator) stepLane(l int) {
-	item := s.lanes[l][0]
-	s.popLane(l)
+	var item heapItem
+	if s.cals != nil {
+		item = s.cals[l].pop()
+	} else {
+		item = s.lanes[l][0]
+		s.popLane(l)
+	}
 	run := s.slots[item.slot]
 	s.release(item.slot)
 	s.now = item.at
@@ -225,10 +295,14 @@ func (s *Simulator) Step() bool {
 	return true
 }
 
-// push routes an item to its lane heap and sifts it up; a hand-rolled
+// push routes an item to its lane and sifts it up; a hand-rolled
 // heap keeps items as values (container/heap would box every Push into
 // an interface).
 func (s *Simulator) push(it heapItem) {
+	if s.cals != nil {
+		s.cals[it.seq%uint64(len(s.cals))].push(it)
+		return
+	}
 	l := int(it.seq % uint64(len(s.lanes)))
 	q := append(s.lanes[l], it)
 	i := len(q) - 1
@@ -284,7 +358,7 @@ func (s *Simulator) Run(maxEvents uint64) uint64 {
 func (s *Simulator) RunUntil(t time.Duration) {
 	for {
 		l := s.minLane()
-		if l < 0 || s.lanes[l][0].at > t {
+		if l < 0 || s.laneHeadAt(l) > t {
 			break
 		}
 		s.stepLane(l)

@@ -1,0 +1,105 @@
+package trie
+
+// Node arena: slab allocation for the copy-on-write hot path. Every Put
+// down a k-deep path discards-and-rebuilds k nodes; at mega scale that
+// is millions of tiny heap objects per simulated block. An arena-backed
+// trie batches node and byte-slice allocations into fixed-size slabs,
+// turning ~one allocation per node into ~one per slab while leaving the
+// structure, hashes and copy-on-write sharing untouched.
+//
+// Lifetime: a slab stays reachable while any node carved from it is —
+// nodes a later Put shadows keep their slab alive until every neighbor
+// dies too. The waste is bounded by one slab's worth of dead nodes per
+// live slab and is the price of the allocation batching; tries whose
+// old versions must be reclaimed eagerly should stay on Empty().
+//
+// Concurrency: an arena is shared by every trie in a lineage, and
+// mutating any of them appends to the shared slabs. Lineages rooted at
+// EmptyArena therefore serialize ALL mutation across the whole family,
+// not just per value — the simulated ledgers mutate single-threaded, so
+// this costs them nothing. Readers are unaffected: existing nodes are
+// never moved or rewritten.
+
+const (
+	// arenaNodeChunk is the node-slab capacity. 256 branch nodes is
+	// ~72KB — big enough to cut allocation counts by two orders of
+	// magnitude, small enough that a mostly-dead slab is cheap.
+	arenaNodeChunk = 256
+	// arenaByteChunk is the byte-slab capacity for path and value
+	// copies; entries larger than a quarter of it get their own
+	// allocation so one oversized value cannot strand a whole slab.
+	arenaByteChunk = 1 << 14
+)
+
+// arena hands out trie nodes and durable byte copies from slabs.
+type arena struct {
+	branches []branchNode
+	leaves   []leafNode
+	bytes    []byte
+}
+
+// emptyValue is the shared non-nil empty value: branch/leaf values use
+// nil to mean "absent", so empty stored values must stay non-nil.
+var emptyValue = []byte{}
+
+func (a *arena) newBranch() *branchNode {
+	if len(a.branches) == cap(a.branches) {
+		a.branches = make([]branchNode, 0, arenaNodeChunk)
+	}
+	a.branches = a.branches[:len(a.branches)+1]
+	return &a.branches[len(a.branches)-1]
+}
+
+func (a *arena) newLeaf() *leafNode {
+	if len(a.leaves) == cap(a.leaves) {
+		a.leaves = make([]leafNode, 0, arenaNodeChunk)
+	}
+	a.leaves = a.leaves[:len(a.leaves)+1]
+	return &a.leaves[len(a.leaves)-1]
+}
+
+// copyBytes returns a durable copy of b carved from the byte slab. The
+// three-index slice keeps later slab appends from aliasing the result.
+func (a *arena) copyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return emptyValue
+	}
+	if len(b) > arenaByteChunk/4 {
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	}
+	if len(a.bytes)+len(b) > cap(a.bytes) {
+		a.bytes = make([]byte, 0, arenaByteChunk)
+	}
+	start := len(a.bytes)
+	a.bytes = append(a.bytes, b...)
+	return a.bytes[start:len(a.bytes):len(a.bytes)]
+}
+
+// mkLeaf allocates a leaf from the arena, or the heap when a is nil.
+// path and value must already be durable (arena- or heap-owned).
+func mkLeaf(a *arena, path, value []byte) *leafNode {
+	if a == nil {
+		return &leafNode{path: path, value: value}
+	}
+	l := a.newLeaf()
+	l.path, l.value = path, value
+	return l
+}
+
+// mkBranch allocates a zeroed branch from the arena, or the heap when a
+// is nil. Slab elements are born zeroed and never reused, so no clear
+// is needed.
+func mkBranch(a *arena) *branchNode {
+	if a == nil {
+		return &branchNode{}
+	}
+	return a.newBranch()
+}
+
+// EmptyArena returns an empty trie whose whole derived lineage carves
+// nodes and stored bytes from one shared slab arena — the allocation-
+// batched variant the simulated world states run on. See the package
+// notes above on lifetime and on lineage-wide mutation serialization.
+func EmptyArena() *Trie { return &Trie{arena: &arena{}} }

@@ -92,10 +92,12 @@ func (b *branchNode) encodedSize() int {
 }
 
 // Trie is an immutable key/value map with a Merkle root. The zero value is
-// the empty trie.
+// the empty trie. Tries rooted at EmptyArena carry a shared slab arena
+// (see arena.go) that batches the copy-on-write node churn.
 type Trie struct {
 	root  node
 	count int
+	arena *arena
 }
 
 // Empty returns the empty trie.
@@ -114,11 +116,29 @@ func (t *Trie) Root() hashx.Hash {
 
 // nibbles expands a key into 4-bit digits, high nibble first.
 func nibbles(key []byte) []byte {
-	out := make([]byte, 0, 2*len(key))
+	return appendNibbles(make([]byte, 0, 2*len(key)), key)
+}
+
+// appendNibbles expands key into dst, letting hot paths expand typical
+// (short) keys into a stack buffer instead of a fresh heap slice.
+func appendNibbles(dst, key []byte) []byte {
 	for _, b := range key {
-		out = append(out, b>>4, b&0x0F)
+		dst = append(dst, b>>4, b&0x0F)
 	}
-	return out
+	return dst
+}
+
+// nibbleBuf is the stack scratch for key expansion: keys up to 32 bytes
+// (every ledger key — accounts, storage slots — fits) expand without
+// allocating; longer keys fall back to the heap.
+type nibbleBuf [64]byte
+
+// expand converts key to nibbles using buf when it fits.
+func (buf *nibbleBuf) expand(key []byte) []byte {
+	if 2*len(key) <= len(buf) {
+		return appendNibbles(buf[:0], key)
+	}
+	return nibbles(key)
 }
 
 // packNibbles reassembles a full nibble path into the original key bytes.
@@ -134,7 +154,8 @@ func packNibbles(path []byte) []byte {
 // Get returns the value stored under key, or ok=false.
 func (t *Trie) Get(key []byte) (value []byte, ok bool) {
 	n := t.root
-	path := nibbles(key)
+	var buf nibbleBuf
+	path := buf.expand(key)
 	for {
 		switch cur := n.(type) {
 		case nil:
@@ -162,58 +183,71 @@ func (t *Trie) Get(key []byte) (value []byte, ok bool) {
 // Put returns a new trie with key bound to value. The value slice is
 // copied so later caller mutation cannot corrupt shared structure.
 func (t *Trie) Put(key, value []byte) *Trie {
-	v := make([]byte, len(value))
-	copy(v, value)
-	if v == nil {
-		v = []byte{}
+	var v, path []byte
+	if t.arena != nil {
+		// Arena mode: expand the key on the stack, then make the path
+		// and value durable in one slab each — leaves retain subslices
+		// of both, so they must outlive this call.
+		var buf nibbleBuf
+		path = t.arena.copyBytes(buf.expand(key))
+		v = t.arena.copyBytes(value)
+	} else {
+		path = nibbles(key)
+		v = make([]byte, len(value))
+		copy(v, value)
+		if v == nil {
+			v = []byte{}
+		}
 	}
-	root, added := put(t.root, nibbles(key), v)
+	root, added := put(t.arena, t.root, path, v)
 	count := t.count
 	if added {
 		count++
 	}
-	return &Trie{root: root, count: count}
+	return &Trie{root: root, count: count, arena: t.arena}
 }
 
 // put inserts value at path below n, returning the replacement node and
-// whether a brand-new key was created (false when overwriting).
-func put(n node, path, value []byte) (node, bool) {
+// whether a brand-new key was created (false when overwriting). path and
+// value must be durable; nodes come from the arena when a is non-nil.
+func put(a *arena, n node, path, value []byte) (node, bool) {
 	switch cur := n.(type) {
 	case nil:
-		return &leafNode{path: path, value: value}, true
+		return mkLeaf(a, path, value), true
 	case *leafNode:
 		if bytes.Equal(cur.path, path) {
-			return &leafNode{path: path, value: value}, false
+			return mkLeaf(a, path, value), false
 		}
 		// Split: find the common prefix, fan out below it.
 		cp := commonPrefix(cur.path, path)
-		br := &branchNode{}
+		br := mkBranch(a)
 		if len(cur.path) == cp {
 			br.value = cur.value
 		} else {
-			br.children[cur.path[cp]] = &leafNode{path: cur.path[cp+1:], value: cur.value}
+			br.children[cur.path[cp]] = mkLeaf(a, cur.path[cp+1:], cur.value)
 		}
 		if len(path) == cp {
 			br.value = value
 		} else {
-			br.children[path[cp]] = &leafNode{path: path[cp+1:], value: value}
+			br.children[path[cp]] = mkLeaf(a, path[cp+1:], value)
 		}
 		// Wrap the shared prefix in a chain of single-child branches.
 		var out node = br
 		for i := cp - 1; i >= 0; i-- {
-			wrap := &branchNode{}
+			wrap := mkBranch(a)
 			wrap.children[path[i]] = out
 			out = wrap
 		}
 		return out, true
 	case *branchNode:
-		nb := &branchNode{children: cur.children, value: cur.value}
+		nb := mkBranch(a)
+		nb.children, nb.value = cur.children, cur.value
 		if len(path) == 0 {
 			added := cur.value == nil
 			nb.value = value
 			return nb, added
 		}
-		child, added := put(cur.children[path[0]], path[1:], value)
+		child, added := put(a, cur.children[path[0]], path[1:], value)
 		nb.children[path[0]] = child
 		return nb, added
 	default:
@@ -230,13 +264,15 @@ func commonPrefix(a, b []byte) int {
 }
 
 // Delete returns a new trie without key. If the key was absent the
-// original trie is returned unchanged.
+// original trie is returned unchanged. Deletions are rare enough that
+// replacement nodes stay on the plain heap even in arena mode.
 func (t *Trie) Delete(key []byte) *Trie {
-	root, deleted := del(t.root, nibbles(key))
+	var buf nibbleBuf
+	root, deleted := del(t.root, buf.expand(key))
 	if !deleted {
 		return t
 	}
-	return &Trie{root: root, count: t.count - 1}
+	return &Trie{root: root, count: t.count - 1, arena: t.arena}
 }
 
 func del(n node, path []byte) (node, bool) {

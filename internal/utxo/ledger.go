@@ -70,7 +70,7 @@ func NewLedger(alloc map[keys.Address]uint64, params Params) (*Ledger, error) {
 	for a := range alloc {
 		addrs = append(addrs, a)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Hex() < addrs[j].Hex() })
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
 	split := params.GenesisOutputsPerAccount
 	if split < 1 {
 		split = 1

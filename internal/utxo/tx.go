@@ -78,9 +78,10 @@ func (tx *Tx) EncodedSize() int {
 }
 
 // sigBytes serializes the signature-covered portion: every input's
-// outpoint, every output, and the coinbase height.
-func (tx *Tx) sigBytes() []byte {
-	buf := make([]byte, 0, 8+len(tx.Ins)*outpointWireSize+len(tx.Outs)*txOutWireSize)
+// outpoint, every output, and the coinbase height. Typical payments (a
+// few ins/outs) serialize into the caller's stack scratch via SigHash
+// and ID; larger transactions spill to the heap on append.
+func (tx *Tx) appendSigBytes(buf []byte) []byte {
 	var scratch [8]byte
 	binary.BigEndian.PutUint64(scratch[:], tx.CoinbaseHeight)
 	buf = append(buf, scratch[:]...)
@@ -97,12 +98,20 @@ func (tx *Tx) sigBytes() []byte {
 	return buf
 }
 
+// sigScratch fits the signed portion of a several-input payment on the
+// caller's stack.
+type sigScratch [512]byte
+
 // SigHash is the digest each input signs.
-func (tx *Tx) SigHash() hashx.Hash { return hashx.Sum(tx.sigBytes()) }
+func (tx *Tx) SigHash() hashx.Hash {
+	var sb sigScratch
+	return hashx.Sum(tx.appendSigBytes(sb[:0]))
+}
 
 // ID returns the transaction identifier, covering signatures as well.
 func (tx *Tx) ID() hashx.Hash {
-	buf := tx.sigBytes()
+	var sb sigScratch
+	buf := tx.appendSigBytes(sb[:0])
 	for _, in := range tx.Ins {
 		buf = append(buf, in.PubKey...)
 		buf = append(buf, in.Sig...)
