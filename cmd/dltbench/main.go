@@ -10,6 +10,8 @@
 //	dltbench                     # run all experiments, one worker per core
 //	dltbench -workers 1          # serial sweep (same tables, slower)
 //	dltbench -experiment E9      # one experiment
+//	dltbench -paradigm tangle    # only the tangle's rows in E9/E19/E20
+//	dltbench -paradigm bitcoin,nano              # a two-paradigm comparison
 //	dltbench -scale 0.25 -seed 7 # smaller/faster, different randomness
 //	dltbench -format json        # machine-readable tables (also: csv)
 //	dltbench -nano-batch 32      # add batched Nano sweep rows to E9/E12
@@ -28,8 +30,8 @@
 //	dltbench -experiment E20 -backlog-ttl 30s             # age-based backlog eviction
 //	dltbench -list               # show the registry
 //	dltbench -timing             # append the wall-clock/speedup table
-//	dltbench -bench-report -bench-out BENCH_009.json      # commit a perf baseline
-//	dltbench -bench-compare BENCH_009.json                # live regression gate
+//	dltbench -bench-report -bench-out BENCH_010.json      # commit a perf baseline
+//	dltbench -bench-compare BENCH_010.json                # live regression gate
 //	dltbench -bench-compare old.json -bench-candidate new.json  # diff two files
 package main
 
@@ -41,10 +43,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/perf"
 	"repro/internal/sim"
 )
@@ -55,12 +59,15 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (E1…E20) or 'all'")
-		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
-		scale      = flag.Float64("scale", 1.0, "duration/workload scale factor")
-		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU core)")
-		format     = flag.String("format", "text", "table output format: text, csv or json")
-		nanoBatch  = flag.Int("nano-batch", 0,
+		experiment = flag.String("experiment", "all", "experiment id (E1…E21) or 'all'")
+		paradigm   = flag.String("paradigm", "all",
+			"ledger paradigms the cross-paradigm experiments (E9/E19/E20) build rows for: a comma-separated subset of "+
+				strings.Join(netsim.ParadigmNames(), ", ")+", or 'all'")
+		seed      = flag.Int64("seed", 42, "random seed; equal seeds reproduce results exactly")
+		scale     = flag.Float64("scale", 1.0, "duration/workload scale factor")
+		workers   = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU core)")
+		format    = flag.String("format", "text", "table output format: text, csv or json")
+		nanoBatch = flag.Int("nano-batch", 0,
 			"add batched Nano sweep rows to E9/E12 with this gossip ingest batch size (<= 1 = serial tables only)")
 		nanoWindow = flag.Duration("nano-batch-window", 0,
 			"accumulation window for Nano gossip batches (0 = 5ms default)")
@@ -99,7 +106,7 @@ func run() int {
 		benchReport = flag.Bool("bench-report", false,
 			"run the perf trajectory suite and write the canonical BENCH JSON (see PERFORMANCE.md)")
 		benchOut   = flag.String("bench-out", "", "path for the -bench-report output ('' = stdout)")
-		benchLabel = flag.String("bench-label", "009", "baseline label embedded in the -bench-report output")
+		benchLabel = flag.String("bench-label", "010", "baseline label embedded in the -bench-report output")
 		benchScale = flag.Float64("bench-scale", 1, "perf suite workload scale; reports only compare at equal scale")
 		benchTime  = flag.Duration("bench-time", time.Second,
 			"minimum measured duration per perf benchmark (CI turns this down, not -bench-scale)")
@@ -136,7 +143,7 @@ func run() int {
 		withholdWeight: *withholdWeight, partitionFrac: *partitionFrac,
 		churnNodes: *churnNodes, dsTrials: *dsTrials,
 		syncPullBatch: *syncPullBatch, backlogCap: *backlogCap, backlogTTL: *backlogTTL,
-		queue: *queue, megaNodes: *megaNodes,
+		queue: *queue, megaNodes: *megaNodes, paradigms: parseParadigms(*paradigm),
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -161,6 +168,7 @@ func run() int {
 	// serial schedule; the tables are identical either way.
 	cfg := core.Config{
 		Seed: *seed, Scale: *scale, Workers: *workers,
+		Paradigms: parseParadigms(*paradigm),
 		NanoBatch: *nanoBatch, NanoBatchWindow: *nanoWindow,
 		FaultPartitionFrac: *partitionFrac, FaultChurnNodes: *churnNodes,
 		DoubleSpendTrials: *dsTrials,
@@ -209,6 +217,24 @@ type knobRanges struct {
 	churnNodes, dsTrials, syncPullBatch, backlogCap, megaNodes             int
 	backlogTTL                                                             time.Duration
 	queue                                                                  string
+	paradigms                                                              []string
+}
+
+// parseParadigms splits the -paradigm value into paradigm registry
+// names. The default 'all' — and an empty value — selects every
+// registered paradigm (core.Config treats an empty filter the same
+// way), so the historical full-comparison tables need no flag at all.
+func parseParadigms(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 1 && out[0] == "all" {
+		return nil
+	}
+	return out
 }
 
 // validateKnobs rejects out-of-range adversary and fault knobs with the
@@ -249,6 +275,15 @@ func validateKnobs(k knobRanges) error {
 	}
 	if k.megaNodes < 0 || k.megaNodes > 10_000_000 {
 		return fmt.Errorf("-mega-nodes %d out of range: want a node count in [0, 10000000]", k.megaNodes)
+	}
+	for _, p := range k.paradigms {
+		if p == "all" {
+			continue
+		}
+		if _, err := netsim.ParadigmByName(p); err != nil {
+			return fmt.Errorf("-paradigm %q unknown: want a comma-separated subset of %s, or 'all'",
+				p, strings.Join(netsim.ParadigmNames(), ", "))
+		}
 	}
 	return nil
 }

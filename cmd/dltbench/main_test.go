@@ -19,11 +19,15 @@ func TestValidateKnobs(t *testing.T) {
 		withholdWeight: 1, partitionFrac: 0.5, churnNodes: 3, dsTrials: 10,
 		syncPullBatch: 65536, backlogCap: 1 << 20, backlogTTL: 24 * time.Hour,
 		queue: "calendar", megaNodes: 10_000_000,
+		paradigms: []string{"bitcoin", "ethereum", "nano", "tangle"},
 	}); err != nil {
 		t.Fatalf("in-range knobs rejected: %v", err)
 	}
 	if err := validateKnobs(knobRanges{queue: "heap"}); err != nil {
 		t.Fatalf("-queue heap rejected: %v", err)
+	}
+	if err := validateKnobs(knobRanges{paradigms: []string{"all"}}); err != nil {
+		t.Fatalf("-paradigm all rejected: %v", err)
 	}
 	bad := []struct {
 		flag string
@@ -49,6 +53,8 @@ func TestValidateKnobs(t *testing.T) {
 		{"-queue", knobRanges{queue: "fibonacci"}},
 		{"-mega-nodes", knobRanges{megaNodes: -1}},
 		{"-mega-nodes", knobRanges{megaNodes: 10_000_001}},
+		{"-paradigm", knobRanges{paradigms: []string{"iota"}}},
+		{"-paradigm", knobRanges{paradigms: []string{"bitcoin", "tangel"}}},
 	}
 	for _, c := range bad {
 		err := validateKnobs(c.k)
@@ -58,5 +64,30 @@ func TestValidateKnobs(t *testing.T) {
 		if !strings.Contains(err.Error(), c.flag) {
 			t.Fatalf("error does not name the flag %s: %v", c.flag, err)
 		}
+	}
+	// The unknown-paradigm message must teach the legal spellings.
+	if err := validateKnobs(knobRanges{paradigms: []string{"iota"}}); err == nil ||
+		!strings.Contains(err.Error(), "bitcoin") || !strings.Contains(err.Error(), "tangle") {
+		t.Fatalf("unknown-paradigm error does not list the legal names: %v", err)
+	}
+}
+
+// parseParadigms must map the default and explicit 'all' to the empty
+// filter, split comma lists, and trim whitespace.
+func TestParseParadigms(t *testing.T) {
+	if got := parseParadigms("all"); got != nil {
+		t.Fatalf("parseParadigms(all) = %v, want nil", got)
+	}
+	if got := parseParadigms(""); got != nil {
+		t.Fatalf("parseParadigms('') = %v, want nil", got)
+	}
+	got := parseParadigms(" bitcoin, tangle ")
+	if len(got) != 2 || got[0] != "bitcoin" || got[1] != "tangle" {
+		t.Fatalf("parseParadigms = %v", got)
+	}
+	// 'all' mixed with names is passed through for validation to accept
+	// (it matches everything in core), not silently collapsed.
+	if got := parseParadigms("all,nano"); len(got) != 2 {
+		t.Fatalf("parseParadigms(all,nano) = %v", got)
 	}
 }

@@ -1,11 +1,13 @@
 // Package dlt is the public facade of the DLT comparison library — a
 // from-scratch Go reproduction of "Distributed Ledger Technology:
 // Blockchain Compared to Directed Acyclic Graph" (Benčić & Podnar Žarko,
-// ICDCS 2018). It re-exports the stable API: the three reference systems
+// ICDCS 2018). It re-exports the stable API: the reference systems
 // (a Bitcoin-like UTXO chain, an Ethereum-like account/gas chain with PoW
-// or PoS+FFG, and a Nano-like block-lattice with Open Representative
-// Voting), the discrete-event network simulations that run them, and the
-// experiment registry that regenerates every figure and quantitative
+// or PoS+FFG, a Nano-like block-lattice with Open Representative Voting,
+// and an IOTA-like cooperative tangle where every transaction is its own
+// DAG vertex), the discrete-event network simulations that run them, the
+// ledger-paradigm registry the cross-paradigm experiments iterate, and
+// the experiment registry that regenerates every figure and quantitative
 // claim in the paper.
 //
 // Quick start:
@@ -72,13 +74,34 @@ type (
 	EthereumConfig = netsim.EthereumConfig
 	// NanoConfig parameterizes a Nano-like block-lattice network.
 	NanoConfig = netsim.NanoConfig
-	// BitcoinNet, EthereumNet and NanoNet are running simulations.
+	// TangleConfig parameterizes an IOTA-like cooperative tangle: every
+	// transaction is its own vertex approving earlier vertices, and
+	// confirmation is cumulative approval coverage crossing ConfirmWeight.
+	TangleConfig = netsim.TangleConfig
+	// TipSelector is the tangle's strategy seam: which tips a new vertex
+	// approves. The default is uniform random tip selection (URTS).
+	TipSelector = netsim.TipSelector
+	// BitcoinNet, EthereumNet, NanoNet and TangleNet are running
+	// simulations.
 	BitcoinNet  = netsim.BitcoinNet
 	EthereumNet = netsim.EthereumNet
 	NanoNet     = netsim.NanoNet
-	// ChainMetrics and NanoMetrics are run results.
-	ChainMetrics = netsim.ChainMetrics
-	NanoMetrics  = netsim.NanoMetrics
+	TangleNet   = netsim.TangleNet
+	// ChainMetrics, NanoMetrics and TangleMetrics are run results.
+	ChainMetrics  = netsim.ChainMetrics
+	NanoMetrics   = netsim.NanoMetrics
+	TangleMetrics = netsim.TangleMetrics
+	// ParadigmSpec is one entry of the ledger-paradigm registry: every
+	// network constructor (NewBitcoin/NewEthereum/NewNano/NewTangle)
+	// registers a uniform Build hook, and the cross-paradigm experiments
+	// (E9, E19, E20) iterate the registry instead of hard-coding systems.
+	// ParadigmNet is the uniform handle a Build returns; ParadigmMetrics
+	// is its paradigm-neutral run summary; BuildOptions carries the
+	// workload knobs shared across paradigms.
+	ParadigmSpec    = netsim.ParadigmSpec
+	ParadigmNet     = netsim.ParadigmNet
+	ParadigmMetrics = netsim.ParadigmMetrics
+	BuildOptions    = netsim.BuildOptions
 	// Behavior is the per-node strategy seam of the shared node runtime:
 	// interception points for peer filtering, inbound/outbound traffic,
 	// block production and consensus votes. HonestBehavior is the
@@ -97,6 +120,11 @@ type (
 	SelfishMiningBehavior = netsim.SelfishMiningBehavior
 	VoteWithholdBehavior  = netsim.VoteWithholdBehavior
 	EclipseReport         = netsim.EclipseReport
+	// ParasiteChainBehavior is the tangle's scripted adversary (E21): an
+	// attacker node grows a hidden sub-tangle off an old anchor and
+	// releases it at a chosen depth, measuring how far self-attached
+	// weight carries under pure cumulative-coverage confirmation.
+	ParasiteChainBehavior = netsim.ParasiteChainBehavior
 	// ChainDoubleSpendPlan and LatticeDoubleSpendPlan schedule EXECUTED
 	// double spends (E18): the attack is carried through to a wrong
 	// settlement — eclipse-fed payments, partition-hidden forks — and
@@ -125,6 +153,22 @@ func NewEthereumNetwork(cfg EthereumConfig) (*EthereumNet, error) { return netsi
 // NewNanoNetwork builds a Nano-like block-lattice network simulation.
 func NewNanoNetwork(cfg NanoConfig) (*NanoNet, error) { return netsim.NewNano(cfg) }
 
+// NewTangleNetwork builds an IOTA-like cooperative tangle simulation.
+func NewTangleNetwork(cfg TangleConfig) (*TangleNet, error) { return netsim.NewTangle(cfg) }
+
+// Paradigms returns the ledger-paradigm registry in comparison order
+// (bitcoin, ethereum, nano, tangle); ParadigmNames returns just the
+// names, and ParadigmByName resolves one entry or errors with the legal
+// spellings. Config.Paradigms filters the cross-paradigm experiments by
+// these names.
+func Paradigms() []ParadigmSpec { return netsim.Paradigms() }
+
+// ParadigmNames lists the registered paradigm names in registry order.
+func ParadigmNames() []string { return netsim.ParadigmNames() }
+
+// ParadigmByName resolves a registry entry by name.
+func ParadigmByName(name string) (ParadigmSpec, error) { return netsim.ParadigmByName(name) }
+
 // Run and Report are the worker-pool scheduler's per-experiment and
 // aggregate results.
 type (
@@ -145,7 +189,7 @@ func RunAllContext(ctx context.Context, cfg Config, workers int) (*Report, error
 	return core.RunAllContext(ctx, cfg, workers)
 }
 
-// Experiments returns the full registry (E1…E20) in paper order.
+// Experiments returns the full registry (E1…E21) in paper order.
 func Experiments() []Experiment { return core.Experiments() }
 
 // ExperimentByID looks up one experiment.

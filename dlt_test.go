@@ -11,8 +11,8 @@ import (
 
 func TestFacadeRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("registry = %d experiments, want 20", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("registry = %d experiments, want 21", len(exps))
 	}
 	e, err := ExperimentByID("E1")
 	if err != nil || e.ID != "E1" {
@@ -44,8 +44,8 @@ func TestFacadeRunAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(report.Runs) != 20 {
-		t.Fatalf("sweep ran %d/20 experiments", len(report.Runs))
+	if len(report.Runs) != 21 {
+		t.Fatalf("sweep ran %d/21 experiments", len(report.Runs))
 	}
 	for i, r := range report.Runs {
 		if r.Experiment.ID != Experiments()[i].ID {

@@ -121,6 +121,13 @@ type Config struct {
 	// each. False (the default) keeps the historical E18 table
 	// byte-identical.
 	DepthSweep bool
+	// Paradigms filters which registered ledger paradigms the
+	// cross-paradigm comparison experiments (E9, E19, E20) build rows
+	// for, by netsim registry name ("bitcoin", "ethereum", "nano",
+	// "tangle"). Empty — or any entry equal to "all" — selects every
+	// registered paradigm, the historical tables. dltbench validates
+	// spellings against netsim.ParadigmNames() before they get here.
+	Paradigms []string
 	// SyncPullBatch is E20's cold-start range-pull window: how many
 	// history blocks one sync request asks a peer for. <= 0 means the
 	// sync manager's default (32).
@@ -202,7 +209,7 @@ func (c Config) count(base int) int {
 
 // Experiment reproduces one figure or quantitative claim of the paper.
 type Experiment struct {
-	// ID is the experiment key (E1…E20).
+	// ID is the experiment key (E1…E21).
 	ID string
 	// Title names the reproduced artifact.
 	Title string
@@ -237,6 +244,7 @@ func Experiments() []Experiment {
 		{ID: "E18", Title: "executed double-spends under combined adversaries (eclipse, hidden forks)", Section: "IV", Run: RunE18ExecutedDoubleSpend},
 		{ID: "E19", Title: "scaling law: throughput, finality & memory per node vs network size", Section: "VI", Run: RunE19ScalingLaw},
 		{ID: "E20", Title: "cold-start bootstrap: catch-up latency & pulled bytes vs ledger length", Section: "V", Run: RunE20ColdStart},
+		{ID: "E21", Title: "tangle confirmation: coverage threshold & parasite chain", Section: "IV", Run: RunE21TangleConfirmation},
 	}
 }
 

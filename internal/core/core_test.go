@@ -12,8 +12,8 @@ func smallCfg() Config { return Config{Seed: 7, Scale: 0.25} }
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

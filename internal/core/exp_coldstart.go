@@ -50,12 +50,10 @@ func e20Chain(cfg Config, factor int) ([]string, error) {
 	for i := 0; i < cold; i++ {
 		rates[i] = 1
 	}
+	np := cfg.netParams(nodes, 4, cfg.Seed+int64(100+factor), 20*time.Millisecond, 200*time.Millisecond)
+	np.SampleBudget = e19SampleBudget
 	net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
-		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(100+factor), Shards: cfg.Shards, Queue: cfg.queue(),
-			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
-			SampleBudget: e19SampleBudget,
-		},
+		Net:           np,
 		HashRates:     rates,
 		BlockInterval: cfg.dur(10 * time.Second),
 		// Accounts stop short of the cold node's index: every home ledger
@@ -88,12 +86,10 @@ func e20Chain(cfg Config, factor int) ([]string, error) {
 // the network never sees.
 func e20Nano(cfg Config, factor int) ([]string, error) {
 	const nodes, cold = 8, 7
+	np := cfg.netParams(nodes, 4, cfg.Seed+int64(200+factor), 20*time.Millisecond, 200*time.Millisecond)
+	np.SampleBudget = e19SampleBudget
 	net, err := netsim.NewNano(netsim.NanoConfig{
-		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(200+factor), Shards: cfg.Shards, Queue: cfg.queue(),
-			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
-			SampleBudget: e19SampleBudget,
-		},
+		Net:      np,
 		Accounts: e19Accounts, Reps: 4, Workers: cfg.Workers,
 		BacklogCap: cfg.BacklogCap, BacklogTTL: cfg.BacklogTTL,
 	})
@@ -117,21 +113,20 @@ func e20Nano(cfg Config, factor int) ([]string, error) {
 		took, ok, net.SyncStats()), nil
 }
 
-// RunE20ColdStart measures bootstrap catch-up on both paradigms: the
-// time and pulled bytes a cold node needs to join, swept over ledger
-// length (history factors 1, 2, 4). Points fan out across cfg.Workers;
+// RunE20ColdStart measures bootstrap catch-up on every selected
+// paradigm with a cold-start hook: the time and pulled bytes a cold
+// node needs to join, swept over ledger length (history factors 1, 2,
+// 4). The system list comes from the paradigm registry
+// (Config.Paradigms filters it). Points fan out across cfg.Workers;
 // rows land in fixed (factor, system) order.
 func RunE20ColdStart(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	t := metrics.NewTable("E20 (§V): cold-start bootstrap — catch-up latency & pulled bytes vs ledger length",
 		"system", "history-factor", "history-blocks", "ledger", "catch-up", "pulled", "range-pulls", "evicted")
 
-	rows, err := fanOut(ctx, cfg, 2*len(e20Factors), func(i int) ([]string, error) {
-		factor := e20Factors[i/2]
-		if i%2 == 0 {
-			return e20Chain(cfg, factor)
-		}
-		return e20Nano(cfg, factor)
+	sys := e20Systems(cfg)
+	rows, err := fanOut(ctx, cfg, len(sys)*len(e20Factors), func(i int) ([]string, error) {
+		return sys[i%len(sys)](cfg, e20Factors[i/len(sys)])
 	})
 	if err != nil {
 		return nil, err

@@ -50,7 +50,8 @@ func TestE20RowsCarryData(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := tbl.Rows()
-	if want := 2 * len(e20Factors); len(rows) != want {
+	cfg := Config{Scale: 0.02}.withDefaults()
+	if want := len(e20Systems(cfg)) * len(e20Factors); len(rows) != want {
 		t.Fatalf("E20 rows = %d, want %d", len(rows), want)
 	}
 	for _, row := range rows {

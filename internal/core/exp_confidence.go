@@ -27,11 +27,7 @@ func RunE4Forks(ctx context.Context, cfg Config) (*metrics.Table, error) {
 			return nil, err
 		}
 		net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
-			Net: netsim.NetParams{
-				Nodes: 12, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards, Queue: cfg.queue(),
-				MinLatency: 200 * time.Millisecond,
-				MaxLatency: 2 * time.Second,
-			},
+			Net:           cfg.netParams(12, 3, cfg.Seed, 200*time.Millisecond, 2*time.Second),
 			BlockInterval: interval,
 			Accounts:      8,
 		})
@@ -97,10 +93,7 @@ func RunE6VoteConfirmation(ctx context.Context, cfg Config) (*metrics.Table, err
 				return nil, err
 			}
 			net, err := netsim.NewNano(netsim.NanoConfig{
-				Net: netsim.NetParams{
-					Nodes: 10, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards, Queue: cfg.queue(),
-					MinLatency: 20 * time.Millisecond, MaxLatency: 120 * time.Millisecond,
-				},
+				Net:            cfg.netParams(10, 3, cfg.Seed, 20*time.Millisecond, 120*time.Millisecond),
 				Accounts:       24,
 				Reps:           reps,
 				QuorumFraction: quorum,

@@ -105,12 +105,10 @@ func e19Row(system string, nodes int, events uint64, msgs int, traffic int64, tp
 // block interval plus the median full-network propagation delay — the
 // expected wait for one confirmation (§IV-A's weakest merchant rule).
 func e19Chain(cfg Config, nodes int) ([]string, error) {
+	np := cfg.netParams(nodes, 4, cfg.Seed+int64(nodes), 20*time.Millisecond, 200*time.Millisecond)
+	np.SampleBudget = e19SampleBudget
 	net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
-		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(nodes), Shards: cfg.Shards, Queue: cfg.queue(),
-			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
-			SampleBudget: e19SampleBudget,
-		},
+		Net:           np,
 		BlockInterval: cfg.dur(30 * time.Second), Accounts: e19Accounts, InitialBalance: 1 << 30,
 	})
 	if err != nil {
@@ -136,12 +134,10 @@ func e19Chain(cfg Config, nodes int) ([]string, error) {
 // block-creation→quorum delay at the observer — vote aggregation, not
 // block depth, so it tracks propagation alone as the network grows.
 func e19Nano(cfg Config, nodes int) ([]string, error) {
+	np := cfg.netParams(nodes, 4, cfg.Seed+int64(nodes)+1, 20*time.Millisecond, 200*time.Millisecond)
+	np.SampleBudget = e19SampleBudget
 	net, err := netsim.NewNano(netsim.NanoConfig{
-		Net: netsim.NetParams{
-			Nodes: nodes, PeerDegree: 4, Seed: cfg.Seed + int64(nodes) + 1, Shards: cfg.Shards, Queue: cfg.queue(),
-			MinLatency: 20 * time.Millisecond, MaxLatency: 200 * time.Millisecond,
-			SampleBudget: e19SampleBudget,
-		},
+		Net:      np,
 		Accounts: e19Accounts, Reps: 4, Workers: cfg.Workers,
 	})
 	if err != nil {
@@ -162,23 +158,22 @@ func e19Nano(cfg Config, nodes int) ([]string, error) {
 		m.MessagesSent, m.BytesSent, m.BPS, finality, m.LedgerBytes), nil
 }
 
-// RunE19ScalingLaw sweeps network size on both paradigms (10² → 10⁵
-// nodes at Scale 1) under a fixed workload and reports the scaling-law
-// curves: throughput, finality latency, per-node message and traffic
-// cost, modeled state per node and total simulator events. Sweep points
-// fan out across cfg.Workers; rows land in fixed (size, system) order.
+// RunE19ScalingLaw sweeps network size on every selected paradigm with
+// a scaling-law hook (10² → 10⁵ nodes at Scale 1) under a fixed
+// workload and reports the scaling-law curves: throughput, finality
+// latency, per-node message and traffic cost, modeled state per node
+// and total simulator events. The system list comes from the paradigm
+// registry (Config.Paradigms filters it). Sweep points fan out across
+// cfg.Workers; rows land in fixed (size, system) order.
 func RunE19ScalingLaw(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	counts := e19NodeCounts(cfg)
 	t := metrics.NewTable("E19 (§VI): scaling law — throughput, finality & per-node cost vs network size",
 		"system", "nodes", "throughput", "finality-p50", "msgs/node", "traffic/node", "state/node", "events")
 
-	rows, err := fanOut(ctx, cfg, 2*len(counts), func(i int) ([]string, error) {
-		nodes := counts[i/2]
-		if i%2 == 0 {
-			return e19Chain(cfg, nodes)
-		}
-		return e19Nano(cfg, nodes)
+	sys := e19Systems(cfg)
+	rows, err := fanOut(ctx, cfg, len(sys)*len(counts), func(i int) ([]string, error) {
+		return sys[i%len(sys)](cfg, counts[i/len(sys)])
 	})
 	if err != nil {
 		return nil, err

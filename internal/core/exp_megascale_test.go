@@ -56,7 +56,8 @@ func TestE19RowsCarryTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := tbl.Rows()
-	if want := 2 * len(e19NodeCounts(Config{Scale: 0.02}.withDefaults())); len(rows) != want {
+	cfg := Config{Scale: 0.02}.withDefaults()
+	if want := len(e19Systems(cfg)) * len(e19NodeCounts(cfg)); len(rows) != want {
 		t.Fatalf("E19 rows = %d, want %d", len(rows), want)
 	}
 	for _, row := range rows {

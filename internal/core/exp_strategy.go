@@ -57,10 +57,7 @@ func e16Fracs(cfg Config) []float64 {
 // zero the pipeline is the untouched honest run.
 func e16Bitcoin(cfg Config, frac float64) ([]string, error) {
 	net, err := netsim.NewBitcoin(netsim.BitcoinConfig{
-		Net: netsim.NetParams{
-			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 11, Shards: cfg.Shards, Queue: cfg.queue(),
-			MinLatency: 20 * time.Millisecond, MaxLatency: 150 * time.Millisecond,
-		},
+		Net:           cfg.netParams(10, 4, cfg.Seed+11, 20*time.Millisecond, 150*time.Millisecond),
 		BlockInterval: 15 * time.Second, Accounts: 64, InitialBalance: 1 << 32,
 	})
 	if err != nil {
@@ -88,10 +85,7 @@ func e16Bitcoin(cfg Config, frac float64) ([]string, error) {
 // unsettled backlog, confirmation latency — are the victim's experience.
 func e16Nano(cfg Config, frac float64) ([]string, error) {
 	net, err := netsim.NewNano(netsim.NanoConfig{
-		Net: netsim.NetParams{
-			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 13, Shards: cfg.Shards, Queue: cfg.queue(),
-			MinLatency: 10 * time.Millisecond, MaxLatency: 60 * time.Millisecond,
-		},
+		Net:      cfg.netParams(10, 4, cfg.Seed+13, 10*time.Millisecond, 60*time.Millisecond),
 		Accounts: 40, Reps: 4, Workers: cfg.Workers,
 	})
 	if err != nil {
@@ -255,10 +249,7 @@ func e17Selfish(cfg Config, alpha float64) ([]string, error) {
 // quorum margin.
 func e17Withhold(cfg Config, w float64) ([]string, error) {
 	net, err := netsim.NewNano(netsim.NanoConfig{
-		Net: netsim.NetParams{
-			Nodes: 10, PeerDegree: 4, Seed: cfg.Seed + 19, Shards: cfg.Shards, Queue: cfg.queue(),
-			MinLatency: 10 * time.Millisecond, MaxLatency: 60 * time.Millisecond,
-		},
+		Net:      cfg.netParams(10, 4, cfg.Seed+19, 10*time.Millisecond, 60*time.Millisecond),
 		Accounts: 40, Reps: 8, Workers: cfg.Workers,
 	})
 	if err != nil {

@@ -141,10 +141,7 @@ func RunE3Settlement(ctx context.Context, cfg Config) (*metrics.Table, error) {
 	cfg = cfg.withDefaults()
 	run := func(offline map[int]bool) (netsim.NanoMetrics, error) {
 		net, err := netsim.NewNano(netsim.NanoConfig{
-			Net: netsim.NetParams{
-				Nodes: 8, PeerDegree: 3, Seed: cfg.Seed, Shards: cfg.Shards, Queue: cfg.queue(),
-				MinLatency: 10 * time.Millisecond, MaxLatency: 60 * time.Millisecond,
-			},
+			Net:              cfg.netParams(8, 3, cfg.Seed, 10*time.Millisecond, 60*time.Millisecond),
 			Accounts:         16,
 			Reps:             4,
 			OfflineReceivers: offline,

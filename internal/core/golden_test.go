@@ -44,12 +44,15 @@ func goldenCfg() Config { return Config{Seed: 7, Scale: 0.1} }
 // goldenIDs are every pinned experiment: the historical E1–E15 the
 // node-runtime refactor must preserve, the adversarial E16–E18
 // captured when the executed-attack layer landed, the E19 scaling
-// law captured with the struct-of-arrays node core, and the E20
-// cold-start bootstrap captured with the sync-manager layer.
+// law captured with the struct-of-arrays node core, the E20
+// cold-start bootstrap captured with the sync-manager layer, and the
+// E21 tangle confirmation captured with the third-paradigm seam (E9,
+// E19 and E20 were recaptured then: the registry lift itself replayed
+// them byte-for-byte, and the tangle paradigm then appended its rows).
 var goldenIDs = []string{
 	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
 	"E9", "E10", "E11", "E12", "E13", "E14", "E15",
-	"E16", "E17", "E18", "E19", "E20",
+	"E16", "E17", "E18", "E19", "E20", "E21",
 }
 
 func TestGoldenTables(t *testing.T) {

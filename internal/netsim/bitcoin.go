@@ -227,3 +227,22 @@ func (b *BitcoinNet) EclipseReport(victim int) EclipseReport { return b.chain.ec
 
 // ErrNoMiners mirrors §III-A1: with no hash rate there is no throughput.
 var ErrNoMiners = errors.New("netsim: no mining power configured")
+
+// The paradigm-seam registration (paradigm.go): Bitcoin is the paper's
+// reference PoW blockchain. The seam build keeps a 30-second block
+// interval so comparison runs settle inside short simulated spans.
+func init() {
+	registerParadigm(ParadigmSpec{
+		Name: "bitcoin", Family: "blockchain", Order: 0,
+		Build: func(np NetParams, o BuildOptions) (ParadigmNet, error) {
+			net, err := NewBitcoin(BitcoinConfig{
+				Net: np, BlockInterval: 30 * time.Second,
+				Accounts: o.Accounts, BacklogCap: o.BacklogCap, BacklogTTL: o.BacklogTTL,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return bitcoinParadigm{net}, nil
+		},
+	})
+}

@@ -406,3 +406,21 @@ func (e *EthereumNet) MinerShare(idx int) (mined, total int) { return e.chain.mi
 // EclipseReport compares a victim node's chain against the network
 // consensus after a run (E16).
 func (e *EthereumNet) EclipseReport(victim int) EclipseReport { return e.chain.eclipseReport(victim) }
+
+// The paradigm-seam registration (paradigm.go): Ethereum is the paper's
+// second blockchain, PoW with its native 15-second interval.
+func init() {
+	registerParadigm(ParadigmSpec{
+		Name: "ethereum", Family: "blockchain", Order: 1,
+		Build: func(np NetParams, o BuildOptions) (ParadigmNet, error) {
+			net, err := NewEthereum(EthereumConfig{
+				Net: np, Consensus: PoW,
+				Accounts: o.Accounts, BacklogCap: o.BacklogCap, BacklogTTL: o.BacklogTTL,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return ethereumParadigm{net}, nil
+		},
+	})
+}

@@ -1035,3 +1035,21 @@ func (n *NanoNet) collect(duration time.Duration) NanoMetrics {
 	m.BytesSent = ns.BytesSent
 	return *m
 }
+
+// The paradigm-seam registration (paradigm.go): Nano's block-lattice is
+// the paper's DAG side.
+func init() {
+	registerParadigm(ParadigmSpec{
+		Name: "nano", Family: "dag", Order: 2,
+		Build: func(np NetParams, o BuildOptions) (ParadigmNet, error) {
+			net, err := NewNano(NanoConfig{
+				Net: np, Accounts: o.Accounts,
+				BacklogCap: o.BacklogCap, BacklogTTL: o.BacklogTTL,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return nanoParadigm{net}, nil
+		},
+	})
+}

@@ -1,0 +1,122 @@
+package netsim
+
+// The paradigm seam's contract: the registry lists every ledger in its
+// fixed comparison order, each spec's Build produces a runnable network
+// from the shared knobs, and the seam-built network behaves exactly
+// like one constructed through the native config — in particular,
+// building through the seam must not double-arm the chains' mining
+// loops (Build once scheduled mining that Run then scheduled again,
+// silently doubling the block rate on the seam path only).
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestParadigmRegistryOrderAndLookup(t *testing.T) {
+	wantNames := []string{"bitcoin", "ethereum", "nano", "tangle"}
+	wantFamily := map[string]string{
+		"bitcoin": "blockchain", "ethereum": "blockchain",
+		"nano": "dag", "tangle": "dag",
+	}
+	specs := Paradigms()
+	if len(specs) != len(wantNames) {
+		t.Fatalf("registry has %d paradigms, want %d", len(specs), len(wantNames))
+	}
+	for i, s := range specs {
+		if s.Name != wantNames[i] {
+			t.Fatalf("paradigm %d = %q, want %q", i, s.Name, wantNames[i])
+		}
+		if s.Family != wantFamily[s.Name] {
+			t.Fatalf("%s family = %q, want %q", s.Name, s.Family, wantFamily[s.Name])
+		}
+		if s.Build == nil {
+			t.Fatalf("%s has no Build", s.Name)
+		}
+		byName, err := ParadigmByName(s.Name)
+		if err != nil || byName.Order != s.Order {
+			t.Fatalf("ParadigmByName(%s) = %+v, %v", s.Name, byName, err)
+		}
+	}
+	if _, err := ParadigmByName("ripple"); err == nil {
+		t.Fatal("unknown paradigm did not error")
+	}
+}
+
+// Every registered paradigm must build from the shared knobs and carry
+// real traffic through the uniform surface: submissions settle, the
+// canonical stream grows, and the summary metrics are populated.
+func TestParadigmBuildAndRun(t *testing.T) {
+	np := NetParams{
+		Nodes: 8, PeerDegree: 3, Seed: 97,
+		MinLatency: 20 * time.Millisecond, MaxLatency: 120 * time.Millisecond,
+	}
+	load := workload.Payments(rand.New(rand.NewSource(101)), workload.Config{
+		Accounts: 16, Rate: 4, Duration: 3 * time.Minute,
+		MinAmount: 1, MaxAmount: 5,
+	})
+	for _, spec := range Paradigms() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			net, err := spec.Build(np, BuildOptions{Accounts: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if net.Sim() == nil || net.Net() == nil || net.Runtime() == nil {
+				t.Fatal("seam network exposes no substrate")
+			}
+			for _, p := range load {
+				net.Submit(p)
+			}
+			m := net.RunSpan(6 * time.Minute)
+			if m.Confirmed == 0 {
+				t.Fatalf("%s confirmed nothing through the seam: %+v", spec.Name, m)
+			}
+			if m.Throughput <= 0 || m.MessagesSent == 0 || m.LedgerBytes == 0 {
+				t.Fatalf("%s summary metrics not populated: %+v", spec.Name, m)
+			}
+			if net.CanonicalLength() == 0 {
+				t.Fatalf("%s canonical stream empty after a loaded run", spec.Name)
+			}
+		})
+	}
+}
+
+// The seam must be construction-only sugar: a bitcoin network built
+// through the registry replays byte-identically to one built through
+// BitcoinConfig directly. This is the regression test for the
+// double-armed mining loop — with mining scheduled in both Build and
+// Run, the seam-built chain grew at twice the native block rate.
+func TestParadigmBuildMatchesNativeConstruction(t *testing.T) {
+	np := NetParams{
+		Nodes: 8, PeerDegree: 3, Seed: 55,
+		MinLatency: 20 * time.Millisecond, MaxLatency: 120 * time.Millisecond,
+	}
+	spec, err := ParadigmByName("bitcoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seam, err := spec.Build(np, BuildOptions{Accounts: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := NewBitcoin(BitcoinConfig{
+		Net: np, BlockInterval: 30 * time.Second, Accounts: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := seam.RunSpan(10 * time.Minute)
+	nm := native.Run(10 * time.Minute)
+	if sm.Confirmed != nm.ConfirmedTxs || seam.CanonicalLength() != len(native.Observer().Store().MainChain()) {
+		t.Fatalf("seam diverged from native construction: seam confirmed=%d len=%d, native confirmed=%d len=%d",
+			sm.Confirmed, seam.CanonicalLength(), nm.ConfirmedTxs, len(native.Observer().Store().MainChain()))
+	}
+	if sm.MessagesSent != nm.MessagesSent || sm.BytesSent != nm.BytesSent {
+		t.Fatalf("seam traffic diverged: %d/%d msgs, %d/%d bytes",
+			sm.MessagesSent, nm.MessagesSent, sm.BytesSent, nm.BytesSent)
+	}
+}

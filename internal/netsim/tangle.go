@@ -1,0 +1,498 @@
+// The cooperative-tangle network simulation: the third ledger paradigm
+// of the comparison. Unlike the chains (leaders win block production)
+// and the block-lattice (owners append, representatives vote), the
+// tangle has no privileged role at all — every payment is a vertex that
+// approves two earlier vertices, and confirmation is cumulative
+// coverage of later arrivals (internal/tangle). Gossip, cold start and
+// adversarial behaviors run through the same NodeRuntime/Behavior seam
+// and sync manager as the other three networks; tip selection is the
+// tangle's own extension point on that seam (TipSelector), which is
+// where the parasite-chain attack plugs in.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/hashx"
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tangle"
+	"repro/internal/workload"
+)
+
+// TangleConfig parameterizes a cooperative-tangle network.
+type TangleConfig struct {
+	Net NetParams
+	// Accounts is the issuing population; account i is operated by node
+	// i mod Nodes, and account 0 signs the genesis vertex.
+	Accounts int
+	// Supply is the value the genesis vertex carries.
+	Supply uint64
+	// ConfirmWeight is the cumulative-coverage threshold: a vertex is
+	// confirmed once that many later vertices sit in its future cone
+	// (default 4) — the cooperative analogue of §IV's depth rules.
+	ConfirmWeight int
+	// BacklogCap bounds the per-node parked-vertex buffer (<= 0 keeps
+	// tangle.DefaultGapLimit). Evicted vertices unmark their dedup bit
+	// and, when the sync manager is armed, schedule a re-pull.
+	BacklogCap int
+}
+
+func (c TangleConfig) withDefaults() TangleConfig {
+	c.Net = c.Net.withDefaults()
+	if c.Accounts <= 0 {
+		c.Accounts = 16
+	}
+	if c.Supply == 0 {
+		c.Supply = 1 << 40
+	}
+	if c.ConfirmWeight <= 0 {
+		c.ConfirmWeight = 4
+	}
+	return c
+}
+
+// TipSelector is the tangle's tip-selection hook on the Behavior seam:
+// a node's behavior that also implements TipSelector overrides which
+// two vertices a locally issued payment approves. Returning ok=false
+// falls back to the honest uniform-tip rule. view is the issuing node's
+// own replica — selectors read it, never mutate it.
+type TipSelector interface {
+	SelectTangleTips(node sim.NodeID, view *tangle.Tangle, rng *rand.Rand) (a, b hashx.Hash, ok bool)
+}
+
+// TangleMetrics summarizes a tangle run from the observer (node 0).
+type TangleMetrics struct {
+	Duration time.Duration
+	// TransfersSubmitted counts payment requests; VerticesIssued the
+	// vertices actually created and attached at their issuer.
+	TransfersSubmitted int
+	VerticesIssued     int
+	// ConfirmedAtObserver counts vertices past the coverage threshold at
+	// node 0 (genesis excluded — it is born confirmed).
+	ConfirmedAtObserver int
+	// PendingAtEnd is the observer's attached-but-unconfirmed count —
+	// coverage the DAG's frontier has not yet accumulated.
+	PendingAtEnd int
+	// TipsAtEnd is the observer's unapproved-vertex count.
+	TipsAtEnd int
+	// VPS counts confirmed vertices per second at the observer — the
+	// tangle's native throughput unit (one transaction per vertex).
+	VPS float64
+	// ConfirmLatency is the distribution of vertex-creation→coverage
+	// delays at the observer, in seconds (§IV confirmation).
+	ConfirmLatency metrics.Histogram
+	MessagesSent   int
+	BytesSent      int64
+	// LedgerBytes is the observer's modeled storage footprint (§V).
+	LedgerBytes int
+}
+
+// tangleNode is one full node: its replica of the DAG.
+type tangleNode struct {
+	id sim.NodeID
+	tg *tangle.Tangle
+}
+
+// row returns the node's dedup-matrix row.
+func (node *tangleNode) row() int { return int(node.id) }
+
+// TangleNet is a running cooperative-tangle network simulation.
+type TangleNet struct {
+	cfg   TangleConfig
+	rt    *NodeRuntime
+	nodes []*tangleNode
+	ring  *keys.Ring
+
+	// Struct-of-arrays dedup state, shared shape with the other three
+	// networks: dense vertex ids plus one pooled per-node bit matrix.
+	vertexIDs *dex[hashx.Hash]
+	seen      *bitRows
+
+	created     map[hashx.Hash]time.Duration // vertex hash -> creation time
+	confirmedAt map[hashx.Hash]bool          // observer confirmations seen
+	issuedBy    map[hashx.Hash]sim.NodeID    // vertex hash -> issuing node
+	seqs        []uint64                     // per-account issuer counters
+	metrics     TangleMetrics
+
+	sync *syncManager
+}
+
+// NewTangle builds the network: every node starts from the identical
+// genesis vertex signed by account 0.
+func NewTangle(cfg TangleConfig) (*TangleNet, error) {
+	cfg = cfg.withDefaults()
+	s, net := buildNetwork(cfg.Net)
+	ring := keys.NewRing("tangle-net", cfg.Accounts)
+	genesis := tangle.Genesis(ring.Pair(0), cfg.Supply)
+
+	n := &TangleNet{
+		cfg:         cfg,
+		rt:          newNodeRuntime(s, net),
+		ring:        ring,
+		vertexIDs:   newDex[hashx.Hash](256),
+		seen:        newBitRows(cfg.Net.Nodes, 256),
+		created:     make(map[hashx.Hash]time.Duration),
+		confirmedAt: make(map[hashx.Hash]bool),
+		issuedBy:    make(map[hashx.Hash]sim.NodeID),
+		seqs:        make([]uint64, cfg.Accounts),
+	}
+	n.sync = newSyncManager(n.rt, func(id sim.NodeID, h hashx.Hash) bool {
+		return n.nodes[id].tg.Has(h)
+	})
+	n.metrics.ConfirmLatency.SetBudget(cfg.Net.SampleBudget)
+
+	for i := 0; i < cfg.Net.Nodes; i++ {
+		tg, err := tangle.New(genesis, cfg.ConfirmWeight)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: %w", err)
+		}
+		node := &tangleNode{tg: tg}
+		node.id = n.rt.AddNode(n.handlerFor(node))
+		n.nodes = append(n.nodes, node)
+		if cfg.BacklogCap > 0 {
+			tg.SetGapLimit(cfg.BacklogCap)
+		}
+		tg.SetGapEvicted(n.gapEvictedHook(node))
+	}
+	net.SetPeers(sim.RandomPeers(s.Rand(), cfg.Net.Nodes, cfg.Net.PeerDegree))
+	return n, nil
+}
+
+// Observer returns node 0's replica.
+func (n *TangleNet) Observer() *tangle.Tangle { return n.nodes[0].tg }
+
+// Ring returns the account identities.
+func (n *TangleNet) Ring() *keys.Ring { return n.ring }
+
+// Sim returns the underlying simulator.
+func (n *TangleNet) Sim() *sim.Simulator { return n.rt.sim }
+
+// Net returns the underlying network.
+func (n *TangleNet) Net() *sim.Network { return n.rt.net }
+
+// Runtime returns the node runtime, the behavior-installation surface.
+func (n *TangleNet) Runtime() *NodeRuntime { return n.rt }
+
+// SyncStats returns the sync manager's pull and backlog counters.
+func (n *TangleNet) SyncStats() SyncStats { return n.sync.stats }
+
+// EnableSyncRecovery arms the sync manager with re-targeting and
+// re-arming, so gap pulls actually recover under churn.
+func (n *TangleNet) EnableSyncRecovery() { n.sync.armRecovery() }
+
+// ScheduleColdStart detaches a node at detachAt and rejoins it at
+// rejoinAt through the sync manager: the node pulls the attachment-
+// ordered vertex stream from a live peer in windows of batch vertices
+// (E20's bootstrap scenario).
+func (n *TangleNet) ScheduleColdStart(node int, detachAt, rejoinAt time.Duration, batch int) {
+	id := n.nodes[node].id
+	n.rt.sim.At(detachAt, func() { n.rt.net.Detach(id) })
+	n.rt.sim.At(rejoinAt, func() {
+		n.rt.net.Attach(id)
+		target := n.sync.rotateTarget(id, id)
+		if target == id {
+			return // no live peer to sync from
+		}
+		n.sync.StartColdSync(id, target, batch)
+	})
+}
+
+// ColdSyncDone reports how long the node's cold-start catch-up took to
+// drain the server's history stream; ok is false while it is running.
+func (n *TangleNet) ColdSyncDone(node int) (time.Duration, bool) {
+	return n.sync.coldSyncDone(n.nodes[node].id)
+}
+
+// handlerFor dispatches gossip messages.
+func (n *TangleNet) handlerFor(node *tangleNode) sim.Handler {
+	return func(from sim.NodeID, payload any, size int) {
+		switch msg := payload.(type) {
+		case *tangle.Vertex:
+			n.onVertex(node, from, msg)
+		case *blockRequest:
+			n.onVertexRequest(node, from, msg)
+		case *rangeRequest:
+			n.onRangeRequest(node, from, msg)
+		case *rangeReply:
+			n.sync.onRangeReply(node.id, msg)
+		}
+	}
+}
+
+// onVertex processes a received vertex: first-seen dedup, attach, and
+// re-flood. Gapped vertices park inside the replica and still relay so
+// peers ahead of this node catch up; the missing parent is pulled when
+// the sync manager is armed.
+func (n *TangleNet) onVertex(node *tangleNode, from sim.NodeID, v *tangle.Vertex) {
+	h := v.Hash()
+	if n.seen.testSet(node.row(), n.vertexIDs.id(h)) {
+		return
+	}
+	res := node.tg.Attach(v)
+	switch res.Status {
+	case tangle.Rejected:
+		return // do not relay invalid vertices
+	case tangle.GapParent:
+		n.sync.Pull(node.id, res.Missing, from)
+	case tangle.Accepted:
+		n.noteConfirmed(node, res.Confirmed)
+	}
+	n.rt.Relay(node.id, v, v.EncodedSize())
+}
+
+// onVertexRequest serves a vertex the requester is missing (gap repair).
+func (n *TangleNet) onVertexRequest(node *tangleNode, from sim.NodeID, req *blockRequest) {
+	if v, ok := node.tg.Get(req.Hash); ok {
+		n.sync.stats.BlocksServed++
+		n.sync.stats.BytesServed += int64(v.EncodedSize())
+		n.rt.Unicast(node.id, from, v, v.EncodedSize())
+	}
+}
+
+// onRangeRequest serves one window of this node's canonical history —
+// the attachment-ordered vertex stream, a topological order by
+// construction — to a cold-syncing puller.
+func (n *TangleNet) onRangeRequest(node *tangleNode, from sim.NodeID, req *rangeRequest) {
+	vertices := node.tg.AllVertices()
+	n.sync.serveRange(node.id, from, req, len(vertices), func(i int) (any, int) {
+		return vertices[i], vertices[i].EncodedSize()
+	})
+}
+
+// gapEvictedHook wires one node's parked-vertex eviction into the sync
+// manager, mirroring the lattice gap buffer: the evicted vertex's dedup
+// bit is cleared so gossip (or a served pull) can re-deliver it, and
+// when the manager is armed a deferred re-pull fetches it back.
+func (n *TangleNet) gapEvictedHook(node *tangleNode) func(*tangle.Vertex) {
+	return func(v *tangle.Vertex) {
+		n.sync.stats.BacklogEvicted++
+		h := v.Hash()
+		n.seen.clear(node.row(), n.vertexIDs.id(h))
+		if !n.sync.armed {
+			return
+		}
+		n.rt.sim.After(gapRepairDelay, func() {
+			if tgt := n.sync.rotateTarget(node.id, node.id); tgt != node.id {
+				n.sync.Pull(node.id, h, tgt)
+			}
+		})
+	}
+}
+
+// noteConfirmed records observer-side confirmations.
+func (n *TangleNet) noteConfirmed(node *tangleNode, confirmed []hashx.Hash) {
+	if node != n.nodes[0] {
+		return
+	}
+	for _, h := range confirmed {
+		if n.confirmedAt[h] {
+			continue
+		}
+		n.confirmedAt[h] = true
+		n.metrics.ConfirmedAtObserver++
+		if created, ok := n.created[h]; ok {
+			n.metrics.ConfirmLatency.AddDuration(n.rt.sim.Now() - created)
+		}
+	}
+}
+
+// selectTips picks the two parents for a vertex node is about to issue:
+// the node's TipSelector behavior when one is installed and engaged,
+// the honest uniform-tip rule otherwise.
+func (n *TangleNet) selectTips(node *tangleNode) (hashx.Hash, hashx.Hash) {
+	if sel, ok := n.rt.BehaviorOf(node.id).(TipSelector); ok {
+		if a, b, engaged := sel.SelectTangleTips(node.id, node.tg, n.rt.sim.Rand()); engaged {
+			return a, b
+		}
+	}
+	return node.tg.SelectTips(n.rt.sim.Rand())
+}
+
+// publish records, self-attaches and floods a locally created vertex —
+// unless the issuer's behavior withholds it (the parasite chain keeps
+// its sub-tangle private until release).
+func (n *TangleNet) publish(node *tangleNode, v *tangle.Vertex) {
+	h := v.Hash()
+	n.created[h] = n.rt.sim.Now()
+	n.issuedBy[h] = node.id
+	n.seen.testSet(node.row(), n.vertexIDs.id(h))
+	res := node.tg.Attach(v)
+	if res.Status == tangle.Accepted {
+		n.noteConfirmed(node, res.Confirmed)
+	}
+	if n.rt.produceAllowed(node.id, v) {
+		n.rt.Relay(node.id, v, v.EncodedSize())
+	}
+}
+
+// SubmitTransfer schedules a payment: at p.At the sender's owner node
+// selects two tips from its own view, issues the signed vertex and
+// floods it.
+func (n *TangleNet) SubmitTransfer(p workload.TimedPayment) {
+	n.rt.sim.At(p.At, func() {
+		n.metrics.TransfersSubmitted++
+		if p.From < 0 || p.From >= n.cfg.Accounts {
+			return
+		}
+		node := n.nodes[p.From%n.cfg.Net.Nodes]
+		pa, pb := n.selectTips(node)
+		n.seqs[p.From]++
+		v := tangle.NewVertex(n.ring.Pair(p.From), n.seqs[p.From], pa, pb, n.ring.Addr(p.To%n.cfg.Accounts), p.Amount)
+		n.metrics.VerticesIssued++
+		n.publish(node, v)
+	})
+}
+
+// Run drives the simulation up to the cutoff and returns the metrics.
+func (n *TangleNet) Run(duration time.Duration) TangleMetrics {
+	n.rt.sim.RunUntil(duration)
+	return n.collect(duration)
+}
+
+// RunWithTransfers submits the stream then runs.
+func (n *TangleNet) RunWithTransfers(duration time.Duration, transfers []workload.TimedPayment) TangleMetrics {
+	for _, p := range transfers {
+		n.SubmitTransfer(p)
+	}
+	return n.Run(duration)
+}
+
+func (n *TangleNet) collect(duration time.Duration) TangleMetrics {
+	obs := n.nodes[0]
+	m := &n.metrics
+	m.Duration = duration
+	// Genesis is born confirmed and excluded from the confirmed count.
+	m.PendingAtEnd = obs.tg.VertexCount() - obs.tg.ConfirmedCount()
+	m.TipsAtEnd = obs.tg.TipCount()
+	if duration > 0 {
+		m.VPS = float64(m.ConfirmedAtObserver) / duration.Seconds()
+	}
+	m.LedgerBytes = obs.tg.LedgerBytes()
+	ns := n.rt.net.Stats()
+	m.MessagesSent = ns.MessagesSent
+	m.BytesSent = ns.BytesSent
+	return *m
+}
+
+// ConfirmedIssuedBy counts confirmed observer-side vertices that the
+// given node issued — the adversary-success measure E21's parasite rows
+// report.
+func (n *TangleNet) ConfirmedIssuedBy(node int) int {
+	count := 0
+	for h := range n.confirmedAt {
+		if issuer, ok := n.issuedBy[h]; ok && issuer == sim.NodeID(node) {
+			count++
+		}
+	}
+	return count
+}
+
+// ParasiteChainBehavior grows a hidden sub-tangle: while hiding, the
+// attacker's issued vertices are withheld from the network (OnProduce)
+// and chained onto each other instead of the honest tips — the first
+// hidden vertex anchors into the attacker's current honest view, every
+// later one approves its predecessor twice. When the chain reaches
+// ReleaseDepth the whole sub-tangle floods at once. Under pure
+// cumulative-weight confirmation the released chain carries its own
+// coverage — each hidden vertex already sits in the future cone of its
+// ancestors — which is exactly the weakness parasite chains exploit and
+// the reason production tangles bias tip selection instead of counting
+// weight alone (E21's adversary rows measure it).
+type ParasiteChainBehavior struct {
+	HonestBehavior
+	net  *TangleNet
+	node sim.NodeID
+	// ReleaseDepth is the hidden-chain length that triggers release.
+	ReleaseDepth int
+
+	hidden   []*tangle.Vertex
+	lastTip  hashx.Hash
+	released bool
+}
+
+// Withheld counts hidden vertices not yet released.
+func (b *ParasiteChainBehavior) Withheld() int {
+	if b.released {
+		return 0
+	}
+	return len(b.hidden)
+}
+
+// Released reports whether the sub-tangle has been published.
+func (b *ParasiteChainBehavior) Released() bool { return b.released }
+
+// SelectTangleTips chains hidden vertices onto each other; the first
+// one anchors at the honest tips, and after release the attacker
+// behaves honestly again.
+func (b *ParasiteChainBehavior) SelectTangleTips(_ sim.NodeID, view *tangle.Tangle, rng *rand.Rand) (hashx.Hash, hashx.Hash, bool) {
+	if b.released {
+		return hashx.Zero, hashx.Zero, false
+	}
+	if len(b.hidden) == 0 {
+		a, c := view.SelectTips(rng)
+		return a, c, true
+	}
+	return b.lastTip, b.lastTip, true
+}
+
+// OnProduce withholds the vertex while the chain is hiding, releasing
+// the whole sub-tangle when it reaches ReleaseDepth.
+func (b *ParasiteChainBehavior) OnProduce(_ sim.NodeID, block any) bool {
+	if b.released {
+		return true
+	}
+	v, ok := block.(*tangle.Vertex)
+	if !ok {
+		return true
+	}
+	b.hidden = append(b.hidden, v)
+	b.lastTip = v.Hash()
+	if len(b.hidden) >= b.ReleaseDepth {
+		// Defer the flood one event so the release happens outside the
+		// issuing call path, mirroring the selfish miner's release.
+		b.released = true
+		release := b.hidden
+		b.hidden = nil
+		b.net.rt.sim.After(0, func() {
+			node := b.net.nodes[b.node]
+			for _, hv := range release {
+				b.net.rt.Relay(node.id, hv, hv.EncodedSize())
+			}
+		})
+	}
+	return false
+}
+
+// InstallParasiteChain installs the parasite-chain adversary on a node:
+// payments issued by that node grow the hidden sub-tangle until it is
+// releaseDepth vertices long, then flood at once.
+func (n *TangleNet) InstallParasiteChain(node, releaseDepth int) *ParasiteChainBehavior {
+	if releaseDepth < 1 {
+		releaseDepth = 1
+	}
+	b := &ParasiteChainBehavior{net: n, node: n.nodes[node].id, ReleaseDepth: releaseDepth}
+	n.rt.SetBehavior(n.nodes[node].id, b)
+	return b
+}
+
+// The paradigm-seam registration (paradigm.go): the cooperative tangle
+// is the third ledger of the comparison — leaderless settlement with
+// coverage-based confirmation.
+func init() {
+	registerParadigm(ParadigmSpec{
+		Name: "tangle", Family: "dag", Order: 3,
+		Build: func(np NetParams, o BuildOptions) (ParadigmNet, error) {
+			net, err := NewTangle(TangleConfig{
+				Net: np, Accounts: o.Accounts, BacklogCap: o.BacklogCap,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return tangleParadigm{net}, nil
+		},
+	})
+}

@@ -54,6 +54,7 @@ func Suite() []Benchmark {
 		{Name: "lattice/process-batch", Kind: "micro", Op: benchProcessBatch},
 		{Name: "chain/store-add", Kind: "micro", Op: benchStoreAdd},
 		{Name: "netsim/nano-gossip", Kind: "micro", Op: benchNanoGossip},
+		{Name: "netsim/tangle-gossip", Kind: "micro", Op: benchTangleGossip},
 		{Name: "netsim/scale-gossip", Kind: "micro", Op: benchScaleGossip},
 		{Name: "netsim/cold-start", Kind: "micro", Op: benchColdStart},
 		{Name: "sim/sharded-loop", Kind: "micro", Op: benchShardedLoop},
@@ -337,6 +338,33 @@ func benchNanoGossip(scale float64, n int) float64 {
 		tps = m.TPS
 	}
 	return tps
+}
+
+// benchTangleGossip runs a small live cooperative-tangle network end to
+// end — vertex gossip with first-seen dedup, tip selection, the
+// per-attach cumulative-coverage walk — and reports the confirmed
+// sim-throughput. This is the per-event hot path of the third
+// paradigm's E9/E19/E21 rows.
+func benchTangleGossip(scale float64, n int) float64 {
+	transfers := scaled(40, scale)
+	const horizon = 10 * time.Second
+	var vps float64
+	for op := 0; op < n; op++ {
+		net, err := netsim.NewTangle(netsim.TangleConfig{
+			Net:      netsim.NetParams{Nodes: 8, Seed: 11},
+			Accounts: 24,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		ps := workload.Payments(rng, workload.Config{
+			Accounts: 24, Rate: float64(transfers) / horizon.Seconds(), Duration: horizon,
+		})
+		m := net.RunWithTransfers(horizon+2*time.Second, ps)
+		vps = m.VPS
+	}
+	return vps
 }
 
 // benchScaleGossip is benchNanoGossip at mega-scale: a 512-node ORV

@@ -1,0 +1,279 @@
+package tangle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashx"
+	"repro/internal/keys"
+)
+
+func testRing(t testing.TB, n int) *keys.Ring {
+	t.Helper()
+	return keys.NewRing("tangle-test", n)
+}
+
+func newTestTangle(t testing.TB, ring *keys.Ring, confirmWeight int) (*Tangle, *Vertex) {
+	t.Helper()
+	gen := Genesis(ring.Pair(0), 1_000_000)
+	tg, err := New(gen, confirmWeight)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tg, gen
+}
+
+func TestVertexHashAndSig(t *testing.T) {
+	ring := testRing(t, 2)
+	gen := Genesis(ring.Pair(0), 10)
+	v := NewVertex(ring.Pair(1), 1, gen.Hash(), gen.Hash(), ring.Addr(0), 5)
+	if v.Hash() != v.Hash() {
+		t.Fatal("hash not stable")
+	}
+	if !v.VerifySig() {
+		t.Fatal("valid signature rejected")
+	}
+	if v.EncodedSize() != wireSize {
+		t.Fatalf("EncodedSize = %d, want %d", v.EncodedSize(), wireSize)
+	}
+	// A value copy must re-hash (pointer-identity memo) and a tampered
+	// signature must fail even after a prior success on the original.
+	cp := *v
+	if cp.Hash() != v.Hash() {
+		t.Fatal("copy hashes differently")
+	}
+	bad := *v
+	bad.Sig = append([]byte(nil), v.Sig...)
+	bad.Sig[0] ^= 0x40
+	if bad.VerifySig() {
+		t.Fatal("tampered signature accepted")
+	}
+	// Wrong issuer for the key.
+	imp := NewVertex(ring.Pair(1), 2, gen.Hash(), gen.Hash(), ring.Addr(0), 5)
+	imp.Issuer = ring.Addr(0)
+	imp.memoSelf = nil // force re-hash over the forged issuer
+	if imp.VerifySig() {
+		t.Fatal("issuer/key mismatch accepted")
+	}
+}
+
+func TestGenesisBornConfirmed(t *testing.T) {
+	ring := testRing(t, 1)
+	tg, gen := newTestTangle(t, ring, 4)
+	if !tg.Confirmed(gen.Hash()) {
+		t.Fatal("genesis not confirmed")
+	}
+	if tg.ConfirmedCount() != 1 || tg.VertexCount() != 1 || tg.TipCount() != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 1/1/1",
+			tg.ConfirmedCount(), tg.VertexCount(), tg.TipCount())
+	}
+}
+
+// chainOf attaches a linear chain of n vertices on top of the genesis
+// and returns them in attach order.
+func chainOf(t *testing.T, tg *Tangle, ring *keys.Ring, gen *Vertex, n int) []*Vertex {
+	t.Helper()
+	prev := gen.Hash()
+	out := make([]*Vertex, 0, n)
+	for i := 0; i < n; i++ {
+		v := NewVertex(ring.Pair(0), uint64(i+1), prev, prev, ring.Addr(0), 1)
+		if res := tg.Attach(v); res.Status != Accepted {
+			t.Fatalf("attach %d: %v", i, res.Status)
+		}
+		prev = v.Hash()
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestCumulativeCoverageConfirms(t *testing.T) {
+	ring := testRing(t, 1)
+	tg, gen := newTestTangle(t, ring, 3)
+	chain := chainOf(t, tg, ring, gen, 5)
+	// In a chain with threshold 3, vertex k gains weight from each of
+	// its descendants: v0 has 4 descendants -> confirmed, v1 has 3 ->
+	// confirmed, v2 has 2, v3 has 1, v4 has 0.
+	for i, v := range chain {
+		want := len(chain)-1-i >= 3
+		if got := tg.Confirmed(v.Hash()); got != want {
+			t.Fatalf("vertex %d confirmed = %v, want %v (weight %d)",
+				i, got, want, tg.Weight(v.Hash()))
+		}
+	}
+	if tg.ConfirmedCount() != 3 { // genesis + v0 + v1
+		t.Fatalf("ConfirmedCount = %d, want 3", tg.ConfirmedCount())
+	}
+}
+
+func TestConfirmOrderAncestorsFirst(t *testing.T) {
+	ring := testRing(t, 1)
+	tg, gen := newTestTangle(t, ring, 4)
+	var confirmed []hashx.Hash
+	prev := gen.Hash()
+	var made []*Vertex
+	for i := 0; i < 8; i++ {
+		v := NewVertex(ring.Pair(0), uint64(i+1), prev, prev, ring.Addr(0), 1)
+		res := tg.Attach(v)
+		if res.Status != Accepted {
+			t.Fatalf("attach %d: %v", i, res.Status)
+		}
+		confirmed = append(confirmed, res.Confirmed...)
+		prev = v.Hash()
+		made = append(made, v)
+	}
+	if len(confirmed) == 0 {
+		t.Fatal("nothing confirmed")
+	}
+	// Attach order is ancestor order on a chain: reported confirmations
+	// must respect it.
+	pos := map[hashx.Hash]int{}
+	for i, v := range made {
+		pos[v.Hash()] = i
+	}
+	for i := 1; i < len(confirmed); i++ {
+		if pos[confirmed[i-1]] > pos[confirmed[i]] {
+			t.Fatalf("confirmation order violates ancestry: %d before %d",
+				pos[confirmed[i-1]], pos[confirmed[i]])
+		}
+	}
+}
+
+func TestGapParkingAndDrain(t *testing.T) {
+	ring := testRing(t, 1)
+	tg, gen := newTestTangle(t, ring, 100)
+	v1 := NewVertex(ring.Pair(0), 1, gen.Hash(), gen.Hash(), ring.Addr(0), 1)
+	v2 := NewVertex(ring.Pair(0), 2, v1.Hash(), v1.Hash(), ring.Addr(0), 1)
+	v3 := NewVertex(ring.Pair(0), 3, v2.Hash(), v2.Hash(), ring.Addr(0), 1)
+	if res := tg.Attach(v3); res.Status != GapParent || res.Missing != v2.Hash() {
+		t.Fatalf("v3 = %v (missing %x), want gap on v2", res.Status, res.Missing[:4])
+	}
+	if res := tg.Attach(v2); res.Status != GapParent || res.Missing != v1.Hash() {
+		t.Fatalf("v2 = %v, want gap on v1", res.Status)
+	}
+	if tg.ParkedCount() != 2 {
+		t.Fatalf("ParkedCount = %d, want 2", tg.ParkedCount())
+	}
+	res := tg.Attach(v1)
+	if res.Status != Accepted {
+		t.Fatalf("v1 = %v", res.Status)
+	}
+	if len(res.Drained) != 2 || res.Drained[0] != v2 || res.Drained[1] != v3 {
+		t.Fatalf("drained %d vertices, want [v2 v3]", len(res.Drained))
+	}
+	if tg.ParkedCount() != 0 || tg.VertexCount() != 4 {
+		t.Fatalf("parked %d / vertices %d, want 0 / 4", tg.ParkedCount(), tg.VertexCount())
+	}
+}
+
+func TestDuplicateAndRejected(t *testing.T) {
+	ring := testRing(t, 1)
+	tg, gen := newTestTangle(t, ring, 4)
+	v := NewVertex(ring.Pair(0), 1, gen.Hash(), gen.Hash(), ring.Addr(0), 1)
+	if res := tg.Attach(v); res.Status != Accepted {
+		t.Fatalf("first attach: %v", res.Status)
+	}
+	if res := tg.Attach(v); res.Status != Duplicate {
+		t.Fatalf("second attach: %v, want duplicate", res.Status)
+	}
+	bad := NewVertex(ring.Pair(0), 2, gen.Hash(), gen.Hash(), ring.Addr(0), 1)
+	bad.Sig[0] ^= 1
+	if res := tg.Attach(bad); res.Status != Rejected {
+		t.Fatalf("bad sig: %v, want rejected", res.Status)
+	}
+}
+
+func TestTipsTrackAttachment(t *testing.T) {
+	ring := testRing(t, 1)
+	tg, gen := newTestTangle(t, ring, 100)
+	v1 := NewVertex(ring.Pair(0), 1, gen.Hash(), gen.Hash(), ring.Addr(0), 1)
+	tg.Attach(v1)
+	if tg.TipCount() != 1 {
+		t.Fatalf("tips after v1 = %d, want 1 (genesis approved)", tg.TipCount())
+	}
+	// Two vertices approving v1 from different draws: both become tips.
+	v2 := NewVertex(ring.Pair(0), 2, v1.Hash(), v1.Hash(), ring.Addr(0), 1)
+	v3 := NewVertex(ring.Pair(0), 3, v1.Hash(), v1.Hash(), ring.Addr(0), 1)
+	tg.Attach(v2)
+	tg.Attach(v3)
+	if tg.TipCount() != 2 {
+		t.Fatalf("tips = %d, want 2", tg.TipCount())
+	}
+	rng := rand.New(rand.NewSource(1))
+	a, b := tg.SelectTips(rng)
+	if !tg.Has(a) || !tg.Has(b) {
+		t.Fatal("selected tips not attached")
+	}
+	if tg.Confirmed(a) && tg.Confirmed(b) {
+		// With threshold 100 nothing beyond genesis is confirmed, and
+		// genesis is no longer a tip.
+		t.Fatal("selected confirmed vertices as tips")
+	}
+}
+
+func TestGapEvictionBound(t *testing.T) {
+	ring := testRing(t, 1)
+	tg, _ := newTestTangle(t, ring, 100)
+	tg.SetGapLimit(2)
+	var evicted []*Vertex
+	tg.SetGapEvicted(func(v *Vertex) { evicted = append(evicted, v) })
+	missing := hashx.Sum([]byte("nowhere"))
+	var orphans []*Vertex
+	for i := 0; i < 4; i++ {
+		v := NewVertex(ring.Pair(0), uint64(i+1), missing, missing, ring.Addr(0), 1)
+		orphans = append(orphans, v)
+		if res := tg.Attach(v); res.Status != GapParent {
+			t.Fatalf("orphan %d: %v", i, res.Status)
+		}
+	}
+	if tg.ParkedCount() != 2 {
+		t.Fatalf("ParkedCount = %d, want 2", tg.ParkedCount())
+	}
+	if len(evicted) != 2 || evicted[0] != orphans[0] || evicted[1] != orphans[1] {
+		t.Fatalf("evicted %d, want the two oldest", len(evicted))
+	}
+}
+
+func TestCoverageClosureRandomDAG(t *testing.T) {
+	ring := testRing(t, 4)
+	tg, _ := newTestTangle(t, ring, 3)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		pa, pb := tg.SelectTips(rng)
+		who := rng.Intn(4)
+		v := NewVertex(ring.Pair(who), uint64(1000*who+i), pa, pb, ring.Addr(rng.Intn(4)), 1)
+		if res := tg.Attach(v); res.Status != Accepted {
+			t.Fatalf("attach %d: %v", i, res.Status)
+		}
+	}
+	assertCoverageClosure(t, tg)
+	if tg.ConfirmedCount() < 2 {
+		t.Fatal("random DAG confirmed nothing beyond genesis")
+	}
+}
+
+// assertCoverageClosure checks the §IV invariant: every confirmed
+// vertex's parents are attached and confirmed (coverage is closed over
+// ancestry), and no confirmed vertex has been orphaned out of the DAG.
+func assertCoverageClosure(t *testing.T, tg *Tangle) {
+	t.Helper()
+	for _, v := range tg.AllVertices() {
+		h := v.Hash()
+		if !tg.Has(h) {
+			t.Fatalf("attached vertex %x missing from the DAG", h[:4])
+		}
+		if !tg.Confirmed(h) {
+			continue
+		}
+		for _, p := range [2]hashx.Hash{v.ParentA, v.ParentB} {
+			if p == hashx.Zero {
+				continue // genesis
+			}
+			if !tg.Has(p) {
+				t.Fatalf("confirmed vertex %x has unattached parent %x", h[:4], p[:4])
+			}
+			if !tg.Confirmed(p) {
+				t.Fatalf("confirmed vertex %x has unconfirmed parent %x", h[:4], p[:4])
+			}
+		}
+	}
+}
